@@ -1,0 +1,29 @@
+//! The comparison schedulers of §IV-D of the MRSch paper.
+//!
+//! Three baselines run under *identical* simulator mechanics (same
+//! window, same reservation + EASY backfilling) so that differences in
+//! the reports isolate the selection policy:
+//!
+//! * [`fcfs`] — **Heuristic**: FCFS extended to multi-resource
+//!   scheduling (a member of the list-scheduling family),
+//! * [`ga`] — **Optimization**: the multi-objective genetic-algorithm
+//!   scheduler in the style of Fan et al. (HPDC'19), run over the same
+//!   W-job window at every scheduling instance,
+//! * [`scalar_rl`] — **Scalar RL**: a policy-gradient agent whose reward
+//!   collapses the measurement vector with fixed weights
+//!   (`0.5·CPU-util + 0.5·BB-util`), the strawman MRSch's dynamic goal
+//!   vector is compared against.
+//!
+//! [`heuristics`] adds the classic list orderings (SJF, LJF,
+//! smallest/largest-first, most-demanding-first) beyond the paper's
+//! baselines, for richer library-level comparisons.
+
+pub mod fcfs;
+pub mod ga;
+pub mod heuristics;
+pub mod scalar_rl;
+
+pub use fcfs::FcfsPolicy;
+pub use heuristics::{ListOrder, ListPolicy};
+pub use ga::{GaConfig, GaPolicy};
+pub use scalar_rl::{ScalarRlAgent, ScalarRlConfig, ScalarRlPolicy};

@@ -1,0 +1,31 @@
+//! Bench + regeneration of Fig. 10 (three-resource case study).
+//!
+//! Prints the five-axis Kiviat chart for S9 at bench scale and benches a
+//! three-resource MRSch evaluation (the per-decision cost grows with the
+//! third resource's unit count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_bench::{bench_eval_jobs, bench_scale, bench_trained_mrsch};
+use mrsch_experiments::comparison::run_workload;
+use mrsch_experiments::fig10;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let results = run_workload(&WorkloadSpec::s9(), &scale, 2022);
+    let charts = fig10::charts_from(&results);
+    fig10::print(&charts);
+
+    let spec = WorkloadSpec::s9();
+    let jobs = bench_eval_jobs(&spec, &scale, 2022);
+    let mut agent = bench_trained_mrsch(&spec, &scale, 2022);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("evaluate_three_resource_s9", |b| {
+        b.iter(|| agent.evaluate(&jobs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Bench + regeneration of Fig. 1 (motivating example).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch_experiments::fig1;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the figure's data once.
+    let result = fig1::run();
+    fig1::print(&result);
+    assert_eq!(result.fixed_weight_makespan_h, 3.0);
+    assert_eq!(result.ideal_makespan_h, 2.0);
+
+    c.bench_function("fig1/motivating_example", |b| b.iter(fig1::run));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench + regeneration of Fig. 3 (MLP vs CNN state module).
+//!
+//! Prints the MLP-vs-CNN metric rows for S1 at bench scale, then
+//! measures per-decision inference cost of both architectures — the
+//! quantity that differs between the two state modules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_bench::{bench_eval_jobs, bench_scale, bench_trained_mrsch};
+use mrsch_experiments::comparison::train_mrsch;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let spec = WorkloadSpec::s1();
+    let jobs = bench_eval_jobs(&spec, &scale, 3);
+
+    println!("Fig. 3 (bench scale, S1): arch, node util, bb util, wait(h), slowdown");
+    let mut agents = Vec::new();
+    for (label, kind) in [("MLP", StateModuleKind::Mlp), ("CNN", StateModuleKind::Cnn)] {
+        let mut agent = train_mrsch(&spec, &scale, 3, kind);
+        let r = agent.evaluate(&jobs);
+        println!(
+            "  {label}: {:.3}, {:.3}, {:.3}, {:.3}",
+            r.resource_utilization[0],
+            r.resource_utilization[1],
+            r.avg_wait_hours(),
+            r.avg_slowdown
+        );
+        agents.push((label, agent));
+    }
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for (label, agent) in &mut agents {
+        group.bench_function(format!("evaluate_{label}"), |b| {
+            b.iter(|| agent.evaluate(&jobs))
+        });
+    }
+    group.finish();
+    // Keep a trained MLP agent around so the helper is exercised.
+    let _ = bench_trained_mrsch(&spec, &scale, 4);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

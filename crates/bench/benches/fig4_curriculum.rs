@@ -1,0 +1,48 @@
+//! Bench + regeneration of Fig. 4 (curriculum orderings).
+//!
+//! Prints the six loss curves at bench scale, then measures the cost of
+//! one training episode on each job-set kind.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_bench::bench_scale;
+use mrsch_experiments::fig4;
+use mrsch_workload::jobset::{sampled_jobset, synthetic_jobset};
+use mrsch_workload::split::paper_split;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let curves = fig4::run(&scale, 17);
+    fig4::print(&curves);
+
+    // Bench a single training episode per job-set kind.
+    let spec = WorkloadSpec::s1();
+    let system = scale.base_system();
+    let trace = scale.base_trace(17);
+    let split = paper_split(&trace);
+    let sets = [
+        ("sampled", sampled_jobset(&split.train, scale.jobs_per_set, 5)),
+        ("real", split.train[..scale.jobs_per_set.min(split.train.len())].to_vec()),
+        ("synthetic", synthetic_jobset(&scale.trace_config(), scale.jobs_per_set, 5)),
+    ];
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for (label, set) in sets {
+        let jobs = spec.build(&set, &system, 9);
+        group.bench_function(format!("train_episode_{label}"), |b| {
+            b.iter_with_setup(
+                || {
+                    MrschBuilder::new(system.clone(), scale.sim_params())
+                        .seed(1)
+                        .batches_per_episode(scale.batches_per_episode)
+                        .build()
+                },
+                |mut agent| agent.train_episode(&jobs),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

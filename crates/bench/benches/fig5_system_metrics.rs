@@ -1,0 +1,45 @@
+//! Bench + regeneration of Fig. 5 (system-level metrics).
+//!
+//! Runs the four methods on one representative workload (S4) at bench
+//! scale, prints the Fig. 5 rows, then measures each method's full
+//! evaluation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_baselines::{FcfsPolicy, GaPolicy};
+use mrsch_bench::{bench_eval_jobs, bench_scale, bench_trained_mrsch};
+use mrsch_experiments::comparison::run_workload;
+use mrsch_experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let results = run_workload(&WorkloadSpec::s4(), &scale, 2022);
+    fig5::print(&results);
+
+    let spec = WorkloadSpec::s4();
+    let system = spec.system_for(&scale.base_system());
+    let jobs = bench_eval_jobs(&spec, &scale, 2022);
+    let mut mrsch = bench_trained_mrsch(&spec, &scale, 2022);
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("evaluate_mrsch", |b| b.iter(|| mrsch.evaluate(&jobs)));
+    group.bench_function("evaluate_fcfs", |b| {
+        b.iter(|| {
+            Simulator::new(system.clone(), jobs.clone(), scale.sim_params())
+                .unwrap()
+                .run(&mut FcfsPolicy::default())
+        })
+    });
+    group.bench_function("evaluate_ga", |b| {
+        b.iter(|| {
+            Simulator::new(system.clone(), jobs.clone(), scale.sim_params())
+                .unwrap()
+                .run(&mut GaPolicy::with_seed(1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench + regeneration of Fig. 6 (user-level metrics).
+//!
+//! Prints the Fig. 6 rows for S5 (the paper's most contended two-resource
+//! workload) and benches the end-to-end metric extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_bench::{bench_eval_jobs, bench_scale, bench_trained_mrsch};
+use mrsch_experiments::comparison::run_workload;
+use mrsch_experiments::fig6;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let results = run_workload(&WorkloadSpec::s5(), &scale, 2022);
+    fig6::print(&results);
+    let (wait_pct, sd_pct) = fig6::mrsch_improvements(&results);
+    println!("MRSch improvements on S5: wait -{wait_pct:.1}%, slowdown -{sd_pct:.1}%");
+
+    let spec = WorkloadSpec::s5();
+    let jobs = bench_eval_jobs(&spec, &scale, 2022);
+    let mut mrsch = bench_trained_mrsch(&spec, &scale, 2022);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("evaluate_and_aggregate_s5", |b| {
+        b.iter(|| {
+            let r = mrsch.evaluate(&jobs);
+            (r.avg_wait_hours(), r.avg_slowdown)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench + regeneration of Fig. 7 (Kiviat charts).
+//!
+//! Prints the normalized charts for one workload at bench scale and
+//! measures the normalization itself over a realistic input size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch_bench::bench_scale;
+use mrsch_experiments::comparison::run_workload;
+use mrsch_experiments::{fig7, kiviat};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let results = run_workload(&WorkloadSpec::s3(), &scale, 2022);
+    let charts = fig7::run(&results);
+    fig7::print(&charts);
+
+    // Bench the normalization on synthetic 4-method x 4-metric data.
+    let methods: Vec<String> =
+        ["MRSch", "Optimization", "Scalar RL", "Heuristic"].iter().map(|s| s.to_string()).collect();
+    let raw = vec![
+        vec![0.92, 0.55, 1.2, 4.1],
+        vec![0.85, 0.52, 1.9, 5.3],
+        vec![0.80, 0.48, 2.4, 6.8],
+        vec![0.74, 0.40, 3.1, 8.9],
+    ];
+    c.bench_function("fig7/kiviat_normalize", |b| {
+        b.iter(|| kiviat::normalize(&methods, &raw, &[true, true, false, false]))
+    });
+    c.bench_function("fig7/polygon_area", |b| {
+        b.iter(|| kiviat::polygon_area(&[0.9, 0.8, 1.0, 0.7]))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench + regeneration of Fig. 8 (rBB fluctuation under S5).
+//!
+//! Prints the 12-hour rBB series summary at bench scale and measures the
+//! goal-logging evaluation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_bench::{bench_eval_jobs, bench_scale, bench_trained_mrsch};
+use mrsch_experiments::fig8;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let series = fig8::run(&scale, 2022);
+    println!(
+        "Fig. 8 (bench scale): {} samples in the 12-hour window",
+        series.samples.len()
+    );
+    let values: Vec<f64> = series.samples.iter().map(|(_, r)| *r).collect();
+    if let Some(s) = mrsch_linalg::stats::box_summary(&values) {
+        println!("  rBB range [{:.3}, {:.3}], mean {:.3}", s.min, s.max, s.mean);
+    }
+
+    let spec = WorkloadSpec::s5();
+    let jobs = bench_eval_jobs(&spec, &scale, 2022);
+    let mut agent = bench_trained_mrsch(&spec, &scale, 2022);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("evaluate_with_goal_log_s5", |b| {
+        b.iter(|| agent.evaluate_with_goal_log(&jobs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

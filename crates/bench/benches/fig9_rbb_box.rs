@@ -1,0 +1,19 @@
+//! Bench + regeneration of Fig. 9 (box plot of rBB across S1-S5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch_bench::bench_scale;
+use mrsch_experiments::fig9;
+use mrsch_linalg::stats::box_summary;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let boxes = fig9::run(&scale, 2022);
+    fig9::print(&boxes);
+
+    // Bench the summary statistic on a goal-log-sized series.
+    let series: Vec<f64> = (0..5_000).map(|i| 0.5 + 0.4 * ((i as f64) * 0.01).sin()).collect();
+    c.bench_function("fig9/box_summary_5k", |b| b.iter(|| box_summary(&series)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench of the §V-F runtime-overhead measurement: one greedy scheduling
+//! decision at the paper's full Theta network size (state dim 11410,
+//! hidden layers 4000/1000, 512-wide embedding).
+//!
+//! The paper reports <2 s (two-resource) and <3 s (three-resource) per
+//! decision; this bench regenerates those latencies on the current host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch::prelude::*;
+use mrsch_experiments::overhead;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the §V-F table once.
+    let results = overhead::run(3);
+    overhead::print(&results);
+
+    // Criterion measurement at scaled + Theta sizes.
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+
+    let mk_agent = |system: SystemConfig, theta: bool| {
+        let encoder = StateEncoder::with_hour_scale(system.clone(), 10);
+        let m = system.num_resources();
+        let cfg = if theta {
+            DfpConfig::theta(encoder.state_dim(), m, 10)
+        } else {
+            DfpConfig::scaled(encoder.state_dim(), m, 10)
+        };
+        let agent = DfpAgent::new(cfg, 7);
+        (agent, encoder.state_dim(), m)
+    };
+
+    let (mut scaled, dim, m) = mk_agent(SystemConfig::scaled(), false);
+    let state = vec![0.5f32; dim];
+    let meas = vec![0.5f32; m];
+    let goal = vec![0.5f32; m];
+    let valid = vec![true; 10];
+    group.bench_function("decision_scaled_2res", |b| {
+        b.iter(|| scaled.act(&state, &meas, &goal, &valid, false))
+    });
+
+    let (mut theta, dim, m) = mk_agent(SystemConfig::theta(), true);
+    let state = vec![0.5f32; dim];
+    let meas = vec![0.5f32; m];
+    let goal = vec![0.5f32; m];
+    group.bench_function("decision_theta_2res", |b| {
+        b.iter(|| theta.act(&state, &meas, &goal, &valid, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Substrate bench: the hand-rolled GEMM that carries every forward and
+//! backward pass, serial vs crossbeam-parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch_linalg::{gemm, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = mrsch_linalg::init::gaussian_matrix(&mut rng, 256, 512, 1.0);
+    let b = mrsch_linalg::init::gaussian_matrix(&mut rng, 512, 256, 1.0);
+
+    let mut group = c.benchmark_group("gemm_256x512x256");
+    group.bench_function("serial", |bch| {
+        bch.iter(|| gemm::matmul_with(&a, &b, gemm::ParallelPolicy::Serial))
+    });
+    group.bench_function("auto_parallel", |bch| {
+        bch.iter(|| gemm::matmul_with(&a, &b, gemm::ParallelPolicy::Auto))
+    });
+    group.finish();
+
+    // Backward-pass kernels.
+    let g = mrsch_linalg::init::gaussian_matrix(&mut rng, 256, 256, 1.0);
+    c.bench_function("gemm_backward_a_bt", |bch| {
+        bch.iter(|| gemm::matmul_a_bt(&g, &b))
+    });
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench + regeneration of Table III (workload suite materialization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsch_bench::bench_scale;
+use mrsch_experiments::table3;
+use mrsch_workload::suite::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let stats = table3::run(&scale, 2022);
+    table3::print(&stats);
+
+    let base = scale.base_trace(2022);
+    let system = scale.base_system();
+    c.bench_function("table3/build_s4_workload", |b| {
+        b.iter(|| WorkloadSpec::s4().build(&base, &system, 7))
+    });
+    c.bench_function("table3/full_suite_stats", |b| {
+        b.iter(|| table3::run(&scale, 2022))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! Vector state encoding (§III-A, sized per §IV-C).
+//!
+//! The state is a fixed-size vector concatenating:
+//!
+//! 1. **Window jobs** — `W` slots of `R + 2` elements each: the job's
+//!    demand for every resource as a fraction of capacity (`P_ij`), its
+//!    user-estimated runtime, and its queued time (both normalized by a
+//!    time scale). Empty slots are zero.
+//! 2. **Resource units** — for every unit of every pool, a pair
+//!    `(available?, normalized time-until-free)` in ascending
+//!    release-time order.
+//!
+//! For the paper's Theta configuration (`W = 10`, 4392 nodes, 1293 BB
+//! units) this yields `(2+2)·10 + 2·4392 + 2·1293 = 11410`, matching the
+//! published input size.
+
+use mrsim::policy::SchedulerView;
+use mrsim::resources::SystemConfig;
+use serde::{Deserialize, Serialize};
+
+/// Encoder of [`SchedulerView`]s into fixed-size `f32` vectors.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StateEncoder {
+    config: SystemConfig,
+    window: usize,
+    /// Seconds corresponding to 1.0 in encoded time features.
+    time_scale: f32,
+}
+
+impl StateEncoder {
+    /// Build an encoder for a system and window size. Times are
+    /// normalized by `time_scale` seconds (1 h is a sensible default for
+    /// HPC traces; see [`StateEncoder::with_hour_scale`]).
+    pub fn new(config: SystemConfig, window: usize, time_scale: f32) -> Self {
+        assert!(window > 0, "StateEncoder: window must be positive");
+        assert!(time_scale > 0.0, "StateEncoder: time scale must be positive");
+        Self { config, window, time_scale }
+    }
+
+    /// Encoder with times in hours.
+    pub fn with_hour_scale(config: SystemConfig, window: usize) -> Self {
+        Self::new(config, window, 3600.0)
+    }
+
+    /// Window size `W`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Total encoded dimension:
+    /// `W·(R+2) + 2·Σ_r capacity_r`.
+    pub fn state_dim(&self) -> usize {
+        let r = self.config.num_resources();
+        let units: u64 = self.config.capacities().iter().sum();
+        self.window * (r + 2) + 2 * units as usize
+    }
+
+    /// Encode a scheduler view. The returned vector always has length
+    /// [`StateEncoder::state_dim`].
+    pub fn encode(&self, view: &SchedulerView<'_>) -> Vec<f32> {
+        let r = self.config.num_resources();
+        let caps = self.config.capacities();
+        let mut out = Vec::with_capacity(self.state_dim());
+        // 1. Window jobs.
+        for slot in 0..self.window {
+            if let Some(jv) = view.window.get(slot) {
+                for (res, &cap) in caps.iter().enumerate() {
+                    out.push(jv.job.demand_fraction(res, cap) as f32);
+                }
+                out.push(jv.job.estimate as f32 / self.time_scale);
+                out.push(jv.queued as f32 / self.time_scale);
+            } else {
+                out.extend(std::iter::repeat_n(0.0, r + 2));
+            }
+        }
+        // 2. Per-unit resource availability.
+        for res in 0..r {
+            for (avail, ttf) in view.pools.unit_vector(res, view.now) {
+                out.push(avail);
+                out.push(ttf / self.time_scale);
+            }
+        }
+        debug_assert_eq!(out.len(), self.state_dim());
+        out
+    }
+
+    /// Validity mask over window slots: `true` where a waiting job exists.
+    pub fn valid_actions(&self, view: &SchedulerView<'_>) -> Vec<bool> {
+        (0..self.window).map(|i| i < view.window.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::job::Job;
+    use mrsim::simulator::{SimParams, Simulator};
+
+    /// Capture one view via a probe policy and run `f` on it.
+    fn with_view<Ret>(
+        system: SystemConfig,
+        jobs: Vec<Job>,
+        f: impl FnOnce(&SchedulerView<'_>) -> Ret + 'static,
+    ) -> Ret {
+        struct Probe<F, Ret> {
+            f: Option<F>,
+            out: Option<Ret>,
+        }
+        impl<F: FnOnce(&SchedulerView<'_>) -> Ret, Ret> mrsim::policy::Policy for Probe<F, Ret> {
+            fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+                if let Some(f) = self.f.take() {
+                    self.out = Some(f(view));
+                }
+                // Behave like FCFS afterwards so the run terminates.
+                (!view.window.is_empty()).then_some(0)
+            }
+        }
+        let mut probe = Probe { f: Some(f), out: None };
+        let mut sim = Simulator::new(system, jobs, SimParams::default()).unwrap();
+        sim.run(&mut probe);
+        probe.out.expect("probe never invoked")
+    }
+
+    #[test]
+    fn theta_dimension_matches_paper() {
+        let enc = StateEncoder::with_hour_scale(SystemConfig::theta(), 10);
+        assert_eq!(enc.state_dim(), 11410);
+    }
+
+    #[test]
+    fn encoded_length_always_state_dim() {
+        let system = SystemConfig::two_resource(8, 4);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 5);
+        let jobs = vec![
+            Job::new(0, 0, 3600, 7200, vec![4, 2]),
+            Job::new(1, 0, 1800, 1800, vec![8, 0]),
+        ];
+        let dim = enc.state_dim();
+        let v = with_view(system, jobs, move |view| enc.encode(view));
+        assert_eq!(v.len(), dim);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn job_slots_encode_fraction_estimate_queued() {
+        let system = SystemConfig::two_resource(8, 4);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 3);
+        let jobs = vec![Job::new(0, 0, 3600, 7200, vec![4, 1])];
+        let v = with_view(system, jobs, move |view| enc.encode(view));
+        // Slot 0: P = (0.5, 0.25), estimate 2h, queued 0h.
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!((v[1] - 0.25).abs() < 1e-6);
+        assert!((v[2] - 2.0).abs() < 1e-6);
+        assert!((v[3] - 0.0).abs() < 1e-6);
+        // Slot 1 is empty.
+        assert!(v[4..8].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn idle_units_encode_available() {
+        let system = SystemConfig::two_resource(4, 2);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 2);
+        let jobs = vec![Job::new(0, 0, 60, 60, vec![1, 1])];
+        let v = with_view(system, jobs, move |view| enc.encode(view));
+        // With an empty system at the first decision, every unit is
+        // (1.0, 0.0). Units start after 2 slots * 4 elems = 8.
+        let units = &v[8..];
+        assert_eq!(units.len(), 2 * (4 + 2));
+        for pair in units.chunks(2) {
+            assert_eq!(pair[0], 1.0);
+            assert_eq!(pair[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn valid_actions_mask_matches_window_fill() {
+        let system = SystemConfig::two_resource(4, 4);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 4);
+        let jobs = vec![
+            Job::new(0, 0, 60, 60, vec![4, 0]),
+            Job::new(1, 0, 60, 60, vec![4, 0]),
+            Job::new(2, 0, 60, 60, vec![4, 0]),
+        ];
+        // First decision sees all 3 queued jobs in a window of 4.
+        let mask = with_view(system, jobs, move |view| enc.valid_actions(view));
+        assert_eq!(mask, vec![true, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        StateEncoder::with_hour_scale(SystemConfig::two_resource(2, 2), 0);
+    }
+
+    #[test]
+    fn three_resource_encoding_has_extra_slot_and_unit_features() {
+        let system = SystemConfig::three_resource(4, 2, 3);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 2);
+        // W*(R+2) + 2*(4+2+3) = 2*5 + 18 = 28.
+        assert_eq!(enc.state_dim(), 28);
+        let jobs = vec![Job::new(0, 0, 3600, 3600, vec![2, 1, 1])];
+        let v = with_view(system, jobs, move |view| enc.encode(view));
+        assert_eq!(v.len(), 28);
+        // Slot 0 demand fractions: 0.5, 0.5, 1/3.
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!((v[2] - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

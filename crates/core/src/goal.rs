@@ -1,0 +1,119 @@
+//! Goal-vector construction: dynamic resource prioritizing (§III-B).
+//!
+//! The goal vector weights each measurement (resource utilization) in the
+//! agent's objective. MRSch computes it *dynamically* from the contention
+//! fierceness of each resource (Eq. 1); the scalar-RL baseline's fixed
+//! 50/50 weighting corresponds to [`GoalMode::Fixed`].
+
+use mrsim::policy::SchedulerView;
+use serde::{Deserialize, Serialize};
+
+/// How the goal vector is produced at each decision.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GoalMode {
+    /// Eq. (1): `r_j = Σ_i P_ij t_i / Σ_j Σ_i P_ij t_i` over all queued
+    /// and running jobs — the contentious resource gets the larger weight.
+    Dynamic,
+    /// A constant goal (e.g. `[0.5, 0.5]`, the scalar-RL extension's
+    /// implicit weighting).
+    Fixed(Vec<f64>),
+}
+
+impl GoalMode {
+    /// Uniform fixed goal over `n` resources.
+    pub fn uniform(n: usize) -> Self {
+        GoalMode::Fixed(vec![1.0 / n as f64; n])
+    }
+
+    /// Produce the goal vector (as `f32`, the network's dtype) for a
+    /// decision.
+    ///
+    /// # Panics
+    /// Panics if a fixed goal's length disagrees with the system's
+    /// resource count.
+    pub fn goal_for(&self, view: &SchedulerView<'_>) -> Vec<f32> {
+        match self {
+            GoalMode::Dynamic => view
+                .contention_weights()
+                .into_iter()
+                .map(|x| x as f32)
+                .collect(),
+            GoalMode::Fixed(g) => {
+                assert_eq!(
+                    g.len(),
+                    view.config.num_resources(),
+                    "fixed goal length must match resource count"
+                );
+                g.iter().map(|&x| x as f32).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::job::Job;
+    use mrsim::policy::{Policy, SchedulerView};
+    use mrsim::resources::SystemConfig;
+    use mrsim::simulator::{SimParams, Simulator};
+
+    fn first_goal(mode: GoalMode, jobs: Vec<Job>, system: SystemConfig) -> Vec<f32> {
+        struct Probe {
+            mode: GoalMode,
+            out: Option<Vec<f32>>,
+        }
+        impl Policy for Probe {
+            fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+                if self.out.is_none() {
+                    self.out = Some(self.mode.goal_for(view));
+                }
+                (!view.window.is_empty()).then_some(0)
+            }
+        }
+        let mut p = Probe { mode, out: None };
+        let mut sim = Simulator::new(system, jobs, SimParams::default()).unwrap();
+        sim.run(&mut p);
+        p.out.unwrap()
+    }
+
+    #[test]
+    fn dynamic_goal_tracks_contention() {
+        // BB demand-time dominates: 2 jobs want the whole buffer for long.
+        let system = SystemConfig::two_resource(100, 10);
+        let jobs = vec![
+            Job::new(0, 0, 10_000, 10_000, vec![1, 10]),
+            Job::new(1, 0, 10_000, 10_000, vec![1, 10]),
+        ];
+        let g = first_goal(GoalMode::Dynamic, jobs, system);
+        assert!(g[1] > 0.9, "BB weight should dominate: {g:?}");
+        assert!((g[0] + g[1] - 1.0).abs() < 1e-5, "weights normalize");
+    }
+
+    #[test]
+    fn fixed_goal_is_constant() {
+        let system = SystemConfig::two_resource(4, 4);
+        let jobs = vec![Job::new(0, 0, 60, 60, vec![4, 4])];
+        let g = first_goal(GoalMode::Fixed(vec![0.5, 0.5]), jobs, system);
+        assert_eq!(g, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        match GoalMode::uniform(4) {
+            GoalMode::Fixed(g) => {
+                assert_eq!(g.len(), 4);
+                assert!((g.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            }
+            _ => panic!("uniform must be Fixed"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed goal length")]
+    fn fixed_goal_length_checked() {
+        let system = SystemConfig::two_resource(4, 4);
+        let jobs = vec![Job::new(0, 0, 60, 60, vec![1, 1])];
+        first_goal(GoalMode::Fixed(vec![1.0]), jobs, system);
+    }
+}

@@ -1,0 +1,179 @@
+//! DFP hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which architecture the state module uses.
+///
+/// The original DFP processes images with a CNN; MRSch replaces it with an
+/// MLP because scheduler state has no spatial structure (§III-A). Both are
+/// implemented so the Fig. 3 ablation can be reproduced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateModuleKind {
+    /// Multilayer perceptron (MRSch's choice).
+    Mlp,
+    /// 1-D convolutional network over the state vector (original DFP's
+    /// choice, transplanted to vector input).
+    Cnn,
+}
+
+/// Full configuration of a DFP agent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DfpConfig {
+    /// Dimension of the state vector.
+    pub state_dim: usize,
+    /// Number of measurements `M` (one per schedulable resource).
+    pub measurement_dim: usize,
+    /// Number of actions `A` (the window size `W`).
+    pub num_actions: usize,
+    /// Temporal offsets (in decisions) at which future measurement
+    /// changes are predicted. DFP's canonical set is {1, 2, 4, 8, 16, 32}.
+    pub offsets: Vec<usize>,
+    /// Per-offset weights used when scoring actions (later offsets matter
+    /// most; DFP's canonical choice weights the last three).
+    pub offset_weights: Vec<f32>,
+    /// State module architecture.
+    pub state_module: StateModuleKind,
+    /// Hidden widths of the state MLP (the paper's Theta config is
+    /// [4000, 1000] with a 512-wide output).
+    pub state_hidden: Vec<usize>,
+    /// Embedding width of the state module output.
+    pub state_embed: usize,
+    /// Hidden width of the measurement/goal modules (paper: 128, 3 layers).
+    pub io_hidden: usize,
+    /// Embedding width of the measurement/goal module outputs.
+    pub io_embed: usize,
+    /// Hidden width of the expectation/action streams.
+    pub stream_hidden: usize,
+    /// Leaky-ReLU slope (paper's state module uses leaky rectifiers).
+    pub leaky_slope: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Replay capacity (experiences).
+    pub replay_capacity: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Initial exploration rate (paper: ε = 1.0).
+    pub epsilon_start: f32,
+    /// Multiplicative ε decay per episode (paper: α = 0.995).
+    pub epsilon_decay: f32,
+    /// Exploration floor.
+    pub epsilon_min: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+}
+
+impl DfpConfig {
+    /// Laptop-scale defaults for a given state dimension, measurement
+    /// count and window size. Mirrors the paper's architecture with
+    /// proportionally narrower layers.
+    pub fn scaled(state_dim: usize, measurement_dim: usize, num_actions: usize) -> Self {
+        Self {
+            state_dim,
+            measurement_dim,
+            num_actions,
+            offsets: vec![1, 2, 4, 8, 16, 32],
+            offset_weights: vec![0.0, 0.0, 0.0, 0.5, 0.5, 1.0],
+            state_module: StateModuleKind::Mlp,
+            state_hidden: vec![256, 128],
+            state_embed: 64,
+            io_hidden: 64,
+            io_embed: 32,
+            stream_hidden: 128,
+            leaky_slope: 0.01,
+            learning_rate: 1e-3,
+            replay_capacity: 20_000,
+            batch_size: 32,
+            epsilon_start: 1.0,
+            epsilon_decay: 0.995,
+            epsilon_min: 0.02,
+            grad_clip: 5.0,
+        }
+    }
+
+    /// The paper's full Theta-scale architecture (§IV-C): state module
+    /// [4000, 1000] hidden with a 512-wide output, 128-wide three-layer
+    /// measurement/goal modules. Expensive — used for parity tests and
+    /// the decision-latency benchmark, not for training runs.
+    pub fn theta(state_dim: usize, measurement_dim: usize, num_actions: usize) -> Self {
+        Self {
+            state_hidden: vec![4000, 1000],
+            state_embed: 512,
+            io_hidden: 128,
+            io_embed: 128,
+            stream_hidden: 512,
+            ..Self::scaled(state_dim, measurement_dim, num_actions)
+        }
+    }
+
+    /// `M × T`: width of one action's prediction block.
+    pub fn pred_width(&self) -> usize {
+        self.measurement_dim * self.offsets.len()
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must be non-empty".into());
+        }
+        if self.offsets.len() != self.offset_weights.len() {
+            return Err(format!(
+                "offsets ({}) and offset_weights ({}) must match",
+                self.offsets.len(),
+                self.offset_weights.len()
+            ));
+        }
+        if !self.offsets.windows(2).all(|w| w[0] < w[1]) {
+            return Err("offsets must be strictly increasing".into());
+        }
+        if self.num_actions == 0 || self.measurement_dim == 0 || self.state_dim == 0 {
+            return Err("dimensions must be positive".into());
+        }
+        if self.batch_size == 0 || self.replay_capacity < self.batch_size {
+            return Err("replay capacity must hold at least one batch".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_config_validates() {
+        let c = DfpConfig::scaled(100, 2, 10);
+        c.validate().unwrap();
+        assert_eq!(c.pred_width(), 12);
+        assert_eq!(c.epsilon_decay, 0.995, "paper's α");
+        assert_eq!(c.epsilon_start, 1.0, "paper's initial ε");
+    }
+
+    #[test]
+    fn theta_config_matches_paper_architecture() {
+        let c = DfpConfig::theta(11410, 2, 10);
+        c.validate().unwrap();
+        assert_eq!(c.state_hidden, vec![4000, 1000]);
+        assert_eq!(c.state_embed, 512);
+        assert_eq!(c.io_hidden, 128);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.offsets = vec![];
+        assert!(c.validate().is_err());
+
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.offsets = vec![1, 1];
+        c.offset_weights = vec![0.5, 0.5];
+        assert!(c.validate().is_err());
+
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.offset_weights = vec![1.0];
+        assert!(c.validate().is_err());
+
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.replay_capacity = 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Experience replay memory.
+//!
+//! DFP trains on randomly sampled minibatches of past experiences. Each
+//! experience stores the inputs at decision time plus the *observed*
+//! future measurement changes (the regression targets) and a validity
+//! mask (offsets that ran past the episode end are masked out).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One training sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Experience {
+    /// State vector at decision time.
+    pub state: Vec<f32>,
+    /// Measurement vector at decision time.
+    pub meas: Vec<f32>,
+    /// Goal vector at decision time.
+    pub goal: Vec<f32>,
+    /// Action taken (window index).
+    pub action: usize,
+    /// Observed future measurement changes, layout `offset-major`
+    /// (`τ·M + m`), length `M·T`.
+    pub targets: Vec<f32>,
+    /// 1.0 where the target is valid, 0.0 where the offset exceeded the
+    /// episode; same layout/length as `targets`.
+    pub mask: Vec<f32>,
+}
+
+/// Fixed-capacity ring buffer of experiences with uniform sampling.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    items: Vec<Experience>,
+    next: usize,
+    total_pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Buffer holding at most `capacity` experiences.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ReplayBuffer: capacity must be positive");
+        Self { capacity, items: Vec::new(), next: 0, total_pushed: 0 }
+    }
+
+    /// Insert an experience, evicting the oldest once full.
+    pub fn push(&mut self, exp: Experience) {
+        if self.items.len() < self.capacity {
+            self.items.push(exp);
+        } else {
+            self.items[self.next] = exp;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.total_pushed += 1;
+    }
+
+    /// Number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lifetime number of pushes (≥ `len`).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Sample `n` experiences uniformly with replacement.
+    ///
+    /// Returns references; empty buffer yields an empty vector.
+    pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, n: usize) -> Vec<&'a Experience> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exp(tag: f32) -> Experience {
+        Experience {
+            state: vec![tag],
+            meas: vec![tag],
+            goal: vec![tag],
+            action: 0,
+            targets: vec![tag; 2],
+            mask: vec![1.0; 2],
+        }
+    }
+
+    #[test]
+    fn push_grows_until_capacity() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(exp(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.total_pushed(), 5);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(exp(0.0));
+        buf.push(exp(1.0));
+        buf.push(exp(2.0)); // evicts 0.0
+        let tags: Vec<f32> = buf.items.iter().map(|e| e.state[0]).collect();
+        assert!(tags.contains(&1.0) && tags.contains(&2.0) && !tags.contains(&0.0));
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(exp(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(buf.sample(&mut rng, 7).len(), 7);
+        assert!(ReplayBuffer::new(5).sample(&mut rng, 3).is_empty());
+    }
+
+    #[test]
+    fn sample_covers_buffer_eventually() {
+        let mut buf = ReplayBuffer::new(8);
+        for i in 0..8 {
+            buf.push(exp(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for e in buf.sample(&mut rng, 400) {
+            seen.insert(e.state[0] as i64);
+        }
+        assert_eq!(seen.len(), 8, "uniform sampling should hit every slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Run the design-choice ablations (goal mode, starvation guards, window
+//! size) at full scale.
+use mrsch_experiments::{ablation, csv, ExpScale};
+
+fn main() {
+    let scale = ExpScale::full();
+    let goal = ablation::goal_mode(&scale, 2022);
+    ablation::print("dynamic vs fixed goal (S5)", &goal);
+    let guards = ablation::starvation_guards(&scale, 2022);
+    ablation::print("starvation guards on/off (S4)", &guards);
+    let windows = ablation::window_size(&scale, 2022, &[1, 5, 10, 20]);
+    ablation::print("window size (S4)", &windows);
+    let mut all = goal;
+    all.extend(guards);
+    all.extend(windows);
+    let (header, rows) = ablation::csv_rows(&all);
+    if let Ok(path) = csv::write_results("ablation", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

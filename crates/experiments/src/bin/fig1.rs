@@ -1,0 +1,7 @@
+//! Regenerate Fig. 1 (motivating example).
+use mrsch_experiments::fig1;
+
+fn main() {
+    let result = fig1::run();
+    fig1::print(&result);
+}

@@ -1,0 +1,11 @@
+//! Regenerate Fig. 10 (three-resource case study on S6-S10).
+use mrsch_experiments::{csv, fig10, ExpScale};
+
+fn main() {
+    let charts = fig10::run(&ExpScale::full(), 2022);
+    fig10::print(&charts);
+    let (header, rows) = fig10::csv_rows(&charts);
+    if let Ok(path) = csv::write_results("fig10", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

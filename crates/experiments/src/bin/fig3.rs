@@ -1,0 +1,11 @@
+//! Regenerate Fig. 3 (MLP vs CNN state module).
+use mrsch_experiments::{csv, fig3, ExpScale};
+
+fn main() {
+    let rows = fig3::run(&ExpScale::full(), 2022);
+    fig3::print(&rows);
+    let (header, data) = fig3::csv_rows(&rows);
+    if let Ok(path) = csv::write_results("fig3", &header, &data) {
+        println!("wrote {path}");
+    }
+}

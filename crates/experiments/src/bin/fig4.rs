@@ -1,0 +1,11 @@
+//! Regenerate Fig. 4 (training-curriculum orderings).
+use mrsch_experiments::{csv, fig4, ExpScale};
+
+fn main() {
+    let curves = fig4::run(&ExpScale::full(), 2022);
+    fig4::print(&curves);
+    let (header, rows) = fig4::csv_rows(&curves);
+    if let Ok(path) = csv::write_results("fig4", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerate Fig. 5 (system-level metrics, four methods on S1-S5).
+use mrsch_experiments::comparison::run_suite;
+use mrsch_experiments::{csv, fig5, ExpScale};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn main() {
+    let results = run_suite(&WorkloadSpec::two_resource_suite(), &ExpScale::full(), 2022);
+    fig5::print(&results);
+    let (header, rows) = fig5::csv_rows(&results);
+    if let Ok(path) = csv::write_results("fig5", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

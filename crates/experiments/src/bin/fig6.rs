@@ -1,0 +1,15 @@
+//! Regenerate Fig. 6 (user-level metrics, four methods on S1-S5).
+use mrsch_experiments::comparison::run_suite;
+use mrsch_experiments::{csv, fig6, ExpScale};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn main() {
+    let results = run_suite(&WorkloadSpec::two_resource_suite(), &ExpScale::full(), 2022);
+    fig6::print(&results);
+    let (wait_pct, sd_pct) = fig6::mrsch_improvements(&results);
+    println!("MRSch best wait reduction: {wait_pct:.1}% ; best slowdown reduction: {sd_pct:.1}%");
+    let (header, rows) = fig6::csv_rows(&results);
+    if let Ok(path) = csv::write_results("fig6", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerate Fig. 7 (Kiviat charts, four methods on S1-S5).
+use mrsch_experiments::comparison::run_suite;
+use mrsch_experiments::{csv, fig7, ExpScale};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn main() {
+    let results = run_suite(&WorkloadSpec::two_resource_suite(), &ExpScale::full(), 2022);
+    let charts = fig7::run(&results);
+    fig7::print(&charts);
+    println!("MRSch largest area on every workload: {}", fig7::mrsch_wins_everywhere(&charts));
+    let (header, rows) = fig7::csv_rows(&charts);
+    if let Ok(path) = csv::write_results("fig7", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

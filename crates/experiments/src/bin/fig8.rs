@@ -1,0 +1,11 @@
+//! Regenerate Fig. 8 (rBB fluctuation over 12 hours under S5).
+use mrsch_experiments::{csv, fig8, ExpScale};
+
+fn main() {
+    let series = fig8::run(&ExpScale::full(), 2022);
+    fig8::print(&series);
+    let (header, rows) = fig8::csv_rows(&series);
+    if let Ok(path) = csv::write_results("fig8", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

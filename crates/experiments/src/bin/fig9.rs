@@ -1,0 +1,11 @@
+//! Regenerate Fig. 9 (box plot of rBB across S1-S5).
+use mrsch_experiments::{csv, fig9, ExpScale};
+
+fn main() {
+    let boxes = fig9::run(&ExpScale::full(), 2022);
+    fig9::print(&boxes);
+    let (header, rows) = fig9::csv_rows(&boxes);
+    if let Ok(path) = csv::write_results("fig9", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Generate a synthetic Theta-like trace and write it as SWF — handy for
+//! demoing `mrsch_cli` and for feeding other SWF consumers.
+//!
+//! ```text
+//! gen_swf <machine_nodes> <num_jobs> <seed> > trace.swf
+//! ```
+use mrsch_workload::swf::to_swf;
+use mrsch_workload::theta::ThetaConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let cfg = ThetaConfig { machine_nodes: nodes, ..ThetaConfig::scaled(jobs) };
+    print!("{}", to_swf(&cfg.generate(seed)));
+}

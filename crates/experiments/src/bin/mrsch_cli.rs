@@ -1,0 +1,25 @@
+//! `mrsch_cli` — run MRSch and the baseline schedulers on SWF traces.
+//!
+//! ```text
+//! mrsch_cli --swf trace.swf --workload S4 --nodes 256 --bb 75 --policy mrsch
+//! ```
+use mrsch_experiments::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!(
+            "usage: mrsch_cli --swf FILE [--workload S1..S10] [--nodes N] [--bb B] \
+             [--policy fcfs|sjf|ljf|ga|mrsch] [--window W] [--seed S] \
+             [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt]"
+        );
+        std::process::exit(2);
+    }
+    match cli::main_with_args(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Multi-seed replication of the method comparison on S4 and S5.
+use mrsch_experiments::{csv, multi_seed, ExpScale};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn main() {
+    let scale = ExpScale::full();
+    let seeds = [2022, 2023, 2024];
+    let mut all = Vec::new();
+    for spec in [WorkloadSpec::s4(), WorkloadSpec::s5()] {
+        let rows = multi_seed::run_workload_multi_seed(&spec, &scale, &seeds);
+        multi_seed::print(&rows);
+        all.extend(rows);
+    }
+    let (header, rows) = multi_seed::csv_rows(&all);
+    if let Ok(path) = csv::write_results("multi_seed", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerate the §V-F decision-latency measurement.
+use mrsch_experiments::overhead;
+
+fn main() {
+    let results = overhead::run(10);
+    overhead::print(&results);
+}

@@ -1,0 +1,11 @@
+//! Regenerate Table III (workload suite definitions, realized).
+use mrsch_experiments::{csv, table3, ExpScale};
+
+fn main() {
+    let stats = table3::run(&ExpScale::full(), 2022);
+    table3::print(&stats);
+    let (header, rows) = table3::csv_rows(&stats);
+    if let Ok(path) = csv::write_results("table3", &header, &rows) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Command-line interface (`mrsch_cli`): train, evaluate and compare
+//! schedulers on SWF traces without writing Rust.
+//!
+//! ```text
+//! mrsch_cli simulate --swf trace.swf --workload S4 --nodes 256 --bb 75 \
+//!           --policy fcfs|sjf|ljf|ga|mrsch [--window 10] [--seed 1] \
+//!           [--train-episodes 4] [--model out.ckpt | --load model.ckpt]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the offline dependency policy has no
+//! clap) and lives here, separately from the thin binary, so it is unit
+//! tested.
+
+use crate::csv;
+use mrsch::prelude::*;
+use mrsch_baselines::heuristics::{ListOrder, ListPolicy};
+use mrsch_baselines::{FcfsPolicy, GaPolicy};
+use mrsch_workload::swf::parse_swf;
+use mrsch_workload::theta::TraceJob;
+
+/// Which scheduler the CLI should run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliPolicy {
+    /// FCFS (the paper's Heuristic).
+    Fcfs,
+    /// Shortest-job-first.
+    Sjf,
+    /// Longest-job-first.
+    Ljf,
+    /// NSGA-II window optimizer.
+    Ga,
+    /// The MRSch DFP agent (optionally trained first).
+    Mrsch,
+}
+
+/// Parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliArgs {
+    /// Path to the SWF trace.
+    pub swf: String,
+    /// Workload name, "S1"…"S10".
+    pub workload: String,
+    /// Machine nodes.
+    pub nodes: u64,
+    /// Burst-buffer units.
+    pub bb: u64,
+    /// Scheduler to run.
+    pub policy: CliPolicy,
+    /// Window size.
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Training episodes before evaluation (MRSch only).
+    pub train_episodes: usize,
+    /// Write the trained model checkpoint here (MRSch only).
+    pub model_out: Option<String>,
+    /// Load a checkpoint instead of training (MRSch only).
+    pub model_in: Option<String>,
+}
+
+/// Parse `simulate`-style arguments (everything after the subcommand).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs {
+        swf: String::new(),
+        workload: "S1".into(),
+        nodes: 256,
+        bb: 75,
+        policy: CliPolicy::Fcfs,
+        window: 10,
+        seed: 1,
+        train_episodes: 4,
+        model_out: None,
+        model_in: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--swf" => out.swf = value("--swf")?,
+            "--workload" => out.workload = value("--workload")?.to_uppercase(),
+            "--nodes" => {
+                out.nodes = value("--nodes")?.parse().map_err(|_| "--nodes: not a number")?
+            }
+            "--bb" => out.bb = value("--bb")?.parse().map_err(|_| "--bb: not a number")?,
+            "--policy" => {
+                out.policy = match value("--policy")?.as_str() {
+                    "fcfs" => CliPolicy::Fcfs,
+                    "sjf" => CliPolicy::Sjf,
+                    "ljf" => CliPolicy::Ljf,
+                    "ga" => CliPolicy::Ga,
+                    "mrsch" => CliPolicy::Mrsch,
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--window" => {
+                out.window =
+                    value("--window")?.parse().map_err(|_| "--window: not a number")?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?.parse().map_err(|_| "--seed: not a number")?
+            }
+            "--train-episodes" => {
+                out.train_episodes = value("--train-episodes")?
+                    .parse()
+                    .map_err(|_| "--train-episodes: not a number")?
+            }
+            "--model" => out.model_out = Some(value("--model")?),
+            "--load" => out.model_in = Some(value("--load")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if out.swf.is_empty() {
+        return Err("--swf <file> is required".into());
+    }
+    if out.window == 0 {
+        return Err("--window must be positive".into());
+    }
+    find_spec(&out.workload)?;
+    Ok(out)
+}
+
+/// Resolve a workload name to its spec.
+pub fn find_spec(name: &str) -> Result<WorkloadSpec, String> {
+    let mut all = WorkloadSpec::two_resource_suite();
+    all.extend(WorkloadSpec::three_resource_suite());
+    all.into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown workload '{name}' (expected S1..S10)"))
+}
+
+/// Run a parsed invocation over an already-loaded trace, returning the
+/// simulator report (separated from I/O for testability).
+pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, String> {
+    let spec = find_spec(&args.workload)?;
+    let base = SystemConfig::two_resource(args.nodes, args.bb);
+    let system = spec.system_for(&base);
+    let jobs = spec.build(trace, &system, args.seed);
+    let params = SimParams { window: args.window, backfill: true };
+    let report = match args.policy {
+        CliPolicy::Fcfs => Simulator::new(system, jobs, params)
+            .map_err(|e| e.to_string())?
+            .run(&mut FcfsPolicy::default()),
+        CliPolicy::Sjf => Simulator::new(system, jobs, params)
+            .map_err(|e| e.to_string())?
+            .run(&mut ListPolicy::new(ListOrder::ShortestFirst)),
+        CliPolicy::Ljf => Simulator::new(system, jobs, params)
+            .map_err(|e| e.to_string())?
+            .run(&mut ListPolicy::new(ListOrder::LongestFirst)),
+        CliPolicy::Ga => Simulator::new(system, jobs, params)
+            .map_err(|e| e.to_string())?
+            .run(&mut GaPolicy::with_seed(args.seed)),
+        CliPolicy::Mrsch => {
+            let mut agent = MrschBuilder::new(system, params).seed(args.seed).build();
+            if let Some(path) = &args.model_in {
+                let data = std::fs::read(path).map_err(|e| format!("--load: {e}"))?;
+                agent
+                    .agent_mut()
+                    .network_mut()
+                    .load_checkpoint(&data)
+                    .map_err(|e| format!("--load: {e}"))?;
+            } else {
+                // Train on the first 60% of the trace, evaluate on all of it.
+                let cut = trace.len() * 3 / 5;
+                let train_spec = find_spec(&args.workload)?;
+                let train_jobs = train_spec.build(
+                    &trace[..cut.max(1)],
+                    agent.system(),
+                    args.seed + 1,
+                );
+                for _ in 0..args.train_episodes {
+                    agent.train_episode(&train_jobs);
+                }
+            }
+            if let Some(path) = &args.model_out {
+                let ckpt = agent.agent_mut().network_mut().save_checkpoint();
+                std::fs::write(path, &ckpt).map_err(|e| format!("--model: {e}"))?;
+            }
+            agent.evaluate(&jobs)
+        }
+    };
+    Ok(report)
+}
+
+/// Full entry point: load the SWF, run, and render the report.
+pub fn main_with_args(args: &[String]) -> Result<String, String> {
+    let parsed = parse_args(args)?;
+    let text = std::fs::read_to_string(&parsed.swf)
+        .map_err(|e| format!("reading {}: {e}", parsed.swf))?;
+    let trace = parse_swf(&text).map_err(|e| e.to_string())?;
+    if trace.is_empty() {
+        return Err("trace contains no usable jobs".into());
+    }
+    let report = run_on_trace(&parsed, &trace)?;
+    Ok(render_report(&parsed, &report))
+}
+
+/// Render a report as the CLI's output table.
+pub fn render_report(args: &CliArgs, report: &SimReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "policy={:?} workload={} jobs={} makespan={}s\n",
+        args.policy, args.workload, report.jobs_completed, report.makespan
+    ));
+    for (name, util) in report.resource_names.iter().zip(&report.resource_utilization) {
+        out.push_str(&format!("  {name:<18} utilization {}\n", csv::f(*util)));
+    }
+    out.push_str(&format!(
+        "  avg wait {} h | max wait {} h | avg slowdown {} | backfilled {}\n",
+        csv::f(report.avg_wait_hours()),
+        csv::f(report.max_wait as f64 / 3600.0),
+        csv::f(report.avg_slowdown),
+        report.backfilled_jobs
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsch_workload::theta::ThetaConfig;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_args(&args(&[
+            "--swf", "t.swf", "--workload", "s4", "--nodes", "64", "--bb", "20",
+            "--policy", "mrsch", "--window", "5", "--seed", "9",
+            "--train-episodes", "2", "--model", "out.ckpt",
+        ]))
+        .unwrap();
+        assert_eq!(a.workload, "S4");
+        assert_eq!(a.nodes, 64);
+        assert_eq!(a.policy, CliPolicy::Mrsch);
+        assert_eq!(a.window, 5);
+        assert_eq!(a.model_out.as_deref(), Some("out.ckpt"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["--workload", "S1"])).is_err(), "missing swf");
+        assert!(parse_args(&args(&["--swf", "t", "--policy", "bogus"])).is_err());
+        assert!(parse_args(&args(&["--swf", "t", "--workload", "S99"])).is_err());
+        assert!(parse_args(&args(&["--swf", "t", "--nodes"])).is_err(), "dangling flag");
+        assert!(parse_args(&args(&["--swf", "t", "--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn runs_every_policy_on_a_synthetic_trace() {
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(40) }.generate(3);
+        for policy in ["fcfs", "sjf", "ljf", "ga"] {
+            let a = parse_args(&args(&[
+                "--swf", "unused.swf", "--workload", "S1", "--nodes", "16", "--bb", "8",
+                "--policy", policy, "--window", "4",
+            ]))
+            .unwrap();
+            let report = run_on_trace(&a, &trace).unwrap();
+            assert_eq!(report.jobs_completed, 40, "{policy}");
+        }
+    }
+
+    #[test]
+    fn mrsch_policy_trains_and_checkpoints() {
+        let dir = std::env::temp_dir().join("mrsch_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.ckpt");
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(40) }.generate(4);
+        let a = parse_args(&args(&[
+            "--swf", "unused.swf", "--workload", "S2", "--nodes", "16", "--bb", "8",
+            "--policy", "mrsch", "--window", "4", "--train-episodes", "1",
+            "--model", model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let r1 = run_on_trace(&a, &trace).unwrap();
+        assert_eq!(r1.jobs_completed, 40);
+        assert!(model.exists(), "checkpoint written");
+        // Reload: must reproduce the identical schedule.
+        let b = parse_args(&args(&[
+            "--swf", "unused.swf", "--workload", "S2", "--nodes", "16", "--bb", "8",
+            "--policy", "mrsch", "--window", "4",
+            "--load", model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let r2 = run_on_trace(&b, &trace).unwrap();
+        assert_eq!(r1.records, r2.records, "checkpoint roundtrip via CLI");
+    }
+
+    #[test]
+    fn render_includes_all_metrics() {
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(20) }.generate(5);
+        let a = parse_args(&args(&[
+            "--swf", "x.swf", "--workload", "S1", "--nodes", "16", "--bb", "8",
+        ]))
+        .unwrap();
+        let report = run_on_trace(&a, &trace).unwrap();
+        let text = render_report(&a, &report);
+        assert!(text.contains("utilization"));
+        assert!(text.contains("avg wait"));
+        assert!(text.contains("workload=S1"));
+    }
+}

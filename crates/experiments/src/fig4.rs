@@ -1,0 +1,125 @@
+//! Fig. 4 — convergence under the six curriculum orderings (§III-D).
+//!
+//! Trains one fresh agent per ordering of {sampled, real, synthetic} job
+//! sets and records the evaluation loss after every episode. The paper's
+//! finding: *sampled → real → synthetic* converges fastest to the lowest
+//! MSE.
+
+use crate::csv;
+use crate::scale::ExpScale;
+use mrsch::prelude::*;
+use mrsch_workload::jobset::{curriculum, CurriculumOrder};
+use mrsch_workload::split::paper_split;
+
+/// Loss curve for one curriculum ordering.
+#[derive(Clone, Debug)]
+pub struct Fig4Curve {
+    /// Legend label, e.g. `"Sampled+Real+Synthetic"`.
+    pub label: String,
+    /// Evaluation loss after each training episode.
+    pub losses: Vec<f32>,
+}
+
+/// Train one agent per ordering and collect loss curves.
+pub fn run(scale: &ExpScale, seed: u64) -> Vec<Fig4Curve> {
+    let spec = WorkloadSpec::s1();
+    let trace = scale.base_trace(seed);
+    let split = paper_split(&trace);
+    CurriculumOrder::all()
+        .into_iter()
+        .map(|order| {
+            let sets = curriculum(
+                order,
+                &split.train,
+                &scale.trace_config(),
+                scale.sets_per_phase,
+                scale.jobs_per_set,
+                seed ^ 0xF194,
+            );
+            let mut mrsch = MrschBuilder::new(scale.base_system(), scale.sim_params())
+                .seed(seed)
+                .batches_per_episode(scale.batches_per_episode)
+                .build();
+            let mut losses = Vec::new();
+            for round in 0..scale.train_rounds {
+                let outcome =
+                    mrsch.train_curriculum(&sets, &spec, seed.wrapping_add(round as u64));
+                losses.extend(outcome.episode_losses);
+            }
+            Fig4Curve { label: order.label(), losses }
+        })
+        .collect()
+}
+
+/// Print the loss curves as rows (one column per episode).
+pub fn print(curves: &[Fig4Curve]) {
+    println!("Fig. 4 — training loss by curriculum ordering");
+    for c in curves {
+        let series: Vec<String> = c.losses.iter().map(|l| format!("{l:.4}")).collect();
+        println!("  {:<28} {}", c.label, series.join(" "));
+    }
+    if let Some(best) = best_final(curves) {
+        println!("  => lowest final loss: {best}");
+    }
+}
+
+/// Label of the ordering with the lowest final (finite) loss.
+pub fn best_final(curves: &[Fig4Curve]) -> Option<String> {
+    curves
+        .iter()
+        .filter_map(|c| {
+            c.losses
+                .iter()
+                .rev()
+                .find(|l| l.is_finite())
+                .map(|l| (c.label.clone(), *l))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(label, _)| label)
+}
+
+/// CSV rows for `results/fig4.csv`: one row per (ordering, episode).
+pub fn csv_rows(curves: &[Fig4Curve]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec!["ordering", "episode", "loss"];
+    let rows = curves
+        .iter()
+        .flat_map(|c| {
+            c.losses.iter().enumerate().map(move |(i, l)| {
+                vec![c.label.clone(), i.to_string(), csv::f(*l as f64)]
+            })
+        })
+        .collect();
+    (header, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_curves_with_expected_lengths() {
+        let mut scale = ExpScale::quick();
+        scale.jobs_per_set = 15;
+        scale.batches_per_episode = 2;
+        let curves = run(&scale, 21);
+        assert_eq!(curves.len(), 6);
+        let expected = scale.sets_per_phase * 3 * scale.train_rounds;
+        for c in &curves {
+            assert_eq!(c.losses.len(), expected);
+        }
+        // Labels are the six distinct orderings.
+        let mut labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn best_final_returns_some_label() {
+        let curves = vec![
+            Fig4Curve { label: "a".into(), losses: vec![1.0, 0.5] },
+            Fig4Curve { label: "b".into(), losses: vec![1.0, 0.2] },
+        ];
+        assert_eq!(best_final(&curves), Some("b".into()));
+    }
+}

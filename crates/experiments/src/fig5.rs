@@ -1,0 +1,75 @@
+//! Fig. 5 — system-level metrics: node and burst-buffer utilization for
+//! the four methods on S1–S5.
+
+use crate::comparison::Comparison;
+use crate::csv;
+
+/// Print the two panels of Fig. 5.
+pub fn print(results: &[Comparison]) {
+    println!("Fig. 5 — system-level metrics (utilization %)");
+    println!(
+        "{:<4} {:<14} {:>10} {:>10}",
+        "wl", "method", "node util", "bb util"
+    );
+    for r in results {
+        println!(
+            "{:<4} {:<14} {:>10.1} {:>10.1}",
+            r.workload,
+            r.method.label(),
+            100.0 * r.report.resource_utilization[0],
+            100.0 * r.report.resource_utilization[1],
+        );
+    }
+}
+
+/// CSV rows for `results/fig5.csv`.
+pub fn csv_rows(results: &[Comparison]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec!["workload", "method", "node_util", "bb_util"];
+    let rows = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.method.label().to_string(),
+                csv::f(r.report.resource_utilization[0]),
+                csv::f(r.report.resource_utilization[1]),
+            ]
+        })
+        .collect();
+    (header, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparison::MethodName;
+    use mrsim::metrics::{MetricsCollector, SimReport};
+
+    fn fake(workload: &str, method: MethodName, node: f64, bb: f64) -> Comparison {
+        let mc = MetricsCollector::new(2);
+        let mut report = SimReport::assemble(
+            vec!["nodes".into(), "burst_buffer_tb".into()],
+            vec![],
+            &mc,
+            &[1, 1],
+            0,
+            0,
+            0,
+        );
+        report.resource_utilization = vec![node, bb];
+        Comparison { method, workload: workload.into(), report }
+    }
+
+    #[test]
+    fn csv_rows_align_with_results() {
+        let results = vec![
+            fake("S1", MethodName::Mrsch, 0.9, 0.5),
+            fake("S1", MethodName::Heuristic, 0.6, 0.3),
+        ];
+        let (header, rows) = csv_rows(&results);
+        assert_eq!(header.len(), 4);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], "MRSch");
+        assert_eq!(rows[0][2], "0.9000");
+    }
+}

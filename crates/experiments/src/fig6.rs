@@ -1,0 +1,123 @@
+//! Fig. 6 — user-level metrics: average job wait time (hours) and average
+//! job slowdown for the four methods on S1–S5.
+
+use crate::comparison::Comparison;
+use crate::csv;
+
+/// Print the two panels of Fig. 6.
+pub fn print(results: &[Comparison]) {
+    println!("Fig. 6 — user-level metrics");
+    println!(
+        "{:<4} {:<14} {:>12} {:>12}",
+        "wl", "method", "wait (h)", "slowdown"
+    );
+    for r in results {
+        println!(
+            "{:<4} {:<14} {:>12.3} {:>12.3}",
+            r.workload,
+            r.method.label(),
+            r.report.avg_wait_hours(),
+            r.report.avg_slowdown,
+        );
+    }
+}
+
+/// CSV rows for `results/fig6.csv`.
+pub fn csv_rows(results: &[Comparison]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec!["workload", "method", "avg_wait_h", "avg_slowdown"];
+    let rows = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.method.label().to_string(),
+                csv::f(r.report.avg_wait_hours()),
+                csv::f(r.report.avg_slowdown),
+            ]
+        })
+        .collect();
+    (header, rows)
+}
+
+/// Best improvement of MRSch over every other method, as
+/// `(wait_reduction_pct, slowdown_reduction_pct)` maxima across the suite
+/// — the paper headline is "up to 48 % / 41 %".
+pub fn mrsch_improvements(results: &[Comparison]) -> (f64, f64) {
+    use crate::comparison::MethodName;
+    let mut best_wait = 0.0f64;
+    let mut best_sd = 0.0f64;
+    let workloads: Vec<&str> = {
+        let mut w: Vec<&str> = results.iter().map(|r| r.workload.as_str()).collect();
+        w.dedup();
+        w
+    };
+    for wl in workloads {
+        let of = |m: MethodName| {
+            results
+                .iter()
+                .find(|r| r.workload == wl && r.method == m)
+                .map(|r| (r.report.avg_wait_hours(), r.report.avg_slowdown))
+        };
+        if let Some((m_wait, m_sd)) = of(MethodName::Mrsch) {
+            for other in [MethodName::Optimization, MethodName::ScalarRl, MethodName::Heuristic]
+            {
+                if let Some((o_wait, o_sd)) = of(other) {
+                    if o_wait > 1e-9 {
+                        best_wait = best_wait.max(100.0 * (o_wait - m_wait) / o_wait);
+                    }
+                    if o_sd > 1e-9 {
+                        best_sd = best_sd.max(100.0 * (o_sd - m_sd) / o_sd);
+                    }
+                }
+            }
+        }
+    }
+    (best_wait, best_sd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparison::MethodName;
+    use mrsim::job::JobRecord;
+    use mrsim::metrics::{MetricsCollector, SimReport};
+
+    fn fake(workload: &str, method: MethodName, wait_s: u64) -> Comparison {
+        let mc = MetricsCollector::new(2);
+        let records = vec![JobRecord {
+            id: 0,
+            submit: 0,
+            start: wait_s,
+            end: wait_s + 100,
+            backfilled: false,
+        }];
+        let report = SimReport::assemble(
+            vec!["nodes".into(), "burst_buffer_tb".into()],
+            records,
+            &mc,
+            &[1, 1],
+            wait_s + 100,
+            1,
+            1,
+        );
+        Comparison { method, workload: workload.into(), report }
+    }
+
+    #[test]
+    fn improvements_measure_reduction() {
+        let results = vec![
+            fake("S1", MethodName::Mrsch, 3600),     // 1 h wait
+            fake("S1", MethodName::Heuristic, 7200), // 2 h wait
+        ];
+        let (wait_pct, _) = mrsch_improvements(&results);
+        assert!((wait_pct - 50.0).abs() < 1e-9, "50% reduction, got {wait_pct}");
+    }
+
+    #[test]
+    fn csv_rows_shape() {
+        let results = vec![fake("S2", MethodName::ScalarRl, 100)];
+        let (header, rows) = csv_rows(&results);
+        assert_eq!(rows[0].len(), header.len());
+        assert_eq!(rows[0][1], "Scalar RL");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 8 — fluctuation of `rBB` (the burst-buffer goal weight, Eq. 1)
+//! over a 12-hour window under the S5 workload.
+//!
+//! A trained MRSch agent is evaluated on S5 with goal logging; the
+//! resulting `(time, rBB)` series is windowed to 12 simulated hours.
+
+use crate::comparison::train_mrsch;
+use crate::csv;
+use crate::scale::ExpScale;
+use mrsch::prelude::*;
+use mrsch_workload::split::paper_split;
+use mrsim::SimTime;
+
+/// The `rBB` time series.
+#[derive(Clone, Debug)]
+pub struct Fig8Series {
+    /// `(time in seconds, rBB)` samples at each scheduling decision
+    /// within the selected window.
+    pub samples: Vec<(SimTime, f64)>,
+    /// Start of the 12-hour window.
+    pub window_start: SimTime,
+}
+
+/// Duration of the plotted window: 12 hours.
+pub const WINDOW_SECS: SimTime = 12 * 3600;
+
+/// Train on S5, evaluate with goal logging, and slice a 12-hour window
+/// (starting at one quarter of the trace, a deterministic stand-in for
+/// the paper's "randomly selected 12 hours").
+pub fn run(scale: &ExpScale, seed: u64) -> Fig8Series {
+    let spec = WorkloadSpec::s5();
+    let system = spec.system_for(&scale.base_system());
+    let trace = scale.base_trace(seed);
+    let split = paper_split(&trace);
+    let mut test = split.test;
+    test.truncate(scale.eval_jobs);
+    let jobs = spec.build(&test, &system, seed ^ 0xEA1);
+    let mut agent = train_mrsch(&spec, scale, seed, StateModuleKind::Mlp);
+    let (_report, log) = agent.evaluate_with_goal_log(&jobs);
+    let horizon = log.last().map(|(t, _)| *t).unwrap_or(0);
+    let window_start = horizon / 4;
+    let samples = log
+        .iter()
+        .filter(|(t, _)| *t >= window_start && *t < window_start + WINDOW_SECS)
+        .map(|(t, g)| (*t, g[1] as f64))
+        .collect();
+    Fig8Series { samples, window_start }
+}
+
+/// Print the series.
+pub fn print(series: &Fig8Series) {
+    println!(
+        "Fig. 8 — rBB over a 12-hour window (start at t={} s), {} samples",
+        series.window_start,
+        series.samples.len()
+    );
+    for (t, r) in &series.samples {
+        println!("  t={:>8} s  rBB={:.4}", t - series.window_start, r);
+    }
+    let values: Vec<f64> = series.samples.iter().map(|(_, r)| *r).collect();
+    if let Some(s) = mrsch_linalg::stats::box_summary(&values) {
+        println!("  range [{:.3}, {:.3}], mean {:.3}", s.min, s.max, s.mean);
+    }
+}
+
+/// CSV rows for `results/fig8.csv`.
+pub fn csv_rows(series: &Fig8Series) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec!["t_seconds", "r_bb"];
+    let rows = series
+        .samples
+        .iter()
+        .map(|(t, r)| vec![(t - series.window_start).to_string(), csv::f(*r)])
+        .collect();
+    (header, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_windowed_and_in_unit_interval() {
+        let mut scale = ExpScale::quick();
+        scale.eval_jobs = 40;
+        scale.jobs_per_set = 15;
+        scale.batches_per_episode = 2;
+        let series = run(&scale, 31);
+        assert!(!series.samples.is_empty(), "window must contain decisions");
+        for (t, r) in &series.samples {
+            assert!(*t >= series.window_start && *t < series.window_start + WINDOW_SECS);
+            assert!((0.0..=1.0).contains(r), "rBB {r} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn rbb_fluctuates_under_s5() {
+        // The paper's point: the weight is dynamic, not constant 0.5.
+        let mut scale = ExpScale::quick();
+        scale.eval_jobs = 60;
+        scale.jobs_per_set = 15;
+        scale.batches_per_episode = 2;
+        let series = run(&scale, 32);
+        let values: Vec<f64> = series.samples.iter().map(|(_, r)| *r).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.01, "rBB should fluctuate: [{min}, {max}]");
+    }
+}

@@ -1,0 +1,135 @@
+//! Kiviat-chart normalization (Figs. 7 and 10).
+//!
+//! The paper normalizes each metric to `[0, 1]` across methods, where 1
+//! is the best method for that metric. Utilizations (and average system
+//! power) are higher-better and divide by the per-metric maximum; wait
+//! and slowdown are plotted as reciprocals (`1/x`) and then normalized
+//! the same way.
+
+/// One method's normalized axes for a single workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KiviatRow {
+    /// Method name.
+    pub method: String,
+    /// Normalized axis values in `[0, 1]`, aligned with the axis list.
+    pub axes: Vec<f64>,
+}
+
+/// Normalize raw metric values into Kiviat axes.
+///
+/// `raw[i][k]` is the raw value of metric `k` for method `i`;
+/// `higher_better[k]` says whether metric `k` is maximized (utilization)
+/// or minimized (wait, slowdown — these are inverted first).
+pub fn normalize(
+    methods: &[String],
+    raw: &[Vec<f64>],
+    higher_better: &[bool],
+) -> Vec<KiviatRow> {
+    assert_eq!(methods.len(), raw.len());
+    let nmetrics = higher_better.len();
+    for row in raw {
+        assert_eq!(row.len(), nmetrics, "ragged raw metric matrix");
+    }
+    // Convert lower-better metrics to reciprocals.
+    let oriented: Vec<Vec<f64>> = raw
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    if higher_better[k] {
+                        v
+                    } else {
+                        1.0 / v.max(1e-9)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // Per-metric max over methods = 1.0.
+    let maxima: Vec<f64> = (0..nmetrics)
+        .map(|k| {
+            oriented
+                .iter()
+                .map(|row| row[k])
+                .fold(f64::NEG_INFINITY, f64::max)
+                .max(1e-12)
+        })
+        .collect();
+    methods
+        .iter()
+        .zip(&oriented)
+        .map(|(m, row)| KiviatRow {
+            method: m.clone(),
+            axes: row.iter().zip(&maxima).map(|(v, mx)| v / mx).collect(),
+        })
+        .collect()
+}
+
+/// Polygon area of a Kiviat row (axes at equal angles) — the paper's
+/// "larger area = better overall performance" summary.
+pub fn polygon_area(axes: &[f64]) -> f64 {
+    let n = axes.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let angle = std::f64::consts::TAU / n as f64;
+    0.5 * (0..n)
+        .map(|i| axes[i] * axes[(i + 1) % n] * angle.sin())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_method_gets_one_per_axis() {
+        let methods = vec!["a".to_string(), "b".to_string()];
+        // metric0 higher-better, metric1 lower-better.
+        let raw = vec![vec![0.8, 2.0], vec![0.4, 1.0]];
+        let rows = normalize(&methods, &raw, &[true, false]);
+        assert!((rows[0].axes[0] - 1.0).abs() < 1e-12, "a best on util");
+        assert!((rows[1].axes[1] - 1.0).abs() < 1e-12, "b best on wait");
+        assert!((rows[1].axes[0] - 0.5).abs() < 1e-12);
+        assert!((rows[0].axes[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_axes_in_unit_interval() {
+        let methods: Vec<String> = (0..4).map(|i| format!("m{i}")).collect();
+        let raw = vec![
+            vec![0.9, 0.8, 4.0, 8.0],
+            vec![0.5, 0.9, 2.0, 3.0],
+            vec![0.7, 0.1, 9.0, 2.0],
+            vec![0.2, 0.3, 1.0, 9.0],
+        ];
+        let rows = normalize(&methods, &raw, &[true, true, false, false]);
+        for r in rows {
+            for a in r.axes {
+                assert!((0.0..=1.0 + 1e-12).contains(&a), "axis {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_method_has_larger_area() {
+        let methods = vec!["good".to_string(), "bad".to_string()];
+        let raw = vec![vec![0.9, 0.9, 1.0, 1.0], vec![0.3, 0.3, 5.0, 5.0]];
+        let rows = normalize(&methods, &raw, &[true, true, false, false]);
+        assert!(polygon_area(&rows[0].axes) > polygon_area(&rows[1].axes));
+    }
+
+    #[test]
+    fn zero_wait_is_safe() {
+        let methods = vec!["a".to_string()];
+        let rows = normalize(&methods, &[vec![0.5, 0.0]], &[true, false]);
+        assert!(rows[0].axes[1].is_finite());
+    }
+
+    #[test]
+    fn area_degenerate_cases() {
+        assert_eq!(polygon_area(&[1.0, 1.0]), 0.0);
+        assert!(polygon_area(&[1.0, 1.0, 1.0, 1.0]) > 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment harness: one module per table/figure of the MRSch paper.
+//!
+//! Every module exposes a `run(scale, seed)` function returning plain data
+//! structures plus a `print_*` helper that emits the same rows/series the
+//! paper plots. Each figure also has a binary target (`cargo run -p
+//! mrsch-experiments --release --bin figN`) and a Criterion bench in
+//! `crates/bench`.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — motivating example (fixed weights vs ideal order) |
+//! | [`table3`] | Table III — workload suite definitions |
+//! | [`fig3`] | Fig. 3 — MLP vs CNN state module |
+//! | [`fig4`] | Fig. 4 — training-curriculum orderings |
+//! | [`comparison`] (+[`fig5`], [`fig6`], [`fig7`]) | Figs. 5–7 — method comparison on S1–S5 |
+//! | [`fig8`], [`fig9`] | Figs. 8–9 — dynamic goal vector `rBB` |
+//! | [`fig10`] | Fig. 10 — three-resource case study S6–S10 |
+//! | [`overhead`] | §V-F — decision latency |
+//! | [`ablation`] | extra ablations: goal mode, starvation guards, window size |
+//!
+//! The [`scale`] module defines the experiment sizes: `quick()` for tests
+//! and benches, `full()` for the standalone binaries. All runs are
+//! deterministic in the provided seed.
+
+pub mod ablation;
+pub mod cli;
+pub mod comparison;
+pub mod csv;
+pub mod fig1;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod kiviat;
+pub mod multi_seed;
+pub mod overhead;
+pub mod scale;
+pub mod table3;
+
+pub use comparison::{Comparison, MethodName};
+pub use scale::ExpScale;

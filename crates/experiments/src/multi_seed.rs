@@ -1,0 +1,203 @@
+//! Multi-seed replication: run a comparison across several seeds and
+//! report mean ± standard deviation per method and metric.
+//!
+//! Single-seed RL comparisons are noisy; the paper reports single runs,
+//! but a reproduction should quantify run-to-run spread. Each seed
+//! re-synthesizes the trace, re-trains the learning methods, and
+//! re-evaluates — so the spread includes workload, initialization and
+//! exploration variance.
+
+use crate::comparison::{run_workload, Comparison, MethodName};
+use crate::csv;
+use crate::scale::ExpScale;
+use mrsch_linalg::stats::{mean, std_dev};
+use mrsch_workload::suite::WorkloadSpec;
+
+/// Aggregated metric: mean ± std over seeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregate {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Population standard deviation over seeds.
+    pub std: f64,
+}
+
+impl Aggregate {
+    fn of(xs: &[f64]) -> Self {
+        Self { mean: mean(xs), std: std_dev(xs) }
+    }
+}
+
+/// Aggregated results for one method on one workload.
+#[derive(Clone, Debug)]
+pub struct MultiSeedRow {
+    /// The scheduler.
+    pub method: MethodName,
+    /// Workload name.
+    pub workload: String,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Node utilization.
+    pub node_util: Aggregate,
+    /// Burst-buffer utilization.
+    pub bb_util: Aggregate,
+    /// Average wait, hours.
+    pub avg_wait_h: Aggregate,
+    /// Average slowdown.
+    pub avg_slowdown: Aggregate,
+}
+
+/// Run one workload across `seeds`, one crossbeam thread per seed, and
+/// aggregate per method.
+pub fn run_workload_multi_seed(
+    spec: &WorkloadSpec,
+    scale: &ExpScale,
+    seeds: &[u64],
+) -> Vec<MultiSeedRow> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut per_seed: Vec<Option<Vec<Comparison>>> = vec![None; seeds.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            handles.push((i, scope.spawn(move |_| run_workload(spec, scale, seed))));
+        }
+        for (i, h) in handles {
+            per_seed[i] = Some(h.join().expect("seed thread panicked"));
+        }
+    })
+    .expect("multi-seed scope failed");
+    let runs: Vec<Vec<Comparison>> = per_seed.into_iter().flatten().collect();
+
+    MethodName::all()
+        .into_iter()
+        .map(|method| {
+            let pick = |f: &dyn Fn(&Comparison) -> f64| -> Vec<f64> {
+                runs.iter()
+                    .map(|r| {
+                        let c = r
+                            .iter()
+                            .find(|c| c.method == method)
+                            .expect("method present in every run");
+                        f(c)
+                    })
+                    .collect()
+            };
+            MultiSeedRow {
+                method,
+                workload: spec.name.clone(),
+                seeds: seeds.len(),
+                node_util: Aggregate::of(&pick(&|c| c.report.resource_utilization[0])),
+                bb_util: Aggregate::of(&pick(&|c| c.report.resource_utilization[1])),
+                avg_wait_h: Aggregate::of(&pick(&|c| c.report.avg_wait_hours())),
+                avg_slowdown: Aggregate::of(&pick(&|c| c.report.avg_slowdown)),
+            }
+        })
+        .collect()
+}
+
+/// Print the aggregate table.
+pub fn print(rows: &[MultiSeedRow]) {
+    println!(
+        "multi-seed comparison ({} seeds) — mean ± std",
+        rows.first().map(|r| r.seeds).unwrap_or(0)
+    );
+    println!(
+        "{:<4} {:<14} {:>18} {:>18} {:>18} {:>18}",
+        "wl", "method", "node util", "bb util", "wait (h)", "slowdown"
+    );
+    for r in rows {
+        let fmt = |a: &Aggregate| format!("{:.3} ± {:.3}", a.mean, a.std);
+        println!(
+            "{:<4} {:<14} {:>18} {:>18} {:>18} {:>18}",
+            r.workload,
+            r.method.label(),
+            fmt(&r.node_util),
+            fmt(&r.bb_util),
+            fmt(&r.avg_wait_h),
+            fmt(&r.avg_slowdown)
+        );
+    }
+}
+
+/// CSV rows.
+pub fn csv_rows(rows: &[MultiSeedRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec![
+        "workload",
+        "method",
+        "seeds",
+        "node_util_mean",
+        "node_util_std",
+        "bb_util_mean",
+        "bb_util_std",
+        "avg_wait_h_mean",
+        "avg_wait_h_std",
+        "avg_slowdown_mean",
+        "avg_slowdown_std",
+    ];
+    let data = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.method.label().to_string(),
+                r.seeds.to_string(),
+                csv::f(r.node_util.mean),
+                csv::f(r.node_util.std),
+                csv::f(r.bb_util.mean),
+                csv::f(r.bb_util.std),
+                csv::f(r.avg_wait_h.mean),
+                csv::f(r.avg_wait_h.std),
+                csv::f(r.avg_slowdown.mean),
+                csv::f(r.avg_slowdown.std),
+            ]
+        })
+        .collect();
+    (header, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_across_two_seeds() {
+        let mut scale = ExpScale::quick();
+        scale.eval_jobs = 20;
+        scale.jobs_per_set = 12;
+        scale.batches_per_episode = 2;
+        let rows = run_workload_multi_seed(&WorkloadSpec::s1(), &scale, &[1, 2]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.seeds, 2);
+            assert!(r.node_util.mean > 0.0);
+            assert!(r.node_util.std >= 0.0);
+            assert!(r.avg_slowdown.mean >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_methods_have_zero_variance_under_same_seed() {
+        let mut scale = ExpScale::quick();
+        scale.eval_jobs = 15;
+        scale.jobs_per_set = 10;
+        scale.batches_per_episode = 2;
+        // Same seed twice: every method (including trained ones, which are
+        // seeded) must produce identical metrics -> std == 0.
+        let rows = run_workload_multi_seed(&WorkloadSpec::s1(), &scale, &[7, 7]);
+        for r in rows {
+            assert!(
+                r.avg_wait_h.std.abs() < 1e-12,
+                "{:?} not deterministic: std {}",
+                r.method,
+                r.avg_wait_h.std
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let scale = ExpScale::quick();
+        let _ = run_workload_multi_seed(&WorkloadSpec::s1(), &scale, &[]);
+    }
+}

@@ -1,0 +1,121 @@
+//! §V-F — runtime overhead: per-decision latency of the MRSch agent.
+//!
+//! The paper reports < 2 s per decision for two-resource scheduling and
+//! < 3 s for three-resource scheduling (on a 2 GHz laptop CPU, at full
+//! Theta network size), far below the 15–30 s production schedulers
+//! allow. This module measures the same quantity: wall time of one
+//! greedy action selection (state encoding + network forward + argmax),
+//! at both the scaled and the paper's full Theta network size.
+
+use mrsch::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Latency measurement for one configuration.
+#[derive(Clone, Debug)]
+pub struct OverheadResult {
+    /// Label ("scaled-2res", "theta-2res", "theta-3res").
+    pub label: String,
+    /// Number of resources.
+    pub resources: usize,
+    /// State-vector dimension.
+    pub state_dim: usize,
+    /// Mean per-decision latency.
+    pub mean: Duration,
+    /// Max observed latency.
+    pub max: Duration,
+    /// Decisions timed.
+    pub samples: usize,
+}
+
+/// Time `samples` greedy decisions of a fresh agent on a synthetic dense
+/// state (worst case: full window, fully occupied machine).
+pub fn measure(
+    system: SystemConfig,
+    window: usize,
+    theta_arch: bool,
+    samples: usize,
+    label: &str,
+) -> OverheadResult {
+    let encoder = StateEncoder::with_hour_scale(system.clone(), window);
+    let m = system.num_resources();
+    let cfg = if theta_arch {
+        DfpConfig::theta(encoder.state_dim(), m, window)
+    } else {
+        DfpConfig::scaled(encoder.state_dim(), m, window)
+    };
+    let mut agent = DfpAgent::new(cfg, 7);
+    let state = vec![0.5f32; encoder.state_dim()];
+    let meas = vec![0.5f32; m];
+    let goal = vec![1.0f32 / m as f32; m];
+    let valid = vec![true; window];
+    // Warm-up (first call touches freshly allocated weights).
+    let _ = agent.act(&state, &meas, &goal, &valid, false);
+    let mut total = Duration::ZERO;
+    let mut max = Duration::ZERO;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let action = agent.act(&state, &meas, &goal, &valid, false);
+        let dt = t0.elapsed();
+        assert!(action.is_some());
+        total += dt;
+        max = max.max(dt);
+    }
+    OverheadResult {
+        label: label.to_string(),
+        resources: m,
+        state_dim: encoder.state_dim(),
+        mean: total / samples.max(1) as u32,
+        max,
+        samples,
+    }
+}
+
+/// Run the three configurations of §V-F.
+pub fn run(samples: usize) -> Vec<OverheadResult> {
+    vec![
+        measure(SystemConfig::scaled(), 10, false, samples, "scaled-2res"),
+        measure(SystemConfig::theta(), 10, true, samples, "theta-2res"),
+        measure(
+            SystemConfig::three_resource(4392, 1293, 500),
+            10,
+            true,
+            samples,
+            "theta-3res",
+        ),
+    ]
+}
+
+/// Print the measurements against the paper's bounds.
+pub fn print(results: &[OverheadResult]) {
+    println!("§V-F — decision latency (paper bound: <2 s two-resource, <3 s three-resource)");
+    for r in results {
+        println!(
+            "  {:<12} R={} state_dim={:<6} mean {:>10.3?} max {:>10.3?} ({} samples)",
+            r.label, r.resources, r.state_dim, r.mean, r.max, r.samples
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_decision_is_fast() {
+        let r = measure(SystemConfig::scaled(), 10, false, 5, "scaled");
+        assert!(r.mean < Duration::from_millis(200), "scaled mean {:?}", r.mean);
+    }
+
+    #[test]
+    fn theta_scale_meets_paper_bound() {
+        // Full 11410-dim state with the 4000/1000/512 architecture must
+        // decide in far less than the paper's 2 s budget.
+        let r = measure(SystemConfig::theta(), 10, true, 3, "theta");
+        assert_eq!(r.state_dim, 11410);
+        assert!(
+            r.mean < Duration::from_secs(2),
+            "theta-scale decision {:?} exceeds the paper's bound",
+            r.mean
+        );
+    }
+}

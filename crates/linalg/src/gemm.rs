@@ -1,0 +1,285 @@
+//! Cache-blocked general matrix multiplication with optional thread-level
+//! parallelism.
+//!
+//! Three entry points cover every contraction the network stack needs:
+//!
+//! * [`matmul`]        — `C = A · B`          (forward pass)
+//! * [`matmul_a_bt`]   — `C = A · Bᵀ`         (input gradient: `dX = dY · Wᵀ`)
+//! * [`matmul_at_b`]   — `C = Aᵀ · B`         (weight gradient: `dW = Xᵀ · dY`)
+//!
+//! Parallelism splits *output rows* across crossbeam scoped threads, so the
+//! reduction order inside each output element is identical regardless of
+//! thread count — results are bit-identical between serial and parallel
+//! runs, which keeps every experiment reproducible.
+
+use crate::matrix::Matrix;
+
+/// How a GEMM call may use threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelPolicy {
+    /// Always single-threaded.
+    Serial,
+    /// Split output rows across up to `max_threads` threads when the
+    /// problem is large enough to amortize spawn overhead.
+    Threads {
+        /// Upper bound on worker threads (>= 1).
+        max_threads: usize,
+    },
+    /// Use `std::thread::available_parallelism()` when profitable.
+    #[default]
+    Auto,
+}
+
+/// Minimum number of multiply-adds before threading is considered.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 18;
+
+fn thread_count(policy: ParallelPolicy, rows: usize, flops: usize) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let n = match policy {
+        ParallelPolicy::Serial => 1,
+        ParallelPolicy::Threads { max_threads } => max_threads.max(1),
+        ParallelPolicy::Auto => hw(),
+    };
+    if flops < PARALLEL_FLOP_THRESHOLD {
+        return 1;
+    }
+    n.min(rows).max(1)
+}
+
+/// `C = A · B` with the default (auto) parallel policy.
+///
+/// # Panics
+/// Panics when `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with(a, b, ParallelPolicy::Auto)
+}
+
+/// `C = A · B` under an explicit parallel policy.
+pub fn matmul_with(a: &Matrix, b: &Matrix, policy: ParallelPolicy) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    let threads = thread_count(policy, m, m * n * k);
+    if threads <= 1 {
+        gemm_rows(a, b, c.as_mut_slice(), 0, m);
+        return c;
+    }
+    let chunk = m.div_ceil(threads);
+    let b_ref = b;
+    let a_ref = a;
+    crossbeam::thread::scope(|scope| {
+        // Borrow disjoint row bands of C mutably across threads.
+        let mut rest = c.as_mut_slice();
+        let mut row0 = 0usize;
+        let mut handles = Vec::new();
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (band, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let start = row0;
+            handles.push(scope.spawn(move |_| {
+                gemm_rows_into(a_ref, b_ref, band, start, start + rows_here);
+            }));
+            row0 += rows_here;
+        }
+        for h in handles {
+            h.join().expect("gemm worker panicked");
+        }
+    })
+    .expect("gemm scope failed");
+    c
+}
+
+/// Compute rows `[r0, r1)` of `C = A · B` into the full C buffer.
+fn gemm_rows(a: &Matrix, b: &Matrix, c: &mut [f32], r0: usize, r1: usize) {
+    let n = b.cols();
+    gemm_rows_into(a, b, &mut c[r0 * n..r1 * n], r0, r1);
+}
+
+/// Compute rows `[r0, r1)` of `C = A · B` into a band buffer whose first
+/// element corresponds to `C[r0][0]`.
+///
+/// Uses the ikj loop order: each scalar `A[i][k]` is broadcast against row
+/// `k` of B, giving unit-stride access on both B and C.
+fn gemm_rows_into(a: &Matrix, b: &Matrix, band: &mut [f32], r0: usize, r1: usize) {
+    let k_dim = a.cols();
+    let n = b.cols();
+    for i in r0..r1 {
+        let out = &mut band[(i - r0) * n..(i - r0 + 1) * n];
+        let a_row = a.row(i);
+        for (k, &aik) in a_row.iter().enumerate().take(k_dim) {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(k);
+            for (o, &bv) in out.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// `C = A · Bᵀ` (shapes: `(m,k) x (n,k) -> (m,n)`).
+///
+/// This is the backward-pass input gradient `dX = dY · Wᵀ` without
+/// materializing the transpose.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt: inner dims mismatch {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out = c.row_mut(i);
+        for (j, o) in out.iter_mut().enumerate().take(n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_row[kk] * b_row[kk];
+            }
+            *o = acc;
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` (shapes: `(k,m) x (k,n) -> (m,n)`).
+///
+/// This is the backward-pass weight gradient `dW = Xᵀ · dY` without
+/// materializing the transpose.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b: inner dims mismatch {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let k = a.rows();
+    let m = a.cols();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for kk in 0..k {
+        let a_row = a.row(kk);
+        let b_row = b.row(kk);
+        for (i, &av) in a_row.iter().enumerate().take(m) {
+            if av == 0.0 {
+                continue;
+            }
+            let out = &mut c.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &bv) in out.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Tiny deterministic LCG so this test has no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let data = (0..rows * cols).map(|_| next()).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 7, 3), (16, 16, 16)] {
+            let a = rand_matrix(m, k, 42 + m as u64);
+            let b = rand_matrix(k, n, 7 + n as u64);
+            let c = matmul(&a, &b);
+            let expect = naive(&a, &b);
+            for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
+                assert!((x - y).abs() < crate::TEST_EPS, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let a = rand_matrix(64, 96, 1);
+        let b = rand_matrix(96, 80, 2);
+        let serial = matmul_with(&a, &b, ParallelPolicy::Serial);
+        let par = matmul_with(&a, &b, ParallelPolicy::Threads { max_threads: 4 });
+        assert_eq!(serial, par, "threaded GEMM must be bit-identical");
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = rand_matrix(4, 6, 3);
+        let b = rand_matrix(5, 6, 4);
+        let fast = matmul_a_bt(&a, &b);
+        let slow = matmul(&a, &b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < crate::TEST_EPS);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = rand_matrix(6, 4, 5);
+        let b = rand_matrix(6, 5, 6);
+        let fast = matmul_at_b(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < crate::TEST_EPS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn empty_inner_dim_yields_zeros() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 3));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,29 @@
+//! Minimal dense linear-algebra substrate for the MRSch reproduction.
+//!
+//! The MRSch paper implements its agent in TensorFlow; this crate provides
+//! the small set of dense operations the hand-rolled replacement network
+//! stack ([`mrsch-nn`](../mrsch_nn/index.html)) needs:
+//!
+//! * a row-major [`Matrix`] of `f32` with shape-checked arithmetic,
+//! * blocked and (optionally crossbeam-parallel) GEMM in [`gemm`],
+//! * weight initializers (Xavier/He, Box–Muller normal) in [`init`],
+//! * summary statistics helpers in [`stats`].
+//!
+//! The crate is deliberately tiny and dependency-light: everything is
+//! `f32`, row-major, and owned `Vec<f32>` storage. The networks in this
+//! reproduction top out at a 4000-wide hidden layer (the paper's Theta
+//! configuration), for which a cache-blocked scalar GEMM with thread-level
+//! parallelism is entirely adequate and keeps results bit-reproducible for
+//! a fixed seed and thread-count independent (parallelism splits output
+//! rows, never reduction dimensions).
+
+pub mod gemm;
+pub mod init;
+pub mod matrix;
+pub mod stats;
+
+pub use gemm::{matmul, matmul_a_bt, matmul_at_b, ParallelPolicy};
+pub use matrix::Matrix;
+
+/// Absolute tolerance used by the crate's own tests when comparing floats.
+pub const TEST_EPS: f32 = 1e-4;

@@ -1,0 +1,133 @@
+//! Summary statistics over `f64` series.
+//!
+//! The experiment harness reports means, quantiles and box-plot summaries
+//! (Figure 9 of the paper is a box plot of the goal-vector component
+//! `rBB`); those reductions live here so every crate computes them the
+//! same way.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linearly interpolated quantile (`q` in `[0, 1]`) of an unsorted slice.
+///
+/// Uses the same convention as NumPy's default (`linear`): the quantile of
+/// a sorted n-sample at rank `q (n-1)`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number summary drawn by a box plot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxSummary {
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Arithmetic mean (the paper's Fig. 9 discussion references it).
+    pub mean: f64,
+}
+
+/// Compute the box-plot summary of a series.
+///
+/// Returns `None` for an empty series.
+pub fn box_summary(xs: &[f64]) -> Option<BoxSummary> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(BoxSummary {
+        min: quantile(xs, 0.0),
+        q1: quantile(xs, 0.25),
+        median: quantile(xs, 0.5),
+        q3: quantile(xs, 0.75),
+        max: quantile(xs, 1.0),
+        mean: mean(xs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert!(box_summary(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_summary_ordering_invariant() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        let s = box_summary(&xs).unwrap();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn single_element_summary() {
+        let s = box_summary(&[42.0]).unwrap();
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.mean, 42.0);
+    }
+}

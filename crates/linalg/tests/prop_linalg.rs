@@ -1,0 +1,101 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use mrsch_linalg::{matmul, matmul_a_bt, matmul_at_b, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(4, 5),
+        b in arb_matrix(5, 3),
+        c in arb_matrix(5, 3),
+    ) {
+        // A(B + C) = AB + AC
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_associates(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(2, 5),
+    ) {
+        let lhs = matmul(&matmul(&a, &b), &c);
+        let rhs = matmul(&a, &matmul(&b, &c));
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_reverses_product(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+    ) {
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_agree(
+        a in arb_matrix(4, 6),
+        b in arb_matrix(5, 6),
+        c in arb_matrix(4, 5),
+    ) {
+        prop_assert!(approx_eq(&matmul_a_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-4));
+        prop_assert!(approx_eq(&matmul_at_b(&c, &a), &matmul(&c.transpose(), &a), 1e-4));
+    }
+
+    #[test]
+    fn hcat_hsplit_roundtrip(
+        a in arb_matrix(3, 2),
+        b in arb_matrix(3, 4),
+        c in arb_matrix(3, 1),
+    ) {
+        let joint = Matrix::hcat(&[&a, &b, &c]);
+        let parts = joint.hsplit(&[2, 4, 1]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+        prop_assert_eq!(&parts[2], &c);
+    }
+
+    #[test]
+    fn sum_rows_matches_transpose_ones(m in arb_matrix(4, 3)) {
+        // Σ_rows M == 1ᵀ M
+        let ones = Matrix::filled(1, 4, 1.0);
+        let via_matmul = matmul(&ones, &m);
+        prop_assert!(approx_eq(&m.sum_rows(), &via_matmul, 1e-4));
+    }
+
+    #[test]
+    fn quantile_bounds_and_monotone(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        use mrsch_linalg::stats::quantile;
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let vlo = quantile(&xs, lo);
+        let vhi = quantile(&xs, hi);
+        prop_assert!(vlo <= vhi, "quantile must be monotone: {vlo} > {vhi}");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(vlo >= xs[0] && vhi <= *xs.last().unwrap());
+    }
+}

@@ -1,0 +1,58 @@
+//! Hand-rolled neural-network stack for the MRSch reproduction.
+//!
+//! The paper implements MRSch in TensorFlow; the offline dependency policy
+//! of this reproduction excludes `tch`/`burn`, so this crate implements the
+//! needed subset from scratch on top of [`mrsch_linalg`]:
+//!
+//! * [`layer`] — `Dense`, activation layers (leaky-ReLU as in the paper's
+//!   state module, plus ReLU/Tanh/Identity), and `Conv1d` (required by the
+//!   MLP-vs-CNN ablation of Fig. 3),
+//! * [`net`] — a [`net::Sequential`] container with manual backprop,
+//! * [`loss`] — mean-squared error with optional element masks (DFP only
+//!   regresses the action actually taken),
+//! * [`opt`] — SGD-with-momentum and Adam, plus global-norm gradient
+//!   clipping,
+//! * [`checkpoint`] — serde-based (de)serialization of network weights.
+//!
+//! Everything is deterministic for a fixed seed: initialization draws from
+//! a caller-supplied RNG and no internal operation consults global state.
+//!
+//! # Example
+//!
+//! ```
+//! use mrsch_linalg::Matrix;
+//! use mrsch_nn::net::Sequential;
+//! use mrsch_nn::layer::Activation;
+//! use mrsch_nn::loss::mse;
+//! use mrsch_nn::opt::{Adam, Optimizer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Fit y = 2x on a tiny net.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new()
+//!     .dense(1, 16, &mut rng)
+//!     .activation(Activation::LeakyRelu(0.01))
+//!     .dense(16, 1, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+//! let y = Matrix::from_vec(4, 1, vec![0.0, 2.0, 4.0, 6.0]);
+//! let mut last = f32::MAX;
+//! for _ in 0..500 {
+//!     let pred = net.forward(&x);
+//!     let (l, grad) = mse(&pred, &y);
+//!     last = l;
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net);
+//! }
+//! assert!(last < 1e-2, "loss {last}");
+//! ```
+
+pub mod checkpoint;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod opt;
+
+pub use layer::{Activation, Conv1d, Dense, Layer};
+pub use net::Sequential;

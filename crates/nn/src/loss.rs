@@ -1,0 +1,148 @@
+//! Loss functions.
+//!
+//! DFP trains by regressing predicted future-measurement *changes* against
+//! observed ones, but only for the action that was actually taken and only
+//! for temporal offsets that fit inside the episode. [`masked_mse`]
+//! implements exactly that: masked elements contribute neither loss nor
+//! gradient.
+
+use mrsch_linalg::Matrix;
+
+/// Mean-squared error: `L = mean((pred - target)²)`.
+///
+/// Returns `(loss, dL/dpred)`. The gradient is `2 (pred - target) / n`
+/// where `n` is the total element count, matching the averaged loss.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// MSE over only the elements where `mask` is nonzero.
+///
+/// The loss is averaged over the *unmasked* element count, so sparsity of
+/// the mask does not shrink the gradient scale. Returns `(loss, grad)`;
+/// masked entries of the gradient are exactly zero.
+pub fn masked_mse(pred: &Matrix, target: &Matrix, mask: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "masked_mse: shape mismatch");
+    assert_eq!(pred.shape(), mask.shape(), "masked_mse: mask shape mismatch");
+    let active: f32 = mask.as_slice().iter().filter(|&&m| m != 0.0).count() as f32;
+    if active == 0.0 {
+        return (0.0, Matrix::zeros(pred.rows(), pred.cols()));
+    }
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    {
+        let g = grad.as_mut_slice();
+        for (i, gv) in g.iter_mut().enumerate().take(pred.len()) {
+            if mask.as_slice()[i] != 0.0 {
+                let d = pred.as_slice()[i] - target.as_slice()[i];
+                loss += d * d;
+                *gv = 2.0 * d / active;
+            }
+        }
+    }
+    (loss / active, grad)
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`, averaged over elements.
+///
+/// Quadratic near zero, linear in the tails; a drop-in robust alternative
+/// used by the scalar-RL baseline's value head.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "huber: shape mismatch");
+    assert!(delta > 0.0, "huber: delta must be positive");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    {
+        let g = grad.as_mut_slice();
+        for (i, gv) in g.iter_mut().enumerate().take(pred.len()) {
+            let d = pred.as_slice()[i] - target.as_slice()[i];
+            if d.abs() <= delta {
+                loss += 0.5 * d * d;
+                *gv = d / n;
+            } else {
+                loss += delta * (d.abs() - 0.5 * delta);
+                *gv = delta * d.signum() / n;
+            }
+        }
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (l, g) = mse(&pred, &target);
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert!((g.as_slice()[0] - 1.0).abs() < 1e-6); // 2*1/2
+        assert!((g.as_slice()[1] - 2.0).abs() < 1e-6); // 2*2/2
+    }
+
+    #[test]
+    fn masked_mse_ignores_masked_elements() {
+        let pred = Matrix::from_vec(1, 3, vec![1.0, 100.0, 3.0]);
+        let target = Matrix::from_vec(1, 3, vec![0.0, 0.0, 3.0]);
+        let mask = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let (l, g) = masked_mse(&pred, &target, &mask);
+        assert!((l - 0.5).abs() < 1e-6, "only (1-0)² over 2 active elems");
+        assert_eq!(g.as_slice()[1], 0.0, "masked gradient must be zero");
+        assert!((g.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_mse_all_masked_is_zero() {
+        let pred = Matrix::filled(2, 2, 5.0);
+        let target = Matrix::zeros(2, 2);
+        let mask = Matrix::zeros(2, 2);
+        let (l, g) = masked_mse(&pred, &target, &mask);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn huber_quadratic_then_linear() {
+        let pred = Matrix::from_vec(1, 2, vec![0.5, 10.0]);
+        let target = Matrix::zeros(1, 2);
+        let (l, g) = huber(&pred, &target, 1.0);
+        // elem0: 0.5*0.25 = 0.125 ; elem1: 1*(10-0.5) = 9.5 ; avg = 4.8125
+        assert!((l - 4.8125).abs() < 1e-5);
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!((g.as_slice()[1] - 0.5).abs() < 1e-6); // clipped to delta/n
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Matrix::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.0]);
+        let target = Matrix::from_vec(2, 2, vec![0.0, 0.5, 1.0, -1.0]);
+        let (_, g) = mse(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut p = pred.clone();
+            p.as_mut_slice()[i] += eps;
+            let (lp, _) = mse(&p, &target);
+            let mut m = pred.clone();
+            m.as_mut_slice()[i] -= eps;
+            let (lm, _) = mse(&m, &target);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((g.as_slice()[i] - numeric).abs() < 1e-3);
+        }
+    }
+}

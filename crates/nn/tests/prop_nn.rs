@@ -1,0 +1,119 @@
+//! Property-based tests of the network stack: gradient correctness by
+//! finite differences on randomized architectures and inputs.
+
+use mrsch_linalg::Matrix;
+use mrsch_nn::layer::Activation;
+use mrsch_nn::loss::{masked_mse, mse};
+use mrsch_nn::net::Sequential;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_input(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Build a 2-layer net with a random hidden width and activation.
+///
+/// Finite-difference checks only use *smooth* activations: a rectifier
+/// pre-activation that lands within eps of its kink makes central
+/// differences disagree with the (correct) one-sided analytic gradient.
+/// LeakyReLU's gradient is exercised by deterministic unit tests in
+/// `layer.rs` at points safely away from the kink.
+fn build_net(seed: u64, input: usize, hidden: usize, act_idx: usize, out: usize) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let act = [Activation::Tanh, Activation::Identity][act_idx % 2];
+    Sequential::new()
+        .dense(input, hidden, &mut rng)
+        .activation(act)
+        .dense(hidden, out, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn input_gradient_matches_finite_difference(
+        seed in 0u64..1_000,
+        hidden in 2usize..8,
+        act_idx in 0usize..3,
+        x in arb_input(2, 3),
+    ) {
+        let mut net = build_net(seed, 3, hidden, act_idx, 2);
+        let y = net.forward(&x);
+        net.zero_grad();
+        let grad_in = net.backward(&y); // loss = 0.5 ||y||²
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let lp = 0.5 * net.clone().forward(&xp).norm_sq();
+            let lm = 0.5 * net.clone().forward(&xm).norm_sq();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.as_slice()[i];
+            let scale = analytic.abs().max(numeric.abs()).max(1.0);
+            prop_assert!(
+                (analytic - numeric).abs() / scale < 0.05,
+                "input grad [{i}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mse_loss_is_nonnegative_and_zero_iff_equal(
+        pred in arb_input(3, 4),
+        target in arb_input(3, 4),
+    ) {
+        let (loss, grad) = mse(&pred, &target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.all_finite());
+        let (self_loss, self_grad) = mse(&pred, &pred);
+        prop_assert_eq!(self_loss, 0.0);
+        prop_assert!(self_grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn masked_mse_ignores_exactly_the_mask(
+        pred in arb_input(2, 6),
+        target in arb_input(2, 6),
+        mask_bits in prop::collection::vec(prop::bool::ANY, 12),
+    ) {
+        let mask = Matrix::from_vec(
+            2,
+            6,
+            mask_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+        );
+        let (loss, grad) = masked_mse(&pred, &target, &mask);
+        prop_assert!(loss >= 0.0);
+        for i in 0..12 {
+            if mask.as_slice()[i] == 0.0 {
+                prop_assert_eq!(grad.as_slice()[i], 0.0);
+            }
+        }
+        // Perturbing a masked element never changes the loss.
+        let masked_idx = (0..12).find(|&i| mask.as_slice()[i] == 0.0);
+        if let Some(i) = masked_idx {
+            let mut p2 = pred.clone();
+            p2.as_mut_slice()[i] += 123.0;
+            let (loss2, _) = masked_mse(&p2, &target, &mask);
+            prop_assert_eq!(loss, loss2);
+        }
+    }
+
+    #[test]
+    fn grad_clip_caps_norm(
+        seed in 0u64..1_000,
+        x in arb_input(4, 3),
+        max_norm in 0.1f32..2.0,
+    ) {
+        let mut net = build_net(seed, 3, 4, 0, 2);
+        let y = net.forward(&x);
+        net.zero_grad();
+        net.backward(&y.scale(50.0));
+        net.clip_grad_norm(max_norm);
+        prop_assert!(net.grad_norm() <= max_norm * 1.001);
+    }
+}

@@ -1,0 +1,188 @@
+//! Reservation and EASY backfilling (§II-A, §III-C of the paper).
+//!
+//! When the selected job cannot start, the scheduler *reserves* it: it
+//! computes the earliest future time (the **shadow time**) at which the
+//! job will fit, assuming running jobs release their resources at their
+//! user-estimated end times. Waiting jobs behind the reservation may then
+//! *backfill* onto currently free resources provided they cannot delay the
+//! reservation: either they finish (by estimate) before the shadow time,
+//! or they only consume units that remain spare even after the reserved
+//! job starts.
+
+use crate::job::Job;
+use crate::resources::PoolState;
+use crate::SimTime;
+
+/// The reservation computed for a job that could not start immediately.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReservationPlan {
+    /// Earliest time the reserved job fits, assuming estimated releases.
+    pub shadow: SimTime,
+    /// Per-resource spare units at the shadow time *after* the reserved
+    /// job starts — the "extra" capacity long-running backfill jobs may
+    /// consume without delaying the reservation.
+    pub extra: Vec<u64>,
+}
+
+/// Compute the reservation plan for `job` against the current pool state.
+///
+/// Candidate shadow times are `now` plus every distinct estimated release
+/// time of a running allocation; the earliest candidate where the job's
+/// full demand fits is chosen. Because job demands are validated against
+/// capacity, a shadow time always exists (at worst when everything has
+/// drained).
+pub fn compute_reservation(pools: &PoolState, job: &Job, now: SimTime) -> ReservationPlan {
+    let nres = pools.num_resources();
+    let mut candidates: Vec<SimTime> = vec![now];
+    candidates.extend(
+        pools
+            .running()
+            .iter()
+            .map(|a| a.est_end.max(now)),
+    );
+    candidates.sort_unstable();
+    candidates.dedup();
+    for &t in &candidates {
+        let fits = (0..nres).all(|r| pools.projected_free(r, t) >= job.demands[r]);
+        if fits {
+            let extra = (0..nres)
+                .map(|r| pools.projected_free(r, t) - job.demands[r])
+                .collect();
+            return ReservationPlan { shadow: t, extra };
+        }
+    }
+    unreachable!("compute_reservation: demand validated <= capacity, must fit at drain time");
+}
+
+/// May `candidate` backfill right now without delaying the reservation?
+///
+/// EASY rule, generalized to multiple resources:
+/// 1. the candidate must fit in the currently free units of every pool;
+/// 2. *and* either it is estimated to finish no later than the shadow
+///    time, or its demand fits within the plan's per-resource `extra`
+///    units (so the reserved job can still start on time even if the
+///    candidate runs long).
+pub fn can_backfill(
+    plan: &ReservationPlan,
+    pools: &PoolState,
+    candidate: &Job,
+    now: SimTime,
+) -> bool {
+    if !pools.fits(&candidate.demands) {
+        return false;
+    }
+    if now + candidate.estimate <= plan.shadow {
+        return true;
+    }
+    candidate
+        .demands
+        .iter()
+        .zip(&plan.extra)
+        .all(|(d, e)| d <= e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::SystemConfig;
+
+    fn setup() -> (SystemConfig, PoolState) {
+        let cfg = SystemConfig::two_resource(10, 10);
+        let pools = PoolState::new(&cfg);
+        (cfg, pools)
+    }
+
+    fn job(id: usize, runtime: SimTime, est: SimTime, demands: Vec<u64>) -> Job {
+        Job::new(id, 0, runtime, est, demands)
+    }
+
+    #[test]
+    fn shadow_is_now_when_fits_immediately() {
+        let (_, pools) = setup();
+        let j = job(0, 10, 10, vec![5, 5]);
+        let plan = compute_reservation(&pools, &j, 100);
+        assert_eq!(plan.shadow, 100);
+        assert_eq!(plan.extra, vec![5, 5]);
+    }
+
+    #[test]
+    fn shadow_waits_for_earliest_sufficient_release() {
+        let (_, mut pools) = setup();
+        // Two running jobs: one frees 4 nodes at t=50, another 4 at t=80.
+        pools.allocate(&job(0, 50, 50, vec![4, 0]), 0);
+        pools.allocate(&job(1, 80, 80, vec![4, 0]), 0);
+        // Reserved job needs 8 nodes; free now = 2; after t=50 -> 6; after t=80 -> 10.
+        let reserved = job(2, 100, 100, vec![8, 0]);
+        let plan = compute_reservation(&pools, &reserved, 10);
+        assert_eq!(plan.shadow, 80);
+        assert_eq!(plan.extra, vec![2, 10]);
+    }
+
+    #[test]
+    fn short_job_backfills_ahead_of_shadow() {
+        let (_, mut pools) = setup();
+        pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
+        let reserved = job(1, 50, 50, vec![5, 0]);
+        let plan = compute_reservation(&pools, &reserved, 0);
+        assert_eq!(plan.shadow, 100);
+        // 1 node free; a 1-node job estimated at 60s finishes before t=100.
+        let shortie = job(2, 60, 60, vec![1, 0]);
+        assert!(can_backfill(&plan, &pools, &shortie, 0));
+    }
+
+    #[test]
+    fn long_job_blocked_unless_it_fits_in_extra() {
+        let (_, mut pools) = setup();
+        pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
+        let reserved = job(1, 50, 50, vec![5, 0]);
+        let plan = compute_reservation(&pools, &reserved, 0);
+        // extra = projected_free(100) - 5 = 10 - 5 = 5 nodes.
+        assert_eq!(plan.extra[0], 5);
+        // 1-node job running past shadow: 1 <= extra, may backfill.
+        let long_small = job(2, 500, 500, vec![1, 0]);
+        assert!(can_backfill(&plan, &pools, &long_small, 0));
+        // But it must also fit NOW: only 1 node free, so 2-node job cannot.
+        let long_big = job(3, 500, 500, vec![2, 0]);
+        assert!(!can_backfill(&plan, &pools, &long_big, 0));
+    }
+
+    #[test]
+    fn backfill_respects_every_resource() {
+        let (_, mut pools) = setup();
+        // 5 nodes and all 10 BB are held until t=100.
+        pools.allocate(&job(0, 100, 100, vec![5, 10]), 0);
+        let reserved = job(1, 10, 10, vec![10, 0]);
+        let plan = compute_reservation(&pools, &reserved, 0);
+        assert_eq!(plan.shadow, 100);
+        // Candidate fits node-wise but needs BB that is not free.
+        let bb_hungry = job(2, 10, 10, vec![1, 1]);
+        assert!(!can_backfill(&plan, &pools, &bb_hungry, 0));
+        // Pure-CPU candidate of estimate 50 <= shadow backfills.
+        let cpu_only = job(3, 50, 50, vec![1, 0]);
+        assert!(can_backfill(&plan, &pools, &cpu_only, 0));
+    }
+
+    #[test]
+    fn delaying_candidate_is_rejected() {
+        let (_, mut pools) = setup();
+        pools.allocate(&job(0, 40, 40, vec![6, 0]), 0);
+        // Reserved needs 8 nodes -> shadow at t=40, extra = 10-8 = 2.
+        let reserved = job(1, 10, 10, vec![8, 0]);
+        let plan = compute_reservation(&pools, &reserved, 0);
+        assert_eq!(plan.shadow, 40);
+        // 4-node candidate estimated to run 100s: fits now (4 free) but
+        // would hold 4 > extra=2 nodes at the shadow time -> rejected.
+        let delayer = job(2, 100, 100, vec![4, 0]);
+        assert!(!can_backfill(&plan, &pools, &delayer, 0));
+    }
+
+    #[test]
+    fn shadow_clamps_past_estimates_to_now() {
+        let (_, mut pools) = setup();
+        pools.allocate(&job(0, 10, 10, vec![10, 0]), 0);
+        // Ask at t=50, well past the allocation's est_end=10 (overstayed).
+        let reserved = job(1, 10, 10, vec![10, 0]);
+        let plan = compute_reservation(&pools, &reserved, 50);
+        assert_eq!(plan.shadow, 50, "overdue releases count as 'now'");
+    }
+}

@@ -1,0 +1,142 @@
+//! The discrete-event queue driving the simulation clock.
+//!
+//! Two event kinds exist, mirroring CQSim's triggers ("Typical triggers
+//! include the submission of a new job to the queue or a running job
+//! leaving the system", §IV): [`EventKind::Submit`] and
+//! [`EventKind::Finish`]. At equal timestamps, finishes are processed
+//! before submissions so that a job arriving exactly when resources free
+//! up sees them available; remaining ties break on insertion sequence for
+//! full determinism.
+
+use crate::job::JobId;
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A running job completes and releases its resources.
+    Finish(JobId),
+    /// A job arrives into the waiting queue.
+    Submit(JobId),
+}
+
+impl EventKind {
+    /// Ordering rank at equal time: finishes first.
+    fn rank(self) -> u8 {
+        match self {
+            EventKind::Finish(_) => 0,
+            EventKind::Submit(_) => 1,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// What fires.
+    pub kind: EventKind,
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.heap.push(Event { time, kind, seq: self.seq });
+        self.seq += 1;
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::Submit(2));
+        q.push(10, EventKind::Submit(0));
+        q.push(20, EventKind::Submit(1));
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn finish_before_submit_at_same_time() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::Submit(1));
+        q.push(10, EventKind::Finish(0));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Finish(0));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(1));
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Submit(7));
+        q.push(5, EventKind::Submit(8));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(7));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(8));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(42, EventKind::Finish(0));
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Jobs: the unit of work a batch scheduler places.
+//!
+//! HPC jobs are *rigid*: they request a fixed amount of every schedulable
+//! resource and hold all of it from start to completion (§I of the paper
+//! contrasts this with data-center malleable tasks).
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job within one simulation (dense, 0-based).
+pub type JobId = usize;
+
+/// A rigid batch job as read from a workload trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense identifier; must equal the job's index in the trace vector.
+    pub id: JobId,
+    /// Submission (arrival) time.
+    pub submit: SimTime,
+    /// Actual runtime, known to the simulator from the trace but *not*
+    /// revealed to scheduling policies until completion.
+    pub runtime: SimTime,
+    /// User-supplied walltime estimate; policies and backfilling plan with
+    /// this value. Real traces almost always have `estimate >= runtime`.
+    pub estimate: SimTime,
+    /// Requested units of each schedulable resource, aligned with
+    /// [`crate::resources::SystemConfig::resources`].
+    pub demands: Vec<u64>,
+}
+
+impl Job {
+    /// Construct a job. Runtime and estimate are clamped to at least 1
+    /// second (zero-length jobs would stall event-driven progress).
+    pub fn new(
+        id: JobId,
+        submit: SimTime,
+        runtime: SimTime,
+        estimate: SimTime,
+        demands: Vec<u64>,
+    ) -> Self {
+        Self {
+            id,
+            submit,
+            runtime: runtime.max(1),
+            estimate: estimate.max(1).max(runtime),
+            demands,
+        }
+    }
+
+    /// Demand for resource `r` as a fraction of system capacity — the
+    /// `P_ij` of the paper's Table II / Eq. (1).
+    pub fn demand_fraction(&self, r: usize, capacity: u64) -> f64 {
+        if capacity == 0 {
+            0.0
+        } else {
+            self.demands[r] as f64 / capacity as f64
+        }
+    }
+}
+
+/// Lifecycle state of a job inside the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted and waiting in the queue.
+    Queued,
+    /// Executing on the system.
+    Running,
+    /// Completed.
+    Finished,
+}
+
+/// Per-job outcome recorded by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job this record describes.
+    pub id: JobId,
+    /// Submission time (copied from the job for self-containedness).
+    pub submit: SimTime,
+    /// Time the job began executing.
+    pub start: SimTime,
+    /// Time the job finished.
+    pub end: SimTime,
+    /// Whether the job started via backfilling rather than direct
+    /// selection (diagnostics for the backfill tests and ablations).
+    pub backfilled: bool,
+}
+
+impl JobRecord {
+    /// Queue wait time: `start - submit`.
+    pub fn wait(&self) -> SimTime {
+        self.start - self.submit
+    }
+
+    /// Actual runtime: `end - start`.
+    pub fn runtime(&self) -> SimTime {
+        self.end - self.start
+    }
+
+    /// Slowdown: `(wait + runtime) / runtime` (§IV-B metric 4).
+    pub fn slowdown(&self) -> f64 {
+        let rt = self.runtime().max(1) as f64;
+        (self.wait() as f64 + rt) / rt
+    }
+
+    /// Bounded slowdown with a 10-second floor on runtime, a standard
+    /// robustness variant reported alongside plain slowdown.
+    pub fn bounded_slowdown(&self, bound: SimTime) -> f64 {
+        let rt = self.runtime().max(1) as f64;
+        let denom = rt.max(bound as f64);
+        ((self.wait() as f64 + rt) / denom).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_clamps_zero_runtime() {
+        let j = Job::new(0, 5, 0, 0, vec![1]);
+        assert_eq!(j.runtime, 1);
+        assert!(j.estimate >= j.runtime);
+    }
+
+    #[test]
+    fn estimate_never_below_runtime() {
+        let j = Job::new(0, 0, 100, 10, vec![1]);
+        assert_eq!(j.estimate, 100);
+    }
+
+    #[test]
+    fn demand_fraction_matches_pij() {
+        let j = Job::new(0, 0, 10, 10, vec![25, 0]);
+        assert_eq!(j.demand_fraction(0, 100), 0.25);
+        assert_eq!(j.demand_fraction(1, 100), 0.0);
+        assert_eq!(j.demand_fraction(0, 0), 0.0, "zero capacity is safe");
+    }
+
+    #[test]
+    fn record_derived_metrics() {
+        let r = JobRecord { id: 0, submit: 100, start: 160, end: 220, backfilled: false };
+        assert_eq!(r.wait(), 60);
+        assert_eq!(r.runtime(), 60);
+        assert!((r.slowdown() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_tiny_jobs() {
+        // 1-second job that waited 99 seconds: raw slowdown 100,
+        // bounded (10s) slowdown 10.
+        let r = JobRecord { id: 0, submit: 0, start: 99, end: 100, backfilled: true };
+        assert!((r.slowdown() - 100.0).abs() < 1e-12);
+        assert!((r.bounded_slowdown(10) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_slowdown_never_below_one() {
+        let r = JobRecord { id: 0, submit: 0, start: 0, end: 2, backfilled: false };
+        assert_eq!(r.bounded_slowdown(10), 1.0);
+    }
+}

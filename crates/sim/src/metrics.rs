@@ -1,0 +1,228 @@
+//! Metric accumulation and the end-of-run report (§IV-B of the paper).
+//!
+//! System-level metrics integrate used-unit-seconds over the simulated
+//! timeline; user-level metrics aggregate per-job wait and slowdown.
+
+use crate::job::JobRecord;
+use crate::resources::PoolState;
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Streaming accumulator of per-resource used·time integrals.
+#[derive(Clone, Debug)]
+pub struct MetricsCollector {
+    start: Option<SimTime>,
+    last: SimTime,
+    used_unit_secs: Vec<f64>,
+}
+
+impl MetricsCollector {
+    /// Collector for a system with `nres` resources.
+    pub fn new(nres: usize) -> Self {
+        Self { start: None, last: 0, used_unit_secs: vec![0.0; nres] }
+    }
+
+    /// Advance the clock to `now`, crediting the interval since the last
+    /// advance at the current pool occupancy. Must be called *before*
+    /// occupancy changes at `now`.
+    pub fn advance(&mut self, pools: &PoolState, now: SimTime) {
+        if self.start.is_none() {
+            self.start = Some(now);
+            self.last = now;
+            return;
+        }
+        let dt = now.saturating_sub(self.last) as f64;
+        if dt > 0.0 {
+            for (acc, r) in self.used_unit_secs.iter_mut().zip(0..pools.num_resources()) {
+                *acc += pools.used(r) as f64 * dt;
+            }
+            self.last = now;
+        }
+    }
+
+    /// Timeline start (first advance), if any.
+    pub fn start_time(&self) -> Option<SimTime> {
+        self.start
+    }
+
+    /// Finalize utilizations over `[start, end]` for the given capacities.
+    pub fn utilizations(&self, capacities: &[u64], end: SimTime) -> Vec<f64> {
+        let start = self.start.unwrap_or(0);
+        let elapsed = end.saturating_sub(start) as f64;
+        capacities
+            .iter()
+            .zip(&self.used_unit_secs)
+            .map(|(&cap, &used)| {
+                if elapsed <= 0.0 || cap == 0 {
+                    0.0
+                } else {
+                    used / (cap as f64 * elapsed)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Immutable end-of-run report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Names of the schedulable resources, aligned with the metric vectors.
+    pub resource_names: Vec<String>,
+    /// Number of jobs that completed.
+    pub jobs_completed: usize,
+    /// First event time (trace start).
+    pub start_time: SimTime,
+    /// Last completion time.
+    pub end_time: SimTime,
+    /// `end_time - start_time`.
+    pub makespan: SimTime,
+    /// Time-averaged utilization per resource over the makespan
+    /// (§IV-B metrics 1 and 2 generalized to R resources).
+    pub resource_utilization: Vec<f64>,
+    /// Average job wait time in seconds (§IV-B metric 3).
+    pub avg_wait: f64,
+    /// Maximum job wait time in seconds (starvation indicator).
+    pub max_wait: SimTime,
+    /// Average job slowdown (§IV-B metric 4).
+    pub avg_slowdown: f64,
+    /// Average bounded slowdown (10 s runtime floor).
+    pub avg_bounded_slowdown: f64,
+    /// Jobs started via backfilling.
+    pub backfilled_jobs: usize,
+    /// Total policy decisions taken.
+    pub decisions: u64,
+    /// Total scheduling instances.
+    pub instances: u64,
+    /// Per-job records, ordered by job id.
+    pub records: Vec<JobRecord>,
+}
+
+impl SimReport {
+    /// Assemble a report from records and the utilization integral.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        resource_names: Vec<String>,
+        mut records: Vec<JobRecord>,
+        collector: &MetricsCollector,
+        capacities: &[u64],
+        end_time: SimTime,
+        decisions: u64,
+        instances: u64,
+    ) -> Self {
+        records.sort_by_key(|r| r.id);
+        let n = records.len().max(1) as f64;
+        let avg_wait = records.iter().map(|r| r.wait() as f64).sum::<f64>() / n;
+        let max_wait = records.iter().map(|r| r.wait()).max().unwrap_or(0);
+        let avg_slowdown = records.iter().map(|r| r.slowdown()).sum::<f64>() / n;
+        let avg_bounded_slowdown =
+            records.iter().map(|r| r.bounded_slowdown(10)).sum::<f64>() / n;
+        let backfilled_jobs = records.iter().filter(|r| r.backfilled).count();
+        let start_time = collector.start_time().unwrap_or(0);
+        SimReport {
+            resource_names,
+            jobs_completed: records.len(),
+            start_time,
+            end_time,
+            makespan: end_time.saturating_sub(start_time),
+            resource_utilization: collector.utilizations(capacities, end_time),
+            avg_wait,
+            max_wait,
+            avg_slowdown,
+            avg_bounded_slowdown,
+            backfilled_jobs,
+            decisions,
+            instances,
+            records,
+        }
+    }
+
+    /// Average wait in hours (the unit of the paper's Fig. 6a).
+    pub fn avg_wait_hours(&self) -> f64 {
+        self.avg_wait / 3600.0
+    }
+
+    /// Utilization of the named resource, if present.
+    pub fn utilization_of(&self, name: &str) -> Option<f64> {
+        self.resource_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.resource_utilization[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::resources::SystemConfig;
+
+    #[test]
+    fn collector_integrates_occupancy() {
+        let cfg = SystemConfig::two_resource(10, 10);
+        let mut pools = PoolState::new(&cfg);
+        let mut mc = MetricsCollector::new(2);
+        mc.advance(&pools, 0); // establishes start
+        pools.allocate(&Job::new(0, 0, 100, 100, vec![5, 2]), 0);
+        mc.advance(&pools, 100); // 100 s at 5/10 and 2/10
+        pools.release(0);
+        mc.advance(&pools, 200); // 100 s idle
+        let u = mc.utilizations(&[10, 10], 200);
+        assert!((u[0] - 0.25).abs() < 1e-12, "5 nodes * 100s / (10 * 200s)");
+        assert!((u[1] - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collector_zero_elapsed_is_safe() {
+        let cfg = SystemConfig::two_resource(4, 4);
+        let pools = PoolState::new(&cfg);
+        let mut mc = MetricsCollector::new(2);
+        mc.advance(&pools, 50);
+        assert_eq!(mc.utilizations(&[4, 4], 50), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn report_aggregates_user_metrics() {
+        let cfg = SystemConfig::two_resource(4, 4);
+        let pools = PoolState::new(&cfg);
+        let mut mc = MetricsCollector::new(2);
+        mc.advance(&pools, 0);
+        let records = vec![
+            JobRecord { id: 0, submit: 0, start: 0, end: 100, backfilled: false },
+            JobRecord { id: 1, submit: 0, start: 100, end: 200, backfilled: true },
+        ];
+        let r = SimReport::assemble(
+            vec!["nodes".into(), "bb".into()],
+            records,
+            &mc,
+            &[4, 4],
+            200,
+            5,
+            3,
+        );
+        assert_eq!(r.jobs_completed, 2);
+        assert_eq!(r.makespan, 200);
+        assert!((r.avg_wait - 50.0).abs() < 1e-12);
+        assert_eq!(r.max_wait, 100);
+        assert!((r.avg_slowdown - 1.5).abs() < 1e-12);
+        assert_eq!(r.backfilled_jobs, 1);
+        assert_eq!(r.utilization_of("nodes"), Some(0.0));
+        assert_eq!(r.utilization_of("missing"), None);
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let mc = MetricsCollector::new(1);
+        let r = SimReport::assemble(vec!["nodes".into()], vec![], &mc, &[4], 0, 0, 0);
+        assert_eq!(r.jobs_completed, 0);
+        assert_eq!(r.avg_wait, 0.0);
+        assert_eq!(r.max_wait, 0);
+    }
+
+    #[test]
+    fn wait_hours_conversion() {
+        let mc = MetricsCollector::new(1);
+        let records = vec![JobRecord { id: 0, submit: 0, start: 7200, end: 7300, backfilled: false }];
+        let r = SimReport::assemble(vec!["nodes".into()], records, &mc, &[4], 7300, 1, 1);
+        assert!((r.avg_wait_hours() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! The waiting queue and the scheduling window.
+//!
+//! Jobs wait in arrival order (the facility prioritization policy of the
+//! paper's simulated system is FCFS ordering of the queue itself; the
+//! *policy* then chooses within a window at the queue front, §III-A
+//! "Action"). The window provides the starvation protection of §III-C:
+//! only the `W` oldest waiting jobs are eligible for selection.
+
+use crate::job::JobId;
+
+/// FCFS-ordered waiting queue with window extraction.
+#[derive(Clone, Debug, Default)]
+pub struct WaitQueue {
+    jobs: Vec<JobId>,
+}
+
+impl WaitQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a newly submitted job (queues are arrival-ordered; the
+    /// simulator submits in event order so no sorting is needed).
+    pub fn enqueue(&mut self, job: JobId) {
+        self.jobs.push(job);
+    }
+
+    /// Remove a job that has been started (by selection or backfill).
+    ///
+    /// # Panics
+    /// Panics if the job is not queued.
+    pub fn remove(&mut self, job: JobId) {
+        let idx = self
+            .jobs
+            .iter()
+            .position(|&j| j == job)
+            .unwrap_or_else(|| panic!("WaitQueue::remove: job {job} not queued"));
+        self.jobs.remove(idx);
+    }
+
+    /// The first `window` waiting jobs, oldest first.
+    pub fn window(&self, window: usize) -> &[JobId] {
+        &self.jobs[..window.min(self.jobs.len())]
+    }
+
+    /// All waiting jobs, oldest first.
+    pub fn all(&self) -> &[JobId] {
+        &self.jobs
+    }
+
+    /// Number of waiting jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Is the given job currently queued?
+    pub fn contains(&self, job: JobId) -> bool {
+        self.jobs.contains(&job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = WaitQueue::new();
+        for id in [3, 1, 4, 1 + 4] {
+            q.enqueue(id);
+        }
+        assert_eq!(q.all(), &[3, 1, 4, 5]);
+    }
+
+    #[test]
+    fn window_truncates() {
+        let mut q = WaitQueue::new();
+        for id in 0..5 {
+            q.enqueue(id);
+        }
+        assert_eq!(q.window(3), &[0, 1, 2]);
+        assert_eq!(q.window(10).len(), 5);
+        assert_eq!(q.window(0).len(), 0);
+    }
+
+    #[test]
+    fn remove_middle_preserves_order() {
+        let mut q = WaitQueue::new();
+        for id in 0..4 {
+            q.enqueue(id);
+        }
+        q.remove(1);
+        assert_eq!(q.all(), &[0, 2, 3]);
+        assert!(!q.contains(1));
+        assert!(q.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not queued")]
+    fn remove_missing_panics() {
+        let mut q = WaitQueue::new();
+        q.remove(9);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = WaitQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

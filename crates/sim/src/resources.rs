@@ -1,0 +1,380 @@
+//! Schedulable resources and the live allocation state of the system.
+//!
+//! Every resource is a *pool of interchangeable units* — compute nodes,
+//! terabytes of burst buffer, kilowatts of a power budget. A job requests
+//! an integer unit count per pool and holds those units for its whole
+//! execution. This uniform model is exactly what the paper's state
+//! encoding assumes ("The resource unit can be defined by the system
+//! administrator, e.g., a node for the CPU resource or a TB burst buffer
+//! as the unit for the burst buffer resource", §III-A).
+
+use crate::job::{Job, JobId};
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one schedulable resource pool.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Human-readable name ("nodes", "burst_buffer_tb", "power_kw").
+    pub name: String,
+    /// Total number of interchangeable units in the pool.
+    pub capacity: u64,
+}
+
+impl ResourceSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, capacity: u64) -> Self {
+        Self { name: name.into(), capacity }
+    }
+}
+
+/// Static description of the whole system: an ordered list of pools.
+///
+/// Job demand vectors are aligned with this order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The schedulable resource pools.
+    pub resources: Vec<ResourceSpec>,
+}
+
+impl SystemConfig {
+    /// A system with arbitrary pools.
+    pub fn new(resources: Vec<ResourceSpec>) -> Self {
+        assert!(!resources.is_empty(), "SystemConfig: need at least one resource");
+        Self { resources }
+    }
+
+    /// Two-resource system: compute nodes + burst-buffer units.
+    pub fn two_resource(nodes: u64, burst_buffer: u64) -> Self {
+        Self::new(vec![
+            ResourceSpec::new("nodes", nodes),
+            ResourceSpec::new("burst_buffer_tb", burst_buffer),
+        ])
+    }
+
+    /// Three-resource system of the §V-E case study: nodes, burst buffer,
+    /// and a power budget expressed in kW units.
+    pub fn three_resource(nodes: u64, burst_buffer: u64, power_kw: u64) -> Self {
+        Self::new(vec![
+            ResourceSpec::new("nodes", nodes),
+            ResourceSpec::new("burst_buffer_tb", burst_buffer),
+            ResourceSpec::new("power_kw", power_kw),
+        ])
+    }
+
+    /// The paper's full Theta configuration: 4392 compute nodes and a
+    /// 1.26 PB shared burst buffer in TB units (1293 units), giving the
+    /// state-vector size 4W + 2·4392 + 2·1293 = 11410 for W = 10 (§IV-C).
+    pub fn theta() -> Self {
+        Self::two_resource(4392, 1293)
+    }
+
+    /// A proportionally scaled system used by the default experiments so
+    /// the full train/evaluate pipeline runs at laptop scale: 256 nodes
+    /// and a 75-unit burst buffer (~same node:BB ratio as Theta).
+    pub fn scaled() -> Self {
+        Self::two_resource(256, 75)
+    }
+
+    /// Number of resource pools.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Capacity vector.
+    pub fn capacities(&self) -> Vec<u64> {
+        self.resources.iter().map(|r| r.capacity).collect()
+    }
+
+    /// Validate a job against this system: demand vector length matches
+    /// and no demand exceeds pool capacity (otherwise the job could never
+    /// start and the simulation would deadlock).
+    pub fn validate_job(&self, job: &Job) -> Result<(), String> {
+        if job.demands.len() != self.resources.len() {
+            return Err(format!(
+                "job {} has {} demands but system has {} resources",
+                job.id,
+                job.demands.len(),
+                self.resources.len()
+            ));
+        }
+        for (r, spec) in self.resources.iter().enumerate() {
+            if job.demands[r] > spec.capacity {
+                return Err(format!(
+                    "job {} demands {} {} but capacity is {}",
+                    job.id, job.demands[r], spec.name, spec.capacity
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One running job's allocation, tracked for release-time estimation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The running job.
+    pub job: JobId,
+    /// Units held per resource.
+    pub demands: Vec<u64>,
+    /// Time the job started.
+    pub start: SimTime,
+    /// *Estimated* end time (`start + estimate`) — what policies and
+    /// backfilling may plan with.
+    pub est_end: SimTime,
+    /// Actual end time (`start + runtime`) — simulator-internal.
+    pub actual_end: SimTime,
+}
+
+/// Live allocation state of all pools.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoolState {
+    capacities: Vec<u64>,
+    free: Vec<u64>,
+    running: Vec<Allocation>,
+}
+
+impl PoolState {
+    /// Fresh, fully idle state.
+    pub fn new(config: &SystemConfig) -> Self {
+        let capacities = config.capacities();
+        Self { free: capacities.clone(), capacities, running: Vec::new() }
+    }
+
+    /// Capacity of pool `r`.
+    pub fn capacity(&self, r: usize) -> u64 {
+        self.capacities[r]
+    }
+
+    /// Free units of pool `r`.
+    pub fn free(&self, r: usize) -> u64 {
+        self.free[r]
+    }
+
+    /// Used units of pool `r`.
+    pub fn used(&self, r: usize) -> u64 {
+        self.capacities[r] - self.free[r]
+    }
+
+    /// Instantaneous utilization of pool `r` in `[0, 1]`.
+    pub fn utilization(&self, r: usize) -> f64 {
+        if self.capacities[r] == 0 {
+            0.0
+        } else {
+            self.used(r) as f64 / self.capacities[r] as f64
+        }
+    }
+
+    /// Utilization vector over all pools — the DFP *measurement*.
+    pub fn measurement(&self) -> Vec<f64> {
+        (0..self.capacities.len()).map(|r| self.utilization(r)).collect()
+    }
+
+    /// Number of pools.
+    pub fn num_resources(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Does `demands` fit in the currently free units of every pool?
+    pub fn fits(&self, demands: &[u64]) -> bool {
+        demands.iter().zip(&self.free).all(|(d, f)| d <= f)
+    }
+
+    /// Currently running allocations (unsorted).
+    pub fn running(&self) -> &[Allocation] {
+        &self.running
+    }
+
+    /// Number of running jobs.
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Allocate for a starting job.
+    ///
+    /// # Panics
+    /// Panics if the job does not fit — callers must check [`fits`] first.
+    ///
+    /// [`fits`]: PoolState::fits
+    pub fn allocate(&mut self, job: &Job, now: SimTime) {
+        assert!(self.fits(&job.demands), "allocate: job {} does not fit", job.id);
+        for (f, d) in self.free.iter_mut().zip(&job.demands) {
+            *f -= d;
+        }
+        self.running.push(Allocation {
+            job: job.id,
+            demands: job.demands.clone(),
+            start: now,
+            est_end: now + job.estimate,
+            actual_end: now + job.runtime,
+        });
+    }
+
+    /// Release the allocation of a finishing job, returning it.
+    ///
+    /// # Panics
+    /// Panics if the job is not running.
+    pub fn release(&mut self, job: JobId) -> Allocation {
+        let idx = self
+            .running
+            .iter()
+            .position(|a| a.job == job)
+            .unwrap_or_else(|| panic!("release: job {job} is not running"));
+        let alloc = self.running.swap_remove(idx);
+        for (f, d) in self.free.iter_mut().zip(&alloc.demands) {
+            *f += d;
+        }
+        alloc
+    }
+
+    /// Per-unit `(available, estimated seconds until free)` encoding of
+    /// pool `r` at time `now` — the state representation of §III-A.
+    ///
+    /// Free units come first as `(1.0, 0.0)`; occupied units follow in
+    /// ascending estimated-release order (ties broken by job id) so the
+    /// encoding is deterministic. If a running job has overstayed its
+    /// estimate the remaining time clamps to zero.
+    pub fn unit_vector(&self, r: usize, now: SimTime) -> Vec<(f32, f32)> {
+        let mut v = Vec::with_capacity(self.capacities[r] as usize);
+        for _ in 0..self.free[r] {
+            v.push((1.0, 0.0));
+        }
+        let mut occupied: Vec<(SimTime, JobId, u64)> = self
+            .running
+            .iter()
+            .filter(|a| a.demands[r] > 0)
+            .map(|a| (a.est_end, a.job, a.demands[r]))
+            .collect();
+        occupied.sort_unstable();
+        for (est_end, _, units) in occupied {
+            let remaining = est_end.saturating_sub(now) as f32;
+            for _ in 0..units {
+                v.push((0.0, remaining));
+            }
+        }
+        debug_assert_eq!(v.len() as u64, self.capacities[r]);
+        v
+    }
+
+    /// Estimated free units of pool `r` at future time `t`, assuming every
+    /// running job releases at its *estimated* end and nothing new starts.
+    pub fn projected_free(&self, r: usize, t: SimTime) -> u64 {
+        let mut free = self.free[r];
+        for a in &self.running {
+            if a.est_end <= t {
+                free += a.demands[r];
+            }
+        }
+        free
+    }
+
+    /// Internal consistency check: free + Σ running demands == capacity
+    /// for every pool. Used by tests and debug assertions.
+    pub fn check_conservation(&self) -> bool {
+        (0..self.capacities.len()).all(|r| {
+            let held: u64 = self.running.iter().map(|a| a.demands[r]).sum();
+            self.free[r] + held == self.capacities[r]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: JobId, runtime: SimTime, est: SimTime, demands: Vec<u64>) -> Job {
+        Job::new(id, 0, runtime, est, demands)
+    }
+
+    #[test]
+    fn theta_state_vector_size_matches_paper() {
+        // §IV-C: [4W + 2*N1 + 2*N2, 1] = [11410, 1] with W = 10.
+        let cfg = SystemConfig::theta();
+        let w = 10;
+        let n1 = cfg.resources[0].capacity as usize;
+        let n2 = cfg.resources[1].capacity as usize;
+        assert_eq!(4 * w + 2 * n1 + 2 * n2, 11410);
+    }
+
+    #[test]
+    fn allocate_release_conserves_units() {
+        let cfg = SystemConfig::two_resource(10, 5);
+        let mut pools = PoolState::new(&cfg);
+        let j = job(0, 100, 120, vec![4, 2]);
+        assert!(pools.fits(&j.demands));
+        pools.allocate(&j, 0);
+        assert_eq!(pools.free(0), 6);
+        assert_eq!(pools.free(1), 3);
+        assert!(pools.check_conservation());
+        let alloc = pools.release(0);
+        assert_eq!(alloc.est_end, 120);
+        assert_eq!(alloc.actual_end, 100);
+        assert_eq!(pools.free(0), 10);
+        assert!(pools.check_conservation());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn over_allocate_panics() {
+        let cfg = SystemConfig::two_resource(2, 2);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 10, 10, vec![3, 0]), 0);
+    }
+
+    #[test]
+    fn utilization_and_measurement() {
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 10, 10, vec![5, 1]), 0);
+        assert!((pools.utilization(0) - 0.5).abs() < 1e-12);
+        assert!((pools.utilization(1) - 0.25).abs() < 1e-12);
+        assert_eq!(pools.measurement(), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn unit_vector_orders_by_release_time() {
+        let cfg = SystemConfig::two_resource(4, 2);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 50, 60, vec![1, 0]), 0);
+        pools.allocate(&job(1, 20, 30, vec![2, 0]), 0);
+        let v = pools.unit_vector(0, 10);
+        // 1 free unit, then job1's 2 units (est release 30-10=20), then job0's.
+        assert_eq!(v[0], (1.0, 0.0));
+        assert_eq!(v[1], (0.0, 20.0));
+        assert_eq!(v[2], (0.0, 20.0));
+        assert_eq!(v[3], (0.0, 50.0));
+    }
+
+    #[test]
+    fn unit_vector_clamps_overstayed_estimates() {
+        let cfg = SystemConfig::two_resource(1, 1);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 100, 10, vec![1, 1]), 0);
+        // estimate = max(10, runtime) = 100 per Job::new; craft manually:
+        let v = pools.unit_vector(0, 500);
+        assert_eq!(v[0].1, 0.0, "past-estimate remaining time clamps to 0");
+    }
+
+    #[test]
+    fn projected_free_uses_estimates() {
+        let cfg = SystemConfig::two_resource(4, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 100, 100, vec![3, 0]), 0); // est end 100
+        assert_eq!(pools.projected_free(0, 50), 1);
+        assert_eq!(pools.projected_free(0, 100), 4);
+    }
+
+    #[test]
+    fn validate_job_catches_mismatches() {
+        let cfg = SystemConfig::two_resource(4, 4);
+        assert!(cfg.validate_job(&job(0, 1, 1, vec![1, 1])).is_ok());
+        assert!(cfg.validate_job(&job(1, 1, 1, vec![1])).is_err());
+        assert!(cfg.validate_job(&job(2, 1, 1, vec![5, 0])).is_err());
+    }
+
+    #[test]
+    fn named_configs() {
+        assert_eq!(SystemConfig::theta().capacities(), vec![4392, 1293]);
+        assert_eq!(SystemConfig::three_resource(8, 4, 500).num_resources(), 3);
+    }
+}

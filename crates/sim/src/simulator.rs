@@ -1,0 +1,608 @@
+//! The discrete-event simulation engine (the CQSim replacement).
+
+use crate::backfill::{can_backfill, compute_reservation};
+use crate::event::{EventKind, EventQueue};
+use crate::job::{Job, JobId, JobRecord, JobState};
+use crate::metrics::{MetricsCollector, SimReport};
+use crate::policy::{JobView, Policy, SchedulerView, StepFeedback};
+use crate::queue::WaitQueue;
+use crate::resources::{PoolState, SystemConfig};
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Tunable simulator parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Scheduling-window size `W` (the paper uses 10).
+    pub window: usize,
+    /// Enable the reservation + EASY-backfilling starvation protection.
+    /// Disabling it reproduces the "directly applying DFP ... results in
+    /// severe job starvation" ablation of §III-C.
+    pub backfill: bool,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self { window: 10, backfill: true }
+    }
+}
+
+/// Errors raised when constructing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A job is inconsistent with the system configuration.
+    InvalidJob(String),
+    /// Job ids must equal their index in the trace vector.
+    NonDenseIds(JobId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            SimError::NonDenseIds(id) => {
+                write!(f, "job ids must be dense; found out-of-place id {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The trace-driven simulator.
+///
+/// Owns the job table, event queue, waiting queue, pool state and metric
+/// accumulators; [`Simulator::run`] drives a [`Policy`] over the whole
+/// trace and returns the [`SimReport`].
+#[derive(Debug)]
+pub struct Simulator {
+    config: SystemConfig,
+    params: SimParams,
+    jobs: Vec<Job>,
+    states: Vec<JobState>,
+    events: EventQueue,
+    queue: WaitQueue,
+    pools: PoolState,
+    collector: MetricsCollector,
+    records: Vec<JobRecord>,
+    now: SimTime,
+    decisions: u64,
+    instances: u64,
+    finished: usize,
+}
+
+impl Simulator {
+    /// Build a simulator over a trace.
+    ///
+    /// Job ids must be dense (`jobs[i].id == i`) and every job must be
+    /// feasible on the system (`demands <= capacity` per resource).
+    pub fn new(
+        config: SystemConfig,
+        jobs: Vec<Job>,
+        params: SimParams,
+    ) -> Result<Self, SimError> {
+        for (i, job) in jobs.iter().enumerate() {
+            if job.id != i {
+                return Err(SimError::NonDenseIds(job.id));
+            }
+            config
+                .validate_job(job)
+                .map_err(SimError::InvalidJob)?;
+        }
+        let mut events = EventQueue::new();
+        for job in &jobs {
+            events.push(job.submit, EventKind::Submit(job.id));
+        }
+        let pools = PoolState::new(&config);
+        let nres = config.num_resources();
+        let states = vec![JobState::Queued; jobs.len()];
+        Ok(Self {
+            config,
+            params,
+            jobs,
+            states,
+            events,
+            queue: WaitQueue::new(),
+            pools,
+            collector: MetricsCollector::new(nres),
+            records: Vec::new(),
+            now: 0,
+            decisions: 0,
+            instances: 0,
+            finished: 0,
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Run the whole trace under `policy`, returning the report.
+    pub fn run(&mut self, policy: &mut dyn Policy) -> SimReport {
+        while let Some(event) = self.events.pop() {
+            // Advance the utilization integral to the event time *before*
+            // applying occupancy changes.
+            self.collector.advance(&self.pools, event.time);
+            self.now = event.time;
+            self.apply(event.kind);
+            // Batch: apply every event with the same timestamp, then run a
+            // single scheduling instance.
+            while self.events.peek_time() == Some(self.now) {
+                let e = self.events.pop().expect("peeked");
+                self.apply(e.kind);
+            }
+            self.schedule(policy);
+        }
+        let report = self.report();
+        policy.episode_end(&report);
+        report
+    }
+
+    fn apply(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Submit(id) => {
+                debug_assert_eq!(self.states[id], JobState::Queued);
+                self.queue.enqueue(id);
+            }
+            EventKind::Finish(id) => {
+                let alloc = self.pools.release(id);
+                self.states[id] = JobState::Finished;
+                self.finished += 1;
+                let backfilled = self
+                    .records
+                    .iter()
+                    .rev()
+                    .find(|r| r.id == id)
+                    .map(|r| r.backfilled)
+                    .unwrap_or(false);
+                // Replace the provisional record written at start time.
+                if let Some(rec) = self.records.iter_mut().rev().find(|r| r.id == id) {
+                    rec.end = self.now;
+                } else {
+                    self.records.push(JobRecord {
+                        id,
+                        submit: self.jobs[id].submit,
+                        start: alloc.start,
+                        end: self.now,
+                        backfilled,
+                    });
+                }
+            }
+        }
+    }
+
+    fn start_job(&mut self, id: JobId, backfilled: bool) {
+        let job = &self.jobs[id];
+        self.pools.allocate(job, self.now);
+        self.states[id] = JobState::Running;
+        self.queue.remove(id);
+        self.events.push(self.now + job.runtime, EventKind::Finish(id));
+        self.records.push(JobRecord {
+            id,
+            submit: job.submit,
+            start: self.now,
+            end: self.now + job.runtime, // provisional; confirmed at Finish
+            backfilled,
+        });
+        debug_assert!(self.pools.check_conservation());
+    }
+
+    /// One scheduling instance: selection loop, then reservation +
+    /// backfilling.
+    fn schedule(&mut self, policy: &mut dyn Policy) {
+        if self.queue.is_empty() {
+            return;
+        }
+        self.instances += 1;
+        let mut reserved: Option<JobId> = None;
+        loop {
+            if self.queue.is_empty() {
+                break;
+            }
+            let selection = {
+                let view = self.view();
+                policy.select(&view)
+            };
+            self.decisions += 1;
+            let window = self.queue.window(self.params.window);
+            let idx = match selection {
+                Some(i) if i < window.len() => i,
+                _ => break,
+            };
+            let jid = window[idx];
+            let fits = self.pools.fits(&self.jobs[jid].demands);
+            if fits {
+                self.start_job(jid, false);
+                let fb = StepFeedback {
+                    decision: self.decisions - 1,
+                    action: idx,
+                    job: jid,
+                    started: true,
+                    measurement: self.pools.measurement(),
+                    now: self.now,
+                };
+                policy.feedback(&fb);
+            } else {
+                let fb = StepFeedback {
+                    decision: self.decisions - 1,
+                    action: idx,
+                    job: jid,
+                    started: false,
+                    measurement: self.pools.measurement(),
+                    now: self.now,
+                };
+                policy.feedback(&fb);
+                reserved = Some(jid);
+                break;
+            }
+        }
+        if self.params.backfill {
+            if let Some(res_id) = reserved {
+                self.backfill_pass(res_id);
+            }
+        }
+    }
+
+    /// EASY backfilling behind the reservation for `res_id`.
+    fn backfill_pass(&mut self, res_id: JobId) {
+        loop {
+            let plan = compute_reservation(&self.pools, &self.jobs[res_id], self.now);
+            let candidate = self
+                .queue
+                .all()
+                .iter()
+                .copied()
+                .filter(|&j| j != res_id)
+                .find(|&j| can_backfill(&plan, &self.pools, &self.jobs[j], self.now));
+            match candidate {
+                Some(j) => self.start_job(j, true),
+                None => break,
+            }
+        }
+    }
+
+    fn view(&self) -> SchedulerView<'_> {
+        let window = self
+            .queue
+            .window(self.params.window)
+            .iter()
+            .map(|&id| JobView {
+                job: &self.jobs[id],
+                queued: self.now.saturating_sub(self.jobs[id].submit),
+            })
+            .collect();
+        SchedulerView {
+            now: self.now,
+            instance: self.instances,
+            decision: self.decisions,
+            window,
+            pools: &self.pools,
+            config: &self.config,
+            queued: self.queue.all(),
+            jobs: &self.jobs,
+        }
+    }
+
+    fn report(&self) -> SimReport {
+        SimReport::assemble(
+            self.config.resources.iter().map(|r| r.name.clone()).collect(),
+            self.records
+                .iter()
+                .filter(|r| self.states[r.id] == JobState::Finished)
+                .copied()
+                .collect(),
+            &self.collector,
+            &self.config.capacities(),
+            self.now,
+            self.decisions,
+            self.instances,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::HeadOfQueue;
+
+    fn sys(nodes: u64, bb: u64) -> SystemConfig {
+        SystemConfig::two_resource(nodes, bb)
+    }
+
+    fn run_fcfs(config: SystemConfig, jobs: Vec<Job>) -> SimReport {
+        let mut sim = Simulator::new(config, jobs, SimParams::default()).unwrap();
+        sim.run(&mut HeadOfQueue)
+    }
+
+    #[test]
+    fn single_job_executes_exactly() {
+        let report = run_fcfs(sys(4, 4), vec![Job::new(0, 10, 100, 120, vec![2, 1])]);
+        assert_eq!(report.jobs_completed, 1);
+        let rec = &report.records[0];
+        assert_eq!(rec.start, 10);
+        assert_eq!(rec.end, 110, "runs for actual runtime, not estimate");
+        assert_eq!(report.makespan, 100);
+    }
+
+    #[test]
+    fn serial_execution_when_jobs_conflict() {
+        // Both jobs need all nodes: second starts when first finishes.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![4, 0]),
+            Job::new(1, 0, 50, 50, vec![4, 0]),
+        ];
+        let report = run_fcfs(sys(4, 4), jobs);
+        assert_eq!(report.records[0].start, 0);
+        assert_eq!(report.records[1].start, 100);
+        assert_eq!(report.end_time, 150);
+    }
+
+    #[test]
+    fn parallel_execution_when_resources_allow() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 0, 100, 100, vec![2, 0]),
+        ];
+        let report = run_fcfs(sys(4, 4), jobs);
+        assert_eq!(report.records[0].start, 0);
+        assert_eq!(report.records[1].start, 0);
+        assert_eq!(report.makespan, 100);
+    }
+
+    #[test]
+    fn burst_buffer_contention_serializes() {
+        // Plenty of nodes, but both jobs want the whole burst buffer.
+        let jobs = vec![
+            Job::new(0, 0, 60, 60, vec![1, 4]),
+            Job::new(1, 0, 60, 60, vec![1, 4]),
+        ];
+        let report = run_fcfs(sys(16, 4), jobs);
+        assert_eq!(report.records[1].start, 60, "BB is the bottleneck");
+    }
+
+    #[test]
+    fn easy_backfill_lets_short_job_skip() {
+        // t=0: J0 takes all 4 nodes for 100 s.
+        // J1 (4 nodes) must wait -> reserved at shadow=100.
+        // J2 (1 node, 50 s) fits now and ends before the shadow: backfills.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![4, 0]),
+            Job::new(1, 1, 100, 100, vec![4, 0]),
+            Job::new(2, 2, 50, 50, vec![1, 0]),
+        ];
+        // 5 nodes: J0 leaves 1 free.
+        let report = run_fcfs(sys(5, 4), jobs);
+        let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(rec2.start, 2, "short job backfills immediately on arrival");
+        assert!(rec2.backfilled);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 100, "reservation honored, not delayed");
+        assert_eq!(report.backfilled_jobs, 1);
+    }
+
+    #[test]
+    fn backfill_never_delays_reservation() {
+        // J2 would delay J1 if allowed to backfill (runs 500 s on the one
+        // free node while J1 needs all 5 at t=100).
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![4, 0]),
+            Job::new(1, 1, 100, 100, vec![5, 0]),
+            Job::new(2, 2, 500, 500, vec![1, 0]),
+        ];
+        let report = run_fcfs(sys(5, 4), jobs);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 100, "reservation must not be delayed");
+        let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+        assert!(rec2.start >= 100, "long job waits behind the reservation");
+    }
+
+    #[test]
+    fn backfill_disabled_blocks_short_jobs() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![4, 0]),
+            Job::new(1, 1, 100, 100, vec![4, 0]),
+            Job::new(2, 2, 50, 50, vec![1, 0]),
+        ];
+        let mut sim = Simulator::new(
+            sys(5, 4),
+            jobs,
+            SimParams { window: 10, backfill: false },
+        )
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+        assert!(rec2.start >= 100, "without backfill the short job waits");
+        assert_eq!(report.backfilled_jobs, 0);
+    }
+
+    #[test]
+    fn all_jobs_complete_and_ids_preserved() {
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| Job::new(i, (i as SimTime) * 10, 30 + i as SimTime, 60, vec![1 + (i as u64 % 3), i as u64 % 2]))
+            .collect();
+        let report = run_fcfs(sys(6, 6), jobs);
+        assert_eq!(report.jobs_completed, 20);
+        for (i, rec) in report.records.iter().enumerate() {
+            assert_eq!(rec.id, i);
+            assert!(rec.start >= rec.submit);
+            assert!(rec.end > rec.start);
+        }
+    }
+
+    #[test]
+    fn utilization_exact_for_simple_case() {
+        // One job occupying half the nodes for the whole makespan.
+        let report = run_fcfs(sys(4, 4), vec![Job::new(0, 0, 100, 100, vec![2, 0])]);
+        assert!((report.resource_utilization[0] - 0.5).abs() < 1e-9);
+        assert_eq!(report.resource_utilization[1], 0.0);
+    }
+
+    #[test]
+    fn rejects_infeasible_job() {
+        let err = Simulator::new(
+            sys(4, 4),
+            vec![Job::new(0, 0, 10, 10, vec![5, 0])],
+            SimParams::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidJob(_)));
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let err = Simulator::new(
+            sys(4, 4),
+            vec![Job::new(3, 0, 10, 10, vec![1, 0])],
+            SimParams::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::NonDenseIds(3));
+    }
+
+    #[test]
+    fn window_limits_policy_choice() {
+        // Policy that always selects the LAST window entry; with window=1
+        // it behaves exactly like FCFS.
+        struct LastInWindow;
+        impl Policy for LastInWindow {
+            fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+                if view.window.is_empty() {
+                    None
+                } else {
+                    Some(view.window.len() - 1)
+                }
+            }
+        }
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 0, 100, 100, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            jobs.clone(),
+            SimParams { window: 1, backfill: true },
+        )
+        .unwrap();
+        let report = sim.run(&mut LastInWindow);
+        assert_eq!(report.records[0].start, 0, "window=1 forces FCFS order");
+        assert_eq!(report.records[1].start, 100);
+    }
+
+    #[test]
+    fn policy_receives_feedback_for_each_decision() {
+        #[derive(Default)]
+        struct Counting {
+            feedbacks: usize,
+            starts: usize,
+            reserves: usize,
+            episode_ends: usize,
+        }
+        impl Policy for Counting {
+            fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+                (!view.window.is_empty()).then_some(0)
+            }
+            fn feedback(&mut self, fb: &StepFeedback) {
+                self.feedbacks += 1;
+                if fb.started {
+                    self.starts += 1;
+                } else {
+                    self.reserves += 1;
+                }
+            }
+            fn episode_end(&mut self, _r: &SimReport) {
+                self.episode_ends += 1;
+            }
+        }
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 0, 100, 100, vec![2, 0]), // forces a reservation
+        ];
+        let mut p = Counting::default();
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.run(&mut p);
+        assert_eq!(p.starts, 2);
+        assert!(p.reserves >= 1, "the conflicting job must be reserved");
+        assert_eq!(p.episode_ends, 1);
+        assert_eq!(p.feedbacks, p.starts + p.reserves);
+    }
+
+    #[test]
+    fn simultaneous_finish_and_submit_processed_in_order() {
+        // J1 arrives exactly when J0 finishes: must start immediately.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 100, 10, 10, vec![2, 0]),
+        ];
+        let report = run_fcfs(sys(2, 2), jobs);
+        assert_eq!(report.records[1].start, 100);
+    }
+
+    #[test]
+    fn overstayed_estimate_handled() {
+        // Job 0's estimate is shorter than runtime (user under-estimate;
+        // Job::new clamps estimate >= runtime, so craft via raw struct).
+        let j0 = Job { id: 0, submit: 0, runtime: 100, estimate: 50, demands: vec![2, 0] };
+        let j1 = Job::new(1, 10, 10, 10, vec![2, 0]);
+        let report = run_fcfs(sys(2, 2), vec![j0, j1]);
+        // J1 reserved with shadow=50 (estimate), but J0 actually runs to 100.
+        // At t=100 the finish event retriggers scheduling; J1 starts then.
+        assert_eq!(report.records[1].start, 100);
+        assert_eq!(report.jobs_completed, 2);
+    }
+
+    #[test]
+    fn three_resource_power_budget_enforced() {
+        // 3 jobs, each drawing 4 kW of a 10 kW budget: only two co-run
+        // even though nodes and BB are plentiful.
+        let config = SystemConfig::three_resource(100, 100, 10);
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![10, 5, 4]),
+            Job::new(1, 0, 100, 100, vec![10, 5, 4]),
+            Job::new(2, 0, 100, 100, vec![10, 5, 4]),
+        ];
+        let mut sim = Simulator::new(config, jobs, SimParams::default()).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let starts: Vec<SimTime> =
+            report.records.iter().map(|r| r.start).collect();
+        assert_eq!(starts[0], 0);
+        assert_eq!(starts[1], 0);
+        assert_eq!(starts[2], 100, "third job must wait for the power budget");
+        // Power utilization: 8/10 for first 100 s, 4/10 for next 100 s.
+        assert!((report.resource_utilization[2] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_respects_power_dimension() {
+        // Reservation on power: the backfill candidate fits nodes/BB but
+        // would consume power needed by the reserved job.
+        let config = SystemConfig::three_resource(100, 100, 10);
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![10, 0, 8]), // running, 8 kW
+            Job::new(1, 1, 50, 50, vec![10, 0, 6]),   // reserved (needs 6)
+            Job::new(2, 2, 500, 500, vec![1, 0, 2]),  // long candidate, 2 kW
+        ];
+        let mut sim = Simulator::new(config, jobs, SimParams::default()).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 100, "reservation honored on the power axis");
+        let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+        // extra_power = projected_free(100)=10 minus reserved 6 = 4 >= 2:
+        // the long candidate may backfill without delaying the reservation.
+        assert_eq!(rec2.start, 2);
+        assert!(rec2.backfilled);
+    }
+
+    #[test]
+    fn decisions_and_instances_counted() {
+        let jobs = vec![Job::new(0, 0, 10, 10, vec![1, 0])];
+        let report = run_fcfs(sys(2, 2), jobs);
+        assert!(report.decisions >= 1);
+        assert!(report.instances >= 1);
+    }
+}

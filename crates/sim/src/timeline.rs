@@ -1,0 +1,204 @@
+//! Post-hoc utilization timelines.
+//!
+//! The paper's utilization metrics are single time-averaged numbers; for
+//! plotting (and for debugging schedules) a *time series* of occupancy is
+//! more useful. This module reconstructs per-resource occupancy over time
+//! from a finished run's job records via an event sweep — no simulator
+//! instrumentation required, and it works on any [`SimReport`].
+
+use crate::job::Job;
+use crate::metrics::SimReport;
+use crate::SimTime;
+
+/// A step function of per-resource used units over time.
+///
+/// `points[k] = (t_k, used)` means the occupancy vector equals `used`
+/// on `[t_k, t_{k+1})`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Timeline {
+    /// Change points in ascending time order.
+    pub points: Vec<(SimTime, Vec<u64>)>,
+    /// Capacities, for normalization.
+    pub capacities: Vec<u64>,
+}
+
+impl Timeline {
+    /// Build the occupancy timeline of a finished run.
+    ///
+    /// `jobs` must be the same table the simulation ran over (records
+    /// reference job ids for their demand vectors).
+    pub fn from_report(report: &SimReport, jobs: &[Job], capacities: &[u64]) -> Timeline {
+        let nres = capacities.len();
+        // (time, +1/-1, job) events; release before acquire at ties.
+        let mut events: Vec<(SimTime, i8, usize)> = Vec::new();
+        for rec in &report.records {
+            events.push((rec.start, 1, rec.id));
+            events.push((rec.end, -1, rec.id));
+        }
+        events.sort_by_key(|&(t, sign, _)| (t, sign));
+        let mut used = vec![0i64; nres];
+        let mut points: Vec<(SimTime, Vec<u64>)> = Vec::new();
+        let mut i = 0usize;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                let (_, sign, id) = events[i];
+                for (r, &d) in jobs[id].demands.iter().enumerate() {
+                    used[r] += sign as i64 * d as i64;
+                }
+                i += 1;
+            }
+            points.push((t, used.iter().map(|&u| u.max(0) as u64).collect()));
+        }
+        Timeline { points, capacities: capacities.to_vec() }
+    }
+
+    /// Occupancy vector at time `t` (the step value in force at `t`).
+    pub fn at(&self, t: SimTime) -> Vec<u64> {
+        match self.points.binary_search_by_key(&t, |&(pt, _)| pt) {
+            Ok(idx) => self.points[idx].1.clone(),
+            Err(0) => vec![0; self.capacities.len()],
+            Err(idx) => self.points[idx - 1].1.clone(),
+        }
+    }
+
+    /// Utilization (0..1) of resource `r` at time `t`.
+    pub fn utilization_at(&self, r: usize, t: SimTime) -> f64 {
+        if self.capacities[r] == 0 {
+            return 0.0;
+        }
+        self.at(t)[r] as f64 / self.capacities[r] as f64
+    }
+
+    /// Sample utilization of resource `r` at `n` evenly spaced times over
+    /// `[start, end]` — ready-to-plot series.
+    pub fn sample(&self, r: usize, start: SimTime, end: SimTime, n: usize) -> Vec<(SimTime, f64)> {
+        assert!(n >= 2 && end > start, "sample: need n>=2 and end>start");
+        (0..n)
+            .map(|k| {
+                let t = start + (end - start) * k as u64 / (n as u64 - 1);
+                (t, self.utilization_at(r, t))
+            })
+            .collect()
+    }
+
+    /// Peak occupancy per resource over the whole timeline.
+    pub fn peak(&self) -> Vec<u64> {
+        let nres = self.capacities.len();
+        let mut peak = vec![0u64; nres];
+        for (_, used) in &self.points {
+            for r in 0..nres {
+                peak[r] = peak[r].max(used[r]);
+            }
+        }
+        peak
+    }
+
+    /// Time-weighted average utilization per resource between the first
+    /// and last change points — must agree with the simulator's own
+    /// integral on the same span.
+    pub fn mean_utilization(&self) -> Vec<f64> {
+        let nres = self.capacities.len();
+        if self.points.len() < 2 {
+            return vec![0.0; nres];
+        }
+        let t0 = self.points.first().unwrap().0;
+        let t1 = self.points.last().unwrap().0;
+        let span = (t1 - t0).max(1) as f64;
+        let mut acc = vec![0.0f64; nres];
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0) as f64;
+            for (a, &u) in acc.iter_mut().zip(&w[0].1) {
+                *a += u as f64 * dt;
+            }
+        }
+        (0..nres)
+            .map(|r| {
+                if self.capacities[r] == 0 {
+                    0.0
+                } else {
+                    acc[r] / (self.capacities[r] as f64 * span)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::HeadOfQueue;
+    use crate::resources::SystemConfig;
+    use crate::simulator::{SimParams, Simulator};
+
+    fn run(jobs: Vec<Job>) -> (SimReport, Vec<Job>, Vec<u64>) {
+        let config = SystemConfig::two_resource(8, 4);
+        let caps = config.capacities();
+        let mut sim = Simulator::new(config, jobs.clone(), SimParams::default()).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        (report, jobs, caps)
+    }
+
+    #[test]
+    fn occupancy_steps_match_schedule() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![4, 2]),
+            Job::new(1, 50, 100, 100, vec![4, 2]),
+        ];
+        let (report, jobs, caps) = run(jobs);
+        let tl = Timeline::from_report(&report, &jobs, &caps);
+        assert_eq!(tl.at(0), vec![4, 2]);
+        assert_eq!(tl.at(75), vec![8, 4], "both running in overlap");
+        assert_eq!(tl.at(120), vec![4, 2], "first finished at t=100");
+        assert_eq!(tl.at(1000), vec![0, 0]);
+        assert_eq!(tl.peak(), vec![8, 4]);
+    }
+
+    #[test]
+    fn utilization_before_first_event_is_zero() {
+        let jobs = vec![Job::new(0, 100, 50, 50, vec![2, 0])];
+        let (report, jobs, caps) = run(jobs);
+        let tl = Timeline::from_report(&report, &jobs, &caps);
+        assert_eq!(tl.utilization_at(0, 0), 0.0);
+        assert_eq!(tl.utilization_at(0, 120), 0.25);
+    }
+
+    #[test]
+    fn mean_matches_simulator_integral() {
+        let jobs = vec![
+            Job::new(0, 0, 200, 200, vec![4, 0]),
+            Job::new(1, 0, 100, 100, vec![4, 4]),
+            Job::new(2, 50, 300, 400, vec![2, 1]),
+        ];
+        let (report, jobs, caps) = run(jobs);
+        let tl = Timeline::from_report(&report, &jobs, &caps);
+        let mean = tl.mean_utilization();
+        for (r, &sim_util) in report.resource_utilization.iter().enumerate() {
+            assert!(
+                (mean[r] - sim_util).abs() < 1e-9,
+                "resource {r}: timeline {} vs simulator {}",
+                mean[r],
+                sim_util
+            );
+        }
+    }
+
+    #[test]
+    fn sample_produces_monotone_times() {
+        let jobs = vec![Job::new(0, 0, 500, 500, vec![8, 0])];
+        let (report, jobs, caps) = run(jobs);
+        let tl = Timeline::from_report(&report, &jobs, &caps);
+        let series = tl.sample(0, 0, 500, 11);
+        assert_eq!(series.len(), 11);
+        assert!(series.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!((series[5].1 - 1.0).abs() < 1e-12, "fully busy mid-run");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let tl = Timeline { points: vec![], capacities: vec![4, 4] };
+        assert_eq!(tl.at(10), vec![0, 0]);
+        assert_eq!(tl.mean_utilization(), vec![0.0, 0.0]);
+        assert_eq!(tl.peak(), vec![0, 0]);
+    }
+}

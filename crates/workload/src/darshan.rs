@@ -1,0 +1,118 @@
+//! Darshan-style burst-buffer request assignment (§IV-A of the paper).
+//!
+//! The paper extends the CPU-only Theta trace with burst-buffer requests
+//! by mining Darshan I/O logs: 40 % of jobs had Darshan records, 17.18 %
+//! of all jobs moved more than 1 GB, and the assigned request sizes range
+//! from 1 GB to 285 TB against a 1.26 PB shared burst buffer. This module
+//! reproduces that assignment statistically: a configurable fraction of
+//! jobs receives a heavy-tailed (log-uniform) request in a configurable
+//! range, everything else gets zero.
+
+use crate::dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Darshan-like burst-buffer assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DarshanConfig {
+    /// Fraction of jobs that receive any burst-buffer request
+    /// (the paper: 17.18 % of jobs moved > 1 GB).
+    pub participation: f64,
+    /// Smallest assigned request, in GB (paper: 1 GB).
+    pub min_gb: f64,
+    /// Largest assigned request, in GB (paper: 285 TB = 291 840 GB).
+    pub max_gb: f64,
+}
+
+impl Default for DarshanConfig {
+    fn default() -> Self {
+        Self { participation: 0.1718, min_gb: 1.0, max_gb: 285.0 * 1024.0 }
+    }
+}
+
+impl DarshanConfig {
+    /// Assign a burst-buffer request (in GB) to each of `n` jobs.
+    /// Non-participating jobs get `0.0`.
+    pub fn assign(&self, n: usize, seed: u64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&self.participation));
+        assert!(self.min_gb > 0.0 && self.max_gb >= self.min_gb);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < self.participation {
+                    dist::log_uniform(&mut rng, self.min_gb, self.max_gb)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Convert a GB request into whole burst-buffer units for a pool of
+    /// `bb_capacity_units` units representing `bb_capacity_gb` total GB.
+    /// Requests round up to a whole unit and clamp to the pool size.
+    pub fn gb_to_units(request_gb: f64, bb_capacity_gb: f64, bb_capacity_units: u64) -> u64 {
+        if request_gb <= 0.0 || bb_capacity_gb <= 0.0 || bb_capacity_units == 0 {
+            return 0;
+        }
+        let unit_gb = bb_capacity_gb / bb_capacity_units as f64;
+        ((request_gb / unit_gb).ceil() as u64).min(bb_capacity_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn participation_fraction_approximately_held() {
+        let cfg = DarshanConfig::default();
+        let reqs = cfg.assign(50_000, 1);
+        let frac = reqs.iter().filter(|&&r| r > 0.0).count() as f64 / reqs.len() as f64;
+        assert!((frac - 0.1718).abs() < 0.01, "participation {frac}");
+    }
+
+    #[test]
+    fn requests_within_paper_range() {
+        let cfg = DarshanConfig::default();
+        for r in cfg.assign(10_000, 2) {
+            if r > 0.0 {
+                assert!((1.0..=285.0 * 1024.0).contains(&r), "{r} GB out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present() {
+        let cfg = DarshanConfig::default();
+        let reqs = cfg.assign(50_000, 3);
+        let positive: Vec<f64> = reqs.into_iter().filter(|&r| r > 0.0).collect();
+        let over_1tb = positive.iter().filter(|&&r| r > 1024.0).count() as f64
+            / positive.len() as f64;
+        // log-uniform over 1 GB..285 TB: P(>1TB) = ln(285)/ln(291840) ≈ 0.45.
+        assert!((over_1tb - 0.449).abs() < 0.03, "tail mass {over_1tb}");
+    }
+
+    #[test]
+    fn gb_to_units_rounds_up_and_clamps() {
+        // 1.26 PB over 1293 units -> ~1 TB units (1021.6 GB each).
+        let cap_gb = 1.26e6;
+        let units = 1293;
+        assert_eq!(DarshanConfig::gb_to_units(0.0, cap_gb, units), 0);
+        assert_eq!(DarshanConfig::gb_to_units(1.0, cap_gb, units), 1);
+        assert_eq!(DarshanConfig::gb_to_units(2000.0, cap_gb, units), 3);
+        assert_eq!(
+            DarshanConfig::gb_to_units(9e9, cap_gb, units),
+            units,
+            "clamps to pool size"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = DarshanConfig::default();
+        assert_eq!(cfg.assign(100, 7), cfg.assign(100, 7));
+        assert_ne!(cfg.assign(100, 7), cfg.assign(100, 8));
+    }
+}

@@ -1,0 +1,188 @@
+//! Probability distributions built on plain `rand`.
+//!
+//! The sanctioned offline dependency set excludes `rand_distr`, so the
+//! handful of distributions the workload synthesizer needs are implemented
+//! here: standard normal (Box–Muller), log-normal, log-uniform, truncated
+//! variants, exponential inter-arrival times, and weighted discrete
+//! choice.
+
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller transform), in `f64`.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma²))`.
+///
+/// HPC job runtimes are classically modeled as log-normal (wide spread
+/// from seconds to days, heavy right tail).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal sample truncated (by resampling, then clamping) to
+/// `[lo, hi]`.
+pub fn log_normal_clamped<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "log_normal_clamped: lo > hi");
+    // A few resampling attempts keep the distribution shape; clamp as a
+    // last resort so the function always terminates.
+    for _ in 0..8 {
+        let x = log_normal(rng, mu, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    log_normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Log-uniform sample on `[lo, hi]`: `exp(U(ln lo, ln hi))`.
+///
+/// This is the heavy-tailed shape used for burst-buffer request sizes
+/// ("randomly selected from the original requests within a certain range"
+/// where the original Darshan-derived requests span 1 GB–285 TB).
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log_uniform: need 0 < lo <= hi");
+    if lo == hi {
+        return lo;
+    }
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Exponential sample with the given mean (inter-arrival times of a
+/// Poisson process).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "exponential: mean must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Draw an index according to non-negative weights.
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        !weights.is_empty() && total > 0.0,
+        "weighted_index: weights must be non-empty with positive sum"
+    );
+    let mut t = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut rng, 5.0, 1.5)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of lognormal = exp(mu).
+        assert!((median / 5.0f64.exp() - 1.0).abs() < 0.1, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn log_normal_clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let x = log_normal_clamped(&mut rng, 0.0, 3.0, 10.0, 100.0);
+            assert!((10.0..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn log_uniform_bounds_and_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| log_uniform(&mut rng, 1.0, 1000.0)).collect();
+        assert!(xs.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        // Under log-uniform, P(x < sqrt(hi*lo)) = 0.5.
+        let below = xs.iter().filter(|&&x| x < (1000.0f64).sqrt()).count() as f64 / n as f64;
+        assert!((below - 0.5).abs() < 0.03, "below {below}");
+    }
+
+    #[test]
+    fn log_uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(log_uniform(&mut rng, 7.0, 7.0), 7.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 40_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 30.0)).sum::<f64>() / n as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight bucket never drawn");
+        let f1 = counts[1] as f64 / 20_000.0;
+        assert!((f1 - 0.3).abs() < 0.02, "bucket1 {f1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn weighted_index_zero_sum_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        weighted_index(&mut rng, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| log_normal(&mut rng, 1.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| log_normal(&mut rng, 1.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Job sets and the three-phase training curriculum (§III-D, Fig. 4).
+//!
+//! The paper trains on three kinds of job sets:
+//!
+//! * **sampled** — jobs sampled from the real trace with *controlled*
+//!   Poisson arrivals at the trace's average inter-arrival time ("the
+//!   easiest learning environment"),
+//! * **real** — contiguous slices of the original trace with its natural
+//!   bursty arrivals,
+//! * **synthetic** — freshly generated jobs mimicking the trace's
+//!   patterns, covering rare states.
+//!
+//! Fig. 4 compares the six orderings of these three phases;
+//! [`CurriculumOrder`] enumerates them.
+
+use crate::dist;
+use crate::theta::{ThetaConfig, TraceJob};
+use mrsim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three job-set kinds of the training curriculum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobSetKind {
+    /// Trace sample with controlled Poisson arrivals.
+    Sampled,
+    /// Contiguous slice of the real trace.
+    Real,
+    /// Freshly synthesized jobs.
+    Synthetic,
+}
+
+impl JobSetKind {
+    /// Short label used in Fig. 4 legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobSetKind::Sampled => "Sampled",
+            JobSetKind::Real => "Real",
+            JobSetKind::Synthetic => "Synthetic",
+        }
+    }
+}
+
+/// One of the six phase orderings compared in Fig. 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurriculumOrder(pub [JobSetKind; 3]);
+
+impl CurriculumOrder {
+    /// The paper's recommended curriculum: sampled → real → synthetic.
+    pub fn recommended() -> Self {
+        Self([JobSetKind::Sampled, JobSetKind::Real, JobSetKind::Synthetic])
+    }
+
+    /// All six permutations, in the order the Fig. 4 legend lists them.
+    pub fn all() -> Vec<Self> {
+        use JobSetKind::*;
+        vec![
+            Self([Real, Sampled, Synthetic]),
+            Self([Real, Synthetic, Sampled]),
+            Self([Synthetic, Real, Sampled]),
+            Self([Synthetic, Sampled, Real]),
+            Self([Sampled, Synthetic, Real]),
+            Self([Sampled, Real, Synthetic]),
+        ]
+    }
+
+    /// Legend label, e.g. `"Sampled+Real+Synthetic"`.
+    pub fn label(&self) -> String {
+        self.0.iter().map(|k| k.label()).collect::<Vec<_>>().join("+")
+    }
+}
+
+/// Split a trace into `k` contiguous job sets of (nearly) equal size, each
+/// rebased so its first job submits at time 0.
+pub fn real_jobsets(trace: &[TraceJob], k: usize) -> Vec<Vec<TraceJob>> {
+    assert!(k >= 1, "real_jobsets: k must be >= 1");
+    let chunk = trace.len().div_ceil(k);
+    trace
+        .chunks(chunk.max(1))
+        .map(|c| rebase(c.to_vec()))
+        .collect()
+}
+
+/// Sample `n` jobs (with replacement) from the trace and give them fresh
+/// Poisson arrivals at the trace's mean inter-arrival time — the
+/// "controlled job arrival rates" of §III-D.
+pub fn sampled_jobset(trace: &[TraceJob], n: usize, seed: u64) -> Vec<TraceJob> {
+    assert!(!trace.is_empty(), "sampled_jobset: empty trace");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean = mean_interarrival(trace);
+    let mut clock = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let src = trace[rng.gen_range(0..trace.len())];
+            clock += dist::exponential(&mut rng, mean).max(1.0);
+            TraceJob { submit: clock.round() as SimTime, ..src }
+        })
+        .collect()
+}
+
+/// Generate a fresh synthetic job set mimicking the configured trace
+/// patterns.
+pub fn synthetic_jobset(cfg: &ThetaConfig, n: usize, seed: u64) -> Vec<TraceJob> {
+    let mut c = *cfg;
+    c.num_jobs = n;
+    c.generate(seed)
+}
+
+/// Mean inter-arrival time of a trace, in seconds (>= 1).
+pub fn mean_interarrival(trace: &[TraceJob]) -> f64 {
+    if trace.len() < 2 {
+        return 1.0;
+    }
+    let span = trace.last().unwrap().submit - trace.first().unwrap().submit;
+    (span as f64 / (trace.len() - 1) as f64).max(1.0)
+}
+
+/// Materialize a full curriculum: `sets_per_phase` job sets of
+/// `jobs_per_set` jobs for each phase kind, in the order's sequence.
+pub fn curriculum(
+    order: CurriculumOrder,
+    trace: &[TraceJob],
+    cfg: &ThetaConfig,
+    sets_per_phase: usize,
+    jobs_per_set: usize,
+    seed: u64,
+) -> Vec<(JobSetKind, Vec<TraceJob>)> {
+    let reals = real_jobsets(trace, sets_per_phase);
+    let mut out = Vec::new();
+    for (phase, kind) in order.0.iter().enumerate() {
+        for i in 0..sets_per_phase {
+            let set_seed = seed
+                .wrapping_add(phase as u64 * 1_000_003)
+                .wrapping_add(i as u64 * 7919);
+            let set = match kind {
+                JobSetKind::Sampled => sampled_jobset(trace, jobs_per_set, set_seed),
+                JobSetKind::Real => {
+                    let mut s = reals[i % reals.len()].clone();
+                    s.truncate(jobs_per_set);
+                    s
+                }
+                JobSetKind::Synthetic => synthetic_jobset(cfg, jobs_per_set, set_seed),
+            };
+            out.push((*kind, set));
+        }
+    }
+    out
+}
+
+fn rebase(mut jobs: Vec<TraceJob>) -> Vec<TraceJob> {
+    if let Some(t0) = jobs.first().map(|j| j.submit) {
+        for j in &mut jobs {
+            j.submit -= t0;
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<TraceJob> {
+        ThetaConfig::scaled(1200).generate(21)
+    }
+
+    #[test]
+    fn six_distinct_orderings() {
+        let all = CurriculumOrder::all();
+        assert_eq!(all.len(), 6);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert!(all.contains(&CurriculumOrder::recommended()));
+        assert_eq!(
+            CurriculumOrder::recommended().label(),
+            "Sampled+Real+Synthetic"
+        );
+    }
+
+    #[test]
+    fn real_jobsets_partition_and_rebase() {
+        let t = trace();
+        let sets = real_jobsets(&t, 4);
+        assert_eq!(sets.len(), 4);
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        assert_eq!(total, t.len());
+        for s in &sets {
+            assert_eq!(s.first().unwrap().submit, 0, "each set rebased to 0");
+            assert!(s.windows(2).all(|w| w[0].submit <= w[1].submit));
+        }
+    }
+
+    #[test]
+    fn sampled_jobset_controls_arrivals() {
+        let t = trace();
+        let s = sampled_jobset(&t, 400, 3);
+        assert_eq!(s.len(), 400);
+        assert!(s.windows(2).all(|w| w[0].submit <= w[1].submit));
+        let sampled_mean = mean_interarrival(&s);
+        let trace_mean = mean_interarrival(&t);
+        assert!(
+            (sampled_mean / trace_mean - 1.0).abs() < 0.25,
+            "sampled mean {sampled_mean} vs trace {trace_mean}"
+        );
+        // Every sampled job's shape comes from the trace.
+        for j in &s {
+            assert!(t
+                .iter()
+                .any(|o| o.runtime == j.runtime && o.nodes == j.nodes));
+        }
+    }
+
+    #[test]
+    fn synthetic_jobset_has_requested_size() {
+        let cfg = ThetaConfig::scaled(10);
+        let s = synthetic_jobset(&cfg, 250, 5);
+        assert_eq!(s.len(), 250);
+    }
+
+    #[test]
+    fn curriculum_produces_phased_sets() {
+        let t = trace();
+        let cfg = ThetaConfig::scaled(10);
+        let order = CurriculumOrder::recommended();
+        let sets = curriculum(order, &t, &cfg, 2, 100, 7);
+        assert_eq!(sets.len(), 6);
+        assert_eq!(sets[0].0, JobSetKind::Sampled);
+        assert_eq!(sets[2].0, JobSetKind::Real);
+        assert_eq!(sets[4].0, JobSetKind::Synthetic);
+        for (_, s) in &sets {
+            assert!(s.len() <= 100 && !s.is_empty());
+        }
+    }
+
+    #[test]
+    fn curriculum_deterministic() {
+        let t = trace();
+        let cfg = ThetaConfig::scaled(10);
+        let a = curriculum(CurriculumOrder::recommended(), &t, &cfg, 2, 50, 9);
+        let b = curriculum(CurriculumOrder::recommended(), &t, &cfg, 2, 50, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_interarrival_degenerate_cases() {
+        assert_eq!(mean_interarrival(&[]), 1.0);
+        let one = vec![TraceJob { submit: 5, runtime: 1, estimate: 1, nodes: 1 }];
+        assert_eq!(mean_interarrival(&one), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload synthesis for the MRSch reproduction.
+//!
+//! The paper evaluates on a five-month 2018 job trace from **Theta**
+//! (ALCF), extended with burst-buffer requests derived from Darshan I/O
+//! logs, and then derives five two-resource workloads S1–S5 (Table III)
+//! and five three-resource workloads S6–S10 (§V-E). The original trace is
+//! proprietary, so this crate substitutes a *statistical Theta-like
+//! synthesizer* (see DESIGN.md §3) and implements the published
+//! derivation rules exactly:
+//!
+//! * [`dist`] — the distributions the synthesizer needs (normal,
+//!   log-normal, log-uniform, Poisson process), built on plain `rand`,
+//! * [`theta`] — the base-trace synthesizer (node counts, runtimes,
+//!   walltime estimates, diurnal Poisson arrivals),
+//! * [`darshan`] — Darshan-style burst-buffer request assignment (40 %
+//!   of jobs with I/O records, 17.18 % over 1 GB, 1 GB–285 TB range),
+//! * [`suite`] — the S1–S5 workload builders of Table III and the
+//!   S6–S10 power extension of §V-E,
+//! * [`jobset`] — job-set construction for the three-phase training
+//!   curriculum of §III-D (sampled / real / synthetic) and the six
+//!   orderings compared in Fig. 4,
+//! * [`split`] — chronological train/validation/test splitting (§IV-A
+//!   splits five months into 3.5 months / 2 weeks / rest),
+//! * [`swf`] — Standard Workload Format ingestion/export, so real
+//!   production logs drive the identical pipeline.
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+pub mod darshan;
+pub mod dist;
+pub mod jobset;
+pub mod split;
+pub mod suite;
+pub mod swf;
+pub mod theta;
+
+pub use suite::{WorkloadSpec, PowerSpec};
+pub use theta::{ThetaConfig, TraceJob};

@@ -1,0 +1,124 @@
+//! Chronological train/validation/test splitting (§IV-A).
+//!
+//! The paper splits its five-month log chronologically: the first
+//! 3.5 months train the agent, the next two weeks validate, and the
+//! remainder is held out for inference/testing. Expressed as fractions of
+//! the trace *time span* that is ≈ 0.70 / 0.10 / 0.20.
+
+use crate::theta::TraceJob;
+
+/// A chronological split of a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Split {
+    /// Training slice (earliest), rebased to start at 0.
+    pub train: Vec<TraceJob>,
+    /// Validation slice, rebased to start at 0.
+    pub validation: Vec<TraceJob>,
+    /// Test slice (latest), rebased to start at 0.
+    pub test: Vec<TraceJob>,
+}
+
+/// Split `trace` by time: jobs submitted in the first `train_frac` of the
+/// span train, the next `val_frac` validate, the rest test. Each slice is
+/// rebased so its first submission is at time 0.
+///
+/// # Panics
+/// Panics unless `0 < train_frac`, `0 <= val_frac` and
+/// `train_frac + val_frac < 1`.
+pub fn chronological_split(trace: &[TraceJob], train_frac: f64, val_frac: f64) -> Split {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+    if trace.is_empty() {
+        return Split { train: vec![], validation: vec![], test: vec![] };
+    }
+    let t0 = trace.first().unwrap().submit as f64;
+    let t1 = trace.last().unwrap().submit as f64;
+    let span = (t1 - t0).max(1.0);
+    let train_end = t0 + span * train_frac;
+    let val_end = t0 + span * (train_frac + val_frac);
+    let mut train = Vec::new();
+    let mut validation = Vec::new();
+    let mut test = Vec::new();
+    for &j in trace {
+        let t = j.submit as f64;
+        if t < train_end {
+            train.push(j);
+        } else if t < val_end {
+            validation.push(j);
+        } else {
+            test.push(j);
+        }
+    }
+    Split { train: rebase(train), validation: rebase(validation), test: rebase(test) }
+}
+
+/// The paper's own proportions: 3.5 months / 2 weeks / remainder of a
+/// 5-month trace ≈ 0.70 / 0.093.
+pub fn paper_split(trace: &[TraceJob]) -> Split {
+    chronological_split(trace, 3.5 / 5.0, 0.5 / 5.0 * 14.0 / 15.0)
+}
+
+fn rebase(mut jobs: Vec<TraceJob>) -> Vec<TraceJob> {
+    if let Some(t0) = jobs.first().map(|j| j.submit) {
+        for j in &mut jobs {
+            j.submit -= t0;
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaConfig;
+
+    fn trace() -> Vec<TraceJob> {
+        ThetaConfig::scaled(3000).generate(31)
+    }
+
+    #[test]
+    fn split_partitions_whole_trace() {
+        let t = trace();
+        let s = chronological_split(&t, 0.7, 0.1);
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), t.len());
+        assert!(!s.train.is_empty() && !s.validation.is_empty() && !s.test.is_empty());
+    }
+
+    #[test]
+    fn split_is_chronological_with_expected_mass() {
+        let t = trace();
+        let s = chronological_split(&t, 0.7, 0.1);
+        let frac_train = s.train.len() as f64 / t.len() as f64;
+        // Arrivals are roughly uniform over the span.
+        assert!((frac_train - 0.7).abs() < 0.08, "train mass {frac_train}");
+    }
+
+    #[test]
+    fn slices_rebased_to_zero() {
+        let t = trace();
+        let s = chronological_split(&t, 0.6, 0.2);
+        for slice in [&s.train, &s.validation, &s.test] {
+            assert_eq!(slice.first().unwrap().submit, 0);
+            assert!(slice.windows(2).all(|w| w[0].submit <= w[1].submit));
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let s = chronological_split(&[], 0.5, 0.2);
+        assert!(s.train.is_empty() && s.validation.is_empty() && s.test.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fractions_panic() {
+        chronological_split(&trace(), 0.8, 0.3);
+    }
+
+    #[test]
+    fn paper_split_shapes() {
+        let t = trace();
+        let s = paper_split(&t);
+        assert!(s.train.len() > s.test.len());
+        assert!(s.test.len() > s.validation.len());
+    }
+}

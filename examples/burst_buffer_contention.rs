@@ -1,0 +1,45 @@
+//! Burst-buffer contention study — the paper's motivating scenario
+//! (§I: I/O-intensive applications whose performance hinges on fast
+//! storage allocation, not raw CPU).
+//!
+//! Builds the full Table III suite (S1–S5) at laptop scale and runs all
+//! four schedulers on each, printing the Fig. 5/6 metrics side by side.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example burst_buffer_contention
+//! ```
+
+use mrsch_experiments::comparison::run_suite;
+use mrsch_experiments::{fig5, fig6, fig7, ExpScale};
+use mrsch_workload::suite::WorkloadSpec;
+
+fn main() {
+    // A mid-size scale: bigger than the test scale, smaller than the
+    // full figure binaries.
+    let mut scale = ExpScale::quick();
+    scale.nodes = 96;
+    scale.burst_buffer = 28;
+    scale.eval_jobs = 120;
+    scale.jobs_per_set = 60;
+    scale.batches_per_episode = 16;
+
+    println!(
+        "running 4 schedulers x 5 workloads on a {}-node / {}-unit-BB system…\n",
+        scale.nodes, scale.burst_buffer
+    );
+    let results = run_suite(&WorkloadSpec::two_resource_suite(), &scale, 2022);
+
+    fig5::print(&results);
+    println!();
+    fig6::print(&results);
+    println!();
+    let charts = fig7::run(&results);
+    fig7::print(&charts);
+
+    let (wait_pct, sd_pct) = fig6::mrsch_improvements(&results);
+    println!(
+        "\nMRSch best-case improvements: wait -{wait_pct:.1}%, slowdown -{sd_pct:.1}% \
+         (paper reports up to 48% / 41% at full scale)"
+    );
+}

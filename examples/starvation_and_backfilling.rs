@@ -1,0 +1,106 @@
+//! Starvation and backfilling — why §III-C exists.
+//!
+//! HPC queues mix week-long full-machine jobs with second-scale debug
+//! jobs. Without reservations a large job can be starved indefinitely by
+//! a stream of small arrivals; without backfilling the machine drains
+//! idle while the large job waits. This example constructs exactly that
+//! queue and runs it three ways:
+//!
+//! 1. FCFS with reservation + EASY backfilling (the production setup),
+//! 2. FCFS with reservation but **no** backfilling,
+//! 3. a greedy "smallest-first" policy with no reservation — the
+//!    behavior the paper observed when applying raw DFP without the
+//!    §III-C protections ("severe job starvation").
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example starvation_and_backfilling
+//! ```
+
+use mrsim::job::Job;
+use mrsim::policy::{HeadOfQueue, Policy, SchedulerView};
+use mrsim::resources::SystemConfig;
+use mrsim::simulator::{SimParams, Simulator};
+
+/// Greedy policy that always grabs the smallest *fitting* job — great
+/// instantaneous utilization, pathological starvation.
+#[derive(Default)]
+struct SmallestFirst;
+
+impl Policy for SmallestFirst {
+    fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+        view.window
+            .iter()
+            .enumerate()
+            .filter(|(_, jv)| view.pools.fits(&jv.job.demands))
+            .min_by_key(|(_, jv)| jv.job.demands[0])
+            .map(|(i, _)| i)
+    }
+    fn name(&self) -> &'static str {
+        "smallest-first"
+    }
+}
+
+fn workload() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut id = 0;
+    // Six "long" 7-node jobs saturate the machine first (4 run, 2 queue).
+    for i in 0..6u64 {
+        jobs.push(Job::new(id, i * 60, 5400, 7200, vec![7, 0]));
+        id += 1;
+    }
+    // The full-machine job arrives while the machine is busy.
+    let big_id = id;
+    jobs.push(Job::new(big_id, 600, 2 * 3600, 2 * 3600, vec![32, 0]));
+    id += 1;
+    // A steady stream of small, short jobs that could starve it forever.
+    for i in 0..150u64 {
+        jobs.push(Job::new(id, 700 + i * 90, 600, 600, vec![2, 1]));
+        id += 1;
+    }
+    jobs
+}
+
+/// Id of the full-machine job in [`workload`].
+const BIG: usize = 6;
+
+fn main() {
+    let system = SystemConfig::two_resource(32, 8);
+    let run = |label: &str, policy: &mut dyn Policy, backfill: bool| {
+        let params = SimParams { window: 10, backfill };
+        let report = Simulator::new(system.clone(), workload(), params)
+            .expect("valid jobs")
+            .run(policy);
+        let big = report.records.iter().find(|r| r.id == BIG).unwrap();
+        println!(
+            "{:<28} big-job wait {:>7.2} h | max wait {:>7.2} h | avg wait {:>6.2} h | backfilled {:>2} | util {:>5.1}%",
+            label,
+            big.wait() as f64 / 3600.0,
+            report.max_wait as f64 / 3600.0,
+            report.avg_wait_hours(),
+            report.backfilled_jobs,
+            100.0 * report.resource_utilization[0],
+        );
+        report
+    };
+
+    println!("32-node machine; 6 long jobs, 1 full-machine job, 150 small short jobs\n");
+    let with_bf = run("FCFS + reservation + EASY", &mut HeadOfQueue, true);
+    let no_bf = run("FCFS + reservation only", &mut HeadOfQueue, false);
+    let greedy = run("smallest-first, no guard", &mut SmallestFirst, true);
+
+    let big = |r: &mrsim::SimReport| r.records.iter().find(|x| x.id == BIG).unwrap().wait();
+    println!("\nobservations:");
+    println!(
+        "  - EASY backfilling keeps utilization up without delaying the big job \
+         (wait {} s with vs {} s without backfilling)",
+        big(&with_bf),
+        big(&no_bf)
+    );
+    println!(
+        "  - the unguarded greedy policy starves the full-machine job: {} s \
+         ({:.2}x the guarded wait) — exactly why MRSch adopts the window + reservation",
+        big(&greedy),
+        big(&greedy) as f64 / big(&with_bf).max(1) as f64
+    );
+}

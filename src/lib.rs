@@ -1,0 +1,15 @@
+//! Workspace umbrella crate for the MRSch reproduction.
+//!
+//! This crate exists so that workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) can link against every
+//! member crate. The actual implementation lives in the `crates/*`
+//! members; see [`mrsch`] for the top-level public API.
+
+pub use mrsch;
+pub use mrsch_baselines as baselines;
+pub use mrsch_dfp as dfp;
+pub use mrsch_experiments as experiments;
+pub use mrsch_linalg as linalg;
+pub use mrsch_nn as nn;
+pub use mrsch_workload as workload;
+pub use mrsim as sim;

@@ -1,0 +1,68 @@
+//! Integration test: a trained agent's network checkpoints through the
+//! bytes format and restores into a fresh agent with identical greedy
+//! behavior.
+
+use mrsch::prelude::*;
+use mrsch_workload::split::paper_split;
+
+fn setup(seed: u64) -> (SystemConfig, Vec<Job>, Vec<Job>) {
+    let system = SystemConfig::two_resource(32, 10);
+    let cfg = ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(250) };
+    let trace = cfg.generate(seed);
+    let split = paper_split(&trace);
+    let spec = WorkloadSpec::s3();
+    let train = spec.build(&split.train[..60.min(split.train.len())], &system, seed);
+    let eval = spec.build(&split.test[..50.min(split.test.len())], &system, seed + 1);
+    (system, train, eval)
+}
+
+#[test]
+fn restored_agent_reproduces_greedy_schedule() {
+    let (system, train, eval) = setup(13);
+    let params = SimParams { window: 5, backfill: true };
+
+    // Train an agent, checkpoint its network.
+    let mut trained = MrschBuilder::new(system.clone(), params)
+        .seed(21)
+        .batches_per_episode(8)
+        .build();
+    trained.train_episode(&train);
+    let ckpt = trained.agent_mut().network_mut().save_checkpoint();
+    let trained_report = trained.evaluate(&eval);
+
+    // A fresh agent with different init behaves differently…
+    let mut fresh = MrschBuilder::new(system, params).seed(999).build();
+    let fresh_report = fresh.evaluate(&eval);
+    // (not asserting inequality of full schedules — tiny nets can tie —
+    // but after restore they must match exactly)
+
+    // …until the checkpoint is loaded.
+    fresh
+        .agent_mut()
+        .network_mut()
+        .load_checkpoint(&ckpt)
+        .expect("identical architecture");
+    let restored_report = fresh.evaluate(&eval);
+
+    assert_eq!(
+        trained_report.records, restored_report.records,
+        "restored agent must reproduce the exact schedule"
+    );
+    let _ = fresh_report;
+}
+
+#[test]
+fn checkpoint_rejects_mismatched_window() {
+    let (system, _, _) = setup(14);
+    let mut a = MrschBuilder::new(system.clone(), SimParams { window: 5, backfill: true })
+        .seed(1)
+        .build();
+    let ckpt = a.agent_mut().network_mut().save_checkpoint();
+    let mut b = MrschBuilder::new(system, SimParams { window: 6, backfill: true })
+        .seed(1)
+        .build();
+    assert!(
+        b.agent_mut().network_mut().load_checkpoint(&ckpt).is_err(),
+        "different window size -> different architecture -> rejected"
+    );
+}

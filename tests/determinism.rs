@@ -1,0 +1,58 @@
+//! Integration test: the entire pipeline is bit-deterministic under a
+//! fixed seed — a DESIGN.md commitment that every figure regenerates
+//! identically.
+
+use mrsch::prelude::*;
+use mrsch_experiments::{fig1, ExpScale};
+use mrsch_workload::split::paper_split;
+
+fn run_once(seed: u64) -> (Vec<f64>, f64, f64) {
+    let system = SystemConfig::two_resource(40, 12);
+    let cfg = ThetaConfig { machine_nodes: 40, ..ThetaConfig::scaled(300) };
+    let trace = cfg.generate(seed);
+    let split = paper_split(&trace);
+    let spec = WorkloadSpec::s2();
+    let train = spec.build(&split.train[..80.min(split.train.len())], &system, seed);
+    let eval = spec.build(&split.test[..60.min(split.test.len())], &system, seed + 1);
+    let mut mrsch = MrschBuilder::new(system, SimParams { window: 5, backfill: true })
+        .seed(seed)
+        .batches_per_episode(4)
+        .build();
+    mrsch.train_episode(&train);
+    let report = mrsch.evaluate(&eval);
+    (
+        report.resource_utilization.clone(),
+        report.avg_wait,
+        report.avg_slowdown,
+    )
+}
+
+#[test]
+fn trained_evaluation_is_bit_identical_across_runs() {
+    let a = run_once(1234);
+    let b = run_once(1234);
+    assert_eq!(a, b, "same seed must give identical metrics");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(1);
+    let b = run_once(2);
+    assert_ne!(a, b, "different seeds should explore different schedules");
+}
+
+#[test]
+fn fig1_is_pure() {
+    assert_eq!(fig1::run(), fig1::run());
+}
+
+#[test]
+fn table3_statistics_are_deterministic() {
+    use mrsch_experiments::table3;
+    let s1 = table3::run(&ExpScale::quick(), 9);
+    let s2 = table3::run(&ExpScale::quick(), 9);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.realized_participation, b.realized_participation);
+        assert_eq!(a.node_seconds, b.node_seconds);
+    }
+}

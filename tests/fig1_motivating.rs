@@ -1,0 +1,25 @@
+//! Integration test: the paper's Fig. 1 motivating example reproduces
+//! end-to-end through the public experiment API.
+
+use mrsch_experiments::fig1;
+
+#[test]
+fn fixed_weights_lose_one_hour_of_makespan() {
+    let r = fig1::run();
+    assert_eq!(r.fixed_weight_makespan_h, 3.0, "paper: fixed weights -> 3 h");
+    assert_eq!(r.ideal_makespan_h, 2.0, "paper: ideal order -> 2 h");
+}
+
+#[test]
+fn schedules_match_paper_narrative() {
+    let r = fig1::run();
+    // Fixed weights: (J2, J3) first, then J1, then J4.
+    assert_eq!(r.fixed_weight_starts_h[1], 0.0);
+    assert_eq!(r.fixed_weight_starts_h[2], 0.0);
+    let mut later: Vec<f64> =
+        vec![r.fixed_weight_starts_h[0], r.fixed_weight_starts_h[3]];
+    later.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(later, vec![1.0, 2.0], "J1 and J4 run in hours 2 and 3");
+    // Ideal: (J1, J3) then (J2, J4).
+    assert_eq!(r.ideal_starts_h, vec![0.0, 1.0, 0.0, 1.0]);
+}

@@ -1,0 +1,61 @@
+//! Integration test: a real-format (SWF) trace drives the entire
+//! pipeline — parse, derive a Table III workload, schedule with MRSch
+//! and FCFS — exactly as a synthetic trace would.
+
+use mrsch::prelude::*;
+use mrsch_workload::swf::{parse_swf, to_swf};
+use mrsch_workload::theta::ThetaConfig;
+
+/// Build an SWF text from a synthetic trace (stand-in for a downloaded
+/// Feitelson-archive log).
+fn swf_fixture() -> String {
+    let trace = ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(120) }.generate(55);
+    to_swf(&trace)
+}
+
+#[test]
+fn swf_trace_schedules_end_to_end() {
+    let text = swf_fixture();
+    let trace = parse_swf(&text).expect("fixture parses");
+    assert!(!trace.is_empty());
+
+    let system = SystemConfig::two_resource(32, 10);
+    let spec = WorkloadSpec::s2();
+    let jobs = spec.build(&trace, &system, 1);
+    for j in &jobs {
+        system.validate_job(j).unwrap();
+    }
+
+    let params = SimParams { window: 5, backfill: true };
+    // FCFS pass.
+    let fcfs_report = Simulator::new(system.clone(), jobs.clone(), params)
+        .unwrap()
+        .run(&mut HeadOfQueue);
+    assert_eq!(fcfs_report.jobs_completed, jobs.len());
+
+    // MRSch pass (fresh agent, greedy).
+    let mut mrsch = MrschBuilder::new(system, params).seed(2).build();
+    let report = mrsch.evaluate(&jobs);
+    assert_eq!(report.jobs_completed, jobs.len());
+    assert_eq!(report.start_time, fcfs_report.start_time, "same trace horizon");
+}
+
+#[test]
+fn swf_header_comments_and_reordering_tolerated() {
+    // Shuffle lines (SWF files are usually sorted, but parse_swf must
+    // sort by submit anyway) and add comments.
+    let text = swf_fixture();
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.starts_with(';')).collect();
+    lines.reverse();
+    let shuffled = format!("; UnixStartTime: 0\n; MaxNodes: 32\n{}", lines.join("\n"));
+    let a = parse_swf(&text).unwrap();
+    let b = parse_swf(&shuffled).unwrap();
+    assert_eq!(a.len(), b.len());
+    // Same multiset of jobs after sorting.
+    let key = |j: &mrsch_workload::theta::TraceJob| (j.submit, j.runtime, j.nodes);
+    let mut ka: Vec<_> = a.iter().map(key).collect();
+    let mut kb: Vec<_> = b.iter().map(key).collect();
+    ka.sort_unstable();
+    kb.sort_unstable();
+    assert_eq!(ka, kb);
+}
