@@ -1,5 +1,5 @@
 //! Substrate bench: the hand-rolled GEMM that carries every forward and
-//! backward pass, serial vs crossbeam-parallel.
+//! backward pass, serial vs thread-parallel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mrsch_linalg::{gemm, Matrix};

@@ -11,7 +11,7 @@
 //! * **Heuristic** — multi-resource FCFS.
 //!
 //! Workloads are evaluated on the chronological *test* split, never on
-//! training data (§IV-A). The five workloads run on crossbeam threads —
+//! training data (§IV-A). The five workloads run on scoped threads —
 //! they are fully independent — and results are returned in suite order.
 
 use crate::scale::ExpScale;
@@ -219,20 +219,19 @@ pub fn run_workload(spec: &WorkloadSpec, scale: &ExpScale, seed: u64) -> Vec<Com
     out
 }
 
-/// Run a whole suite (S1–S5 or S6–S10), one crossbeam thread per
+/// Run a whole suite (S1–S5 or S6–S10), one scoped thread per
 /// workload, returning results in `(workload, method)` order.
 pub fn run_suite(specs: &[WorkloadSpec], scale: &ExpScale, seed: u64) -> Vec<Comparison> {
     let mut slots: Vec<Option<Vec<Comparison>>> = vec![None; specs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_workload(spec, scale, seed))));
+            handles.push((i, scope.spawn(move || run_workload(spec, scale, seed))));
         }
         for (i, h) in handles {
             slots[i] = Some(h.join().expect("workload thread panicked"));
         }
-    })
-    .expect("comparison scope failed");
+    });
     slots.into_iter().flatten().flatten().collect()
 }
 

@@ -47,7 +47,7 @@ pub struct MultiSeedRow {
     pub avg_slowdown: Aggregate,
 }
 
-/// Run one workload across `seeds`, one crossbeam thread per seed, and
+/// Run one workload across `seeds`, one scoped thread per seed, and
 /// aggregate per method.
 pub fn run_workload_multi_seed(
     spec: &WorkloadSpec,
@@ -56,16 +56,15 @@ pub fn run_workload_multi_seed(
 ) -> Vec<MultiSeedRow> {
     assert!(!seeds.is_empty(), "need at least one seed");
     let mut per_seed: Vec<Option<Vec<Comparison>>> = vec![None; seeds.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &seed) in seeds.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| run_workload(spec, scale, seed))));
+            handles.push((i, scope.spawn(move || run_workload(spec, scale, seed))));
         }
         for (i, h) in handles {
             per_seed[i] = Some(h.join().expect("seed thread panicked"));
         }
-    })
-    .expect("multi-seed scope failed");
+    });
     let runs: Vec<Vec<Comparison>> = per_seed.into_iter().flatten().collect();
 
     MethodName::all()

@@ -5,7 +5,7 @@
 //! stack ([`mrsch-nn`](../mrsch_nn/index.html)) needs:
 //!
 //! * a row-major [`Matrix`] of `f32` with shape-checked arithmetic,
-//! * blocked and (optionally crossbeam-parallel) GEMM in [`gemm`],
+//! * blocked and (optionally thread-parallel) GEMM in [`gemm`],
 //! * weight initializers (Xavier/He, Box–Muller normal) in [`init`],
 //! * summary statistics helpers in [`stats`].
 //!

@@ -1,0 +1,199 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! Implements the subset of the `criterion` API the `mrsch-bench` crate
+//! uses — `criterion_group!` / `criterion_main!`, `Criterion::
+//! bench_function`, `benchmark_group` with `sample_size` / `finish`, and
+//! `Bencher::iter` / `iter_with_setup` — with a deliberately simple
+//! measurement loop: warm up briefly, then time batches until a wall
+//! budget is spent and report mean / min / max per iteration.
+//!
+//! Statistical machinery (outlier analysis, HTML reports, comparison to
+//! saved baselines) is out of scope; the numbers printed are honest wall
+//! times suitable for spotting order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting a
+/// computation whose result is otherwise unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-target measurement settings.
+#[derive(Clone, Debug)]
+struct Settings {
+    /// Target number of timed batches.
+    sample_size: usize,
+    /// Wall-clock budget per benchmark.
+    measure_budget: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Entry point handed to each bench function by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; this harness accepts and ignores
+    /// them (`cargo bench -- <filter>` filtering is not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &self.settings, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.settings.measure_budget = budget;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &self.settings, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times the body the bench function hands to [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations to run per timed batch.
+    iters: u64,
+    /// Total time spent in the measured routine across the batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], but `setup` runs outside the timed region.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) {
+    // Calibration pass: one iteration, to size batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Pick a batch size so that sample_size batches fit the wall budget.
+    let budget_per_sample = settings.measure_budget / settings.sample_size as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let (mut total, mut best, mut worst) = (Duration::ZERO, Duration::MAX, Duration::ZERO);
+    let mut samples = 0u64;
+    let wall = Instant::now();
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        total += b.elapsed;
+        best = best.min(per);
+        worst = worst.max(per);
+        samples += 1;
+        if wall.elapsed() > settings.measure_budget {
+            break;
+        }
+    }
+    let mean = total / (samples * iters).max(1) as u32;
+    println!(
+        "bench: {id:<48} mean {mean:>12?}  min {best:>12?}  max {worst:>12?}  ({samples} x {iters} iters)"
+    );
+}
+
+/// Build one `fn $group()` running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Build `fn main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

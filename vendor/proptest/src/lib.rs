@@ -1,0 +1,222 @@
+//! Offline vendored property-testing harness.
+//!
+//! Re-implements the subset of the `proptest` API this workspace's
+//! property suites use — `proptest!` with `#![proptest_config(...)]`,
+//! range / tuple / `prop::collection::vec` / `prop::bool::ANY`
+//! strategies, `prop_map`, and the `prop_assert*` family — on top of the
+//! vendored `rand` crate.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the assertion's own
+//!   message instead of a minimized counterexample.
+//! * **Fixed derivation of the RNG stream** from the test-function name,
+//!   so failures reproduce exactly across runs (upstream persists a
+//!   failure seed file; here every run is the same run).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+/// `proptest::bool` — strategies over booleans.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Uniformly random boolean (upstream `proptest::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// `proptest::num` — numeric strategies (ranges already implement
+/// [`strategy::Strategy`]; this module exists for `any::<T>()`-style use).
+pub mod num {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, Standard};
+
+    /// Full-range strategy for a primitive drawable by `rand`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(pub std::marker::PhantomData<T>);
+
+    impl<T: Standard + std::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            rng.gen::<T>()
+        }
+    }
+}
+
+/// The `prelude` glob the suites import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`,
+    /// `prop::bool::ANY`, ...), mirroring upstream's prelude.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+/// Run `n` cases of a property, panicking on the first failure.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the
+/// macro expansion can reach it.
+pub fn run_cases<F>(name: &str, config: &test_runner::ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut rand::rngs::StdRng, u32) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    // FNV-1a over the test name: stable, deterministic per-test streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(h);
+    let mut rejected = 0u32;
+    let mut ran = 0u32;
+    while ran < config.cases {
+        match case(&mut rng, ran) {
+            Ok(()) => ran += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.max_global_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejected})"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {ran}: {msg}")
+            }
+        }
+    }
+}
+
+/// The `proptest! { ... }` macro: each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running `config.cases` randomized cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::run_cases(
+                    stringify!($name),
+                    &config,
+                    |__proptest_rng, __proptest_case| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::new_value(
+                                &($strat),
+                                __proptest_rng,
+                            );
+                        )+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

@@ -1,0 +1,31 @@
+//! Offline vendored facade for the `serde` names this workspace uses.
+//!
+//! The seed code only ever writes `#[derive(Serialize, Deserialize)]`
+//! (plus `#[serde(skip)]` field attributes) — it never serializes through
+//! serde (checkpointing uses its own plain-text format). With no network
+//! access to crates.io, this facade supplies the two trait names as
+//! universally-satisfied markers and re-exports no-op derives, so the
+//! annotations compile unchanged and real serde can be swapped back in
+//! the moment the environment allows it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

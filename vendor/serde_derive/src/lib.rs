@@ -1,0 +1,17 @@
+//! Offline vendored no-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace's `serde` facade blanket-implements its marker traits
+//! for every type, so these derives only need to (a) exist and (b)
+//! accept `#[serde(...)]` helper attributes. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
