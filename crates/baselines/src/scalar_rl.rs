@@ -338,7 +338,7 @@ mod tests {
         {
             let mut policy = ScalarRlPolicy::new(&mut agent, encoder, RlMode::Train);
             let mut sim =
-                Simulator::new(system, jobs(25), SimParams { window: 4, backfill: true })
+                Simulator::new(system, jobs(25), SimParams::new(4, true))
                     .unwrap();
             let report = sim.run(&mut policy);
             assert_eq!(report.jobs_completed, 25);
@@ -351,7 +351,7 @@ mod tests {
         let (system, encoder, mut agent) = setup();
         let run = |agent: &mut ScalarRlAgent, encoder: StateEncoder| {
             let mut policy = ScalarRlPolicy::new(agent, encoder, RlMode::Evaluate);
-            Simulator::new(system.clone(), jobs(15), SimParams { window: 4, backfill: true })
+            Simulator::new(system.clone(), jobs(15), SimParams::new(4, true))
                 .unwrap()
                 .run(&mut policy)
         };

@@ -175,7 +175,7 @@ mod tests {
         let mut policy =
             MrschPolicy::new(&mut agent, encoder, GoalMode::Dynamic, Mode::Train)
                 .with_batches_per_episode(4);
-        let mut sim = Simulator::new(system, jobs(30), SimParams { window: 4, backfill: true })
+        let mut sim = Simulator::new(system, jobs(30), SimParams::new(4, true))
             .unwrap();
         let report = sim.run(&mut policy);
         assert_eq!(report.jobs_completed, 30);
@@ -190,7 +190,7 @@ mod tests {
         let (system, encoder, mut agent) = small_setup();
         let mut policy =
             MrschPolicy::new(&mut agent, encoder, GoalMode::Dynamic, Mode::Evaluate);
-        let mut sim = Simulator::new(system, jobs(20), SimParams { window: 4, backfill: true })
+        let mut sim = Simulator::new(system, jobs(20), SimParams::new(4, true))
             .unwrap();
         let report = sim.run(&mut policy);
         assert_eq!(report.jobs_completed, 20);
@@ -205,7 +205,7 @@ mod tests {
         let (system, encoder, mut agent) = small_setup();
         let mut policy =
             MrschPolicy::new(&mut agent, encoder, GoalMode::Dynamic, Mode::Evaluate);
-        let mut sim = Simulator::new(system, jobs(15), SimParams { window: 4, backfill: true })
+        let mut sim = Simulator::new(system, jobs(15), SimParams::new(4, true))
             .unwrap();
         sim.run(&mut policy);
         for (_, g) in policy.goal_log() {

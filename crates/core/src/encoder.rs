@@ -73,11 +73,25 @@ impl StateEncoder {
                 out.extend(std::iter::repeat_n(0.0, r + 2));
             }
         }
-        // 2. Per-unit resource availability.
-        for res in 0..r {
-            for (avail, ttf) in view.pools.unit_vector(res, view.now) {
-                out.push(avail);
-                out.push(ttf / self.time_scale);
+        // 2. Per-unit resource availability. The unit vector covers the
+        // capacity *currently online*; the encoding is laid out over the
+        // static configuration so the network input size never changes.
+        // Drained units are marked (-1, 0) — distinct from both free
+        // (1, 0) and occupied (0, t) — and units beyond the configured
+        // capacity (a temporary over-provision) are truncated.
+        for (res, &cap) in caps.iter().enumerate() {
+            let units = view.pools.unit_vector(res, view.now);
+            for slot in 0..cap as usize {
+                match units.get(slot) {
+                    Some(&(avail, ttf)) => {
+                        out.push(avail);
+                        out.push(ttf / self.time_scale);
+                    }
+                    None => {
+                        out.push(-1.0);
+                        out.push(0.0);
+                    }
+                }
             }
         }
         debug_assert_eq!(out.len(), self.state_dim());
@@ -184,6 +198,34 @@ mod tests {
         // First decision sees all 3 queued jobs in a window of 4.
         let mask = with_view(system, jobs, move |view| enc.valid_actions(view));
         assert_eq!(mask, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn drained_units_encode_as_markers_with_fixed_dim() {
+        use mrsim::policy::SchedulerView;
+        use mrsim::resources::PoolState;
+        let system = SystemConfig::two_resource(4, 2);
+        let enc = StateEncoder::with_hour_scale(system.clone(), 2);
+        let dim = enc.state_dim();
+        let mut pools = PoolState::new(&system);
+        pools.adjust_capacity(0, -2); // drain half the nodes
+        let jobs: Vec<Job> = vec![];
+        let queued: Vec<usize> = vec![];
+        let view = SchedulerView {
+            now: 0,
+            instance: 0,
+            decision: 0,
+            window: vec![],
+            pools: &pools,
+            config: &system,
+            queued: &queued,
+            jobs: &jobs,
+        };
+        let v = enc.encode(&view);
+        assert_eq!(v.len(), dim, "state dimension is capacity-invariant");
+        // Units start after 2 slots * 4 elems = 8: two online node units,
+        // then two drained markers.
+        assert_eq!(&v[8..16], &[1.0, 0.0, 1.0, 0.0, -1.0, 0.0, -1.0, 0.0]);
     }
 
     #[test]

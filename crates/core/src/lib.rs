@@ -34,7 +34,7 @@
 //! let jobs = WorkloadSpec::s1().build(&trace, &system, 2);
 //!
 //! // Build and (briefly) train an MRSch agent, then evaluate it.
-//! let params = SimParams { window: 5, backfill: true };
+//! let params = SimParams::new(5, true);
 //! let mut mrsch = MrschBuilder::new(system.clone(), params).seed(7).build();
 //! let report = mrsch.evaluate(&jobs);
 //! assert_eq!(report.jobs_completed, jobs.len());
@@ -59,9 +59,11 @@ pub mod prelude {
     pub use crate::goal::GoalMode;
     pub use crate::training::{Mrsch, MrschBuilder, TrainOutcome, ValidatedOutcome};
     pub use mrsch_dfp::{DfpAgent, DfpConfig, StateModuleKind};
+    pub use mrsch_workload::disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
     pub use mrsch_workload::suite::WorkloadSpec;
     pub use mrsch_workload::theta::ThetaConfig;
-    pub use mrsim::job::Job;
+    pub use mrsim::event::{EventKind, InjectedEvent};
+    pub use mrsim::job::{Job, JobOutcome};
     pub use mrsim::policy::{HeadOfQueue, Policy};
     pub use mrsim::resources::SystemConfig;
     pub use mrsim::simulator::{SimParams, Simulator};

@@ -229,7 +229,19 @@ impl Mrsch {
 
     /// Evaluate greedily on a job list, returning the simulator report.
     pub fn evaluate(&mut self, jobs: &[Job]) -> SimReport {
-        self.run_eval(jobs).0
+        self.run_eval(jobs, &[]).expect("no disruptions: injection cannot fail").0
+    }
+
+    /// Evaluate greedily under a disruption trace (cancellations,
+    /// walltime kills, capacity drains/returns) injected before the run.
+    /// Errors when an event references a job or resource outside this
+    /// job set (e.g. a trace synthesized for a different workload).
+    pub fn evaluate_disrupted(
+        &mut self,
+        jobs: &[Job],
+        disruptions: &[mrsim::InjectedEvent],
+    ) -> Result<SimReport, mrsim::simulator::SimError> {
+        Ok(self.run_eval(jobs, disruptions)?.0)
     }
 
     /// Evaluate and also return the per-decision goal log (Figs. 8–9).
@@ -237,10 +249,15 @@ impl Mrsch {
         &mut self,
         jobs: &[Job],
     ) -> (SimReport, Vec<(SimTime, Vec<f32>)>) {
-        self.run_eval(jobs)
+        self.run_eval(jobs, &[]).expect("no disruptions: injection cannot fail")
     }
 
-    fn run_eval(&mut self, jobs: &[Job]) -> (SimReport, Vec<(SimTime, Vec<f32>)>) {
+    #[allow(clippy::type_complexity)]
+    fn run_eval(
+        &mut self,
+        jobs: &[Job],
+        disruptions: &[mrsim::InjectedEvent],
+    ) -> Result<(SimReport, Vec<(SimTime, Vec<f32>)>), mrsim::simulator::SimError> {
         let mut policy = MrschPolicy::new(
             &mut self.agent,
             self.encoder.clone(),
@@ -249,9 +266,10 @@ impl Mrsch {
         );
         let mut sim = Simulator::new(self.system.clone(), jobs.to_vec(), self.params)
             .expect("jobs must be valid for the system");
+        sim.inject_all(disruptions)?;
         let report = sim.run(&mut policy);
         let log = policy.goal_log().to_vec();
-        (report, log)
+        Ok((report, log))
     }
 }
 
@@ -281,7 +299,7 @@ mod tests {
         cfg.io_embed = 8;
         cfg.stream_hidden = 32;
         cfg.batch_size = 8;
-        MrschBuilder::new(tiny_system(), SimParams { window: 4, backfill: true })
+        MrschBuilder::new(tiny_system(), SimParams::new(4, true))
             .seed(3)
             .batches_per_episode(8)
             .dfp_config(cfg)
@@ -381,7 +399,7 @@ mod tests {
         cfg.io_embed = 8;
         cfg.stream_hidden = 32;
         cfg.batch_size = 8;
-        let mut mrsch = MrschBuilder::new(tiny_system(), SimParams { window: 4, backfill: true })
+        let mut mrsch = MrschBuilder::new(tiny_system(), SimParams::new(4, true))
             .seed(4)
             .state_module(StateModuleKind::Cnn)
             .dfp_config(cfg)

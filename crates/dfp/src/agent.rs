@@ -13,7 +13,7 @@ use crate::network::DfpNetwork;
 use crate::replay::{Experience, ReplayBuffer};
 use mrsch_linalg::Matrix;
 use mrsch_nn::loss::masked_mse;
-use mrsch_nn::opt::Adam;
+use mrsch_nn::opt::{Adam, ExpDecay, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -239,6 +239,10 @@ impl DfpAgent {
         self.net.zero_grad();
         self.net.backward(&grad);
         self.net.clip_grad_norm(self.cfg.grad_clip);
+        // Per-step exponential learning-rate decay: damps Adam's
+        // constant-magnitude tail steps (see DfpConfig::lr_decay).
+        let schedule = ExpDecay::new(self.cfg.learning_rate, self.cfg.lr_decay, self.cfg.lr_min);
+        self.opt.set_learning_rate(schedule.at(self.train_steps));
         // Adam over all five subnets via a thin adapter.
         step_adam(&mut self.opt, &mut self.net);
         self.train_steps += 1;
@@ -394,6 +398,25 @@ mod tests {
         let loss = agent.train_batch().expect("enough replay now");
         assert!(loss.is_finite() && loss >= 0.0);
         assert_eq!(agent.train_steps(), 1);
+    }
+
+    #[test]
+    fn learning_rate_decays_per_train_step() {
+        let mut cfg = tiny_cfg();
+        cfg.lr_decay = 0.5;
+        cfg.lr_min = 1e-5;
+        let lr0 = cfg.learning_rate;
+        let mut agent = DfpAgent::new(cfg, 5);
+        record_episode(&mut agent, 12, 200);
+        agent.train_batch().unwrap();
+        // Step 0 trained at lr0; the optimizer now holds schedule.at(0).
+        assert_eq!(agent.opt.learning_rate(), lr0);
+        agent.train_batch().unwrap();
+        assert!((agent.opt.learning_rate() - lr0 * 0.5).abs() < 1e-9);
+        for _ in 0..30 {
+            agent.train_batch().unwrap();
+        }
+        assert_eq!(agent.opt.learning_rate(), 1e-5, "floor respected");
     }
 
     #[test]

@@ -46,8 +46,15 @@ pub struct DfpConfig {
     pub stream_hidden: usize,
     /// Leaky-ReLU slope (paper's state module uses leaky rectifiers).
     pub leaky_slope: f32,
-    /// Adam learning rate.
+    /// Adam learning rate (initial value of the decay schedule).
     pub learning_rate: f32,
+    /// Multiplicative learning-rate decay per gradient step
+    /// ([`mrsch_nn::opt::ExpDecay`]): shrinks Adam's constant-magnitude
+    /// tail steps so late training settles instead of oscillating. 1.0
+    /// disables the schedule.
+    pub lr_decay: f32,
+    /// Learning-rate floor of the decay schedule.
+    pub lr_min: f32,
     /// Replay capacity (experiences).
     pub replay_capacity: usize,
     /// Minibatch size.
@@ -81,6 +88,8 @@ impl DfpConfig {
             stream_hidden: 128,
             leaky_slope: 0.01,
             learning_rate: 1e-3,
+            lr_decay: 0.999,
+            lr_min: 1e-4,
             replay_capacity: 20_000,
             batch_size: 32,
             epsilon_start: 1.0,
@@ -131,6 +140,12 @@ impl DfpConfig {
         if self.batch_size == 0 || self.replay_capacity < self.batch_size {
             return Err("replay capacity must hold at least one batch".into());
         }
+        if !(self.lr_decay > 0.0 && self.lr_decay <= 1.0) {
+            return Err("lr_decay must be in (0, 1]".into());
+        }
+        if !(self.lr_min >= 0.0 && self.lr_min <= self.learning_rate) {
+            return Err("lr_min must be in [0, learning_rate]".into());
+        }
         Ok(())
     }
 }
@@ -146,6 +161,8 @@ mod tests {
         assert_eq!(c.pred_width(), 12);
         assert_eq!(c.epsilon_decay, 0.995, "paper's α");
         assert_eq!(c.epsilon_start, 1.0, "paper's initial ε");
+        assert_eq!(c.lr_decay, 0.999, "per-step lr decay wired by default");
+        assert!(c.lr_min > 0.0 && c.lr_min < c.learning_rate);
     }
 
     #[test]
@@ -175,5 +192,13 @@ mod tests {
         let mut c = DfpConfig::scaled(10, 2, 5);
         c.replay_capacity = 1;
         assert!(c.validate().is_err());
+
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.lr_decay = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = DfpConfig::scaled(10, 2, 5);
+        c.lr_min = 1.0;
+        assert!(c.validate().is_err(), "floor above the initial rate");
     }
 }

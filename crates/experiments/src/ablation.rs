@@ -91,7 +91,7 @@ pub fn starvation_guards(scale: &ExpScale, seed: u64) -> Vec<AblationRow> {
             GoalMode::Dynamic,
             Mode::Evaluate,
         );
-        let params = SimParams { window: scale.window, backfill };
+        let params = SimParams::new(scale.window, backfill);
         let report = Simulator::new(system.clone(), jobs.clone(), params)
             .expect("valid jobs")
             .run(&mut policy);

@@ -15,8 +15,10 @@ use crate::csv;
 use mrsch::prelude::*;
 use mrsch_baselines::heuristics::{ListOrder, ListPolicy};
 use mrsch_baselines::{FcfsPolicy, GaPolicy};
+use mrsch_workload::disruption::{swf_cancel_events, DisruptionConfig, DrainSpec};
 use mrsch_workload::swf::parse_swf;
 use mrsch_workload::theta::TraceJob;
+use mrsim::{InjectedEvent, SimTime};
 
 /// Which scheduler the CLI should run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +58,34 @@ pub struct CliArgs {
     pub model_out: Option<String>,
     /// Load a checkpoint instead of training (MRSch only).
     pub model_in: Option<String>,
+    /// Fraction of evaluation jobs cancelled by synthetic users.
+    pub cancel_frac: f64,
+    /// Fraction of evaluation jobs whose runtime overruns the estimate.
+    pub overrun_frac: f64,
+    /// Runtime multiplier for overrunners (on the estimate).
+    pub overrun_factor: f64,
+    /// Fraction of nodes drained mid-trace (0 disables the drain).
+    pub drain_frac: f64,
+    /// Drain start time in seconds.
+    pub drain_start: SimTime,
+    /// Drain duration in seconds (0 = permanent).
+    pub drain_duration: SimTime,
+    /// Kill jobs at their walltime estimate (required for overruns).
+    pub enforce_walltime: bool,
+    /// Periodic tick interval for time-driven policies (seconds).
+    pub tick: Option<SimTime>,
+    /// Replay the SWF trace's own cancelled-status jobs as cancels.
+    pub replay_swf_cancels: bool,
+}
+
+impl CliArgs {
+    /// True when any disruption mechanism is enabled.
+    pub fn disruptions_enabled(&self) -> bool {
+        self.cancel_frac > 0.0
+            || self.overrun_frac > 0.0
+            || self.drain_frac > 0.0
+            || self.replay_swf_cancels
+    }
 }
 
 /// Parse `simulate`-style arguments (everything after the subcommand).
@@ -71,6 +101,15 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         train_episodes: 4,
         model_out: None,
         model_in: None,
+        cancel_frac: 0.0,
+        overrun_frac: 0.0,
+        overrun_factor: 1.5,
+        drain_frac: 0.0,
+        drain_start: 0,
+        drain_duration: 0,
+        enforce_walltime: false,
+        tick: None,
+        replay_swf_cancels: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -108,6 +147,40 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             }
             "--model" => out.model_out = Some(value("--model")?),
             "--load" => out.model_in = Some(value("--load")?),
+            "--cancel-frac" => {
+                out.cancel_frac =
+                    value("--cancel-frac")?.parse().map_err(|_| "--cancel-frac: not a number")?
+            }
+            "--overrun-frac" => {
+                out.overrun_frac = value("--overrun-frac")?
+                    .parse()
+                    .map_err(|_| "--overrun-frac: not a number")?;
+                out.enforce_walltime = true; // overruns are pointless otherwise
+            }
+            "--overrun-factor" => {
+                out.overrun_factor = value("--overrun-factor")?
+                    .parse()
+                    .map_err(|_| "--overrun-factor: not a number")?
+            }
+            "--drain-frac" => {
+                out.drain_frac =
+                    value("--drain-frac")?.parse().map_err(|_| "--drain-frac: not a number")?
+            }
+            "--drain-start" => {
+                out.drain_start =
+                    value("--drain-start")?.parse().map_err(|_| "--drain-start: not a number")?
+            }
+            "--drain-duration" => {
+                out.drain_duration = value("--drain-duration")?
+                    .parse()
+                    .map_err(|_| "--drain-duration: not a number")?
+            }
+            "--enforce-walltime" => out.enforce_walltime = true,
+            "--tick" => {
+                out.tick =
+                    Some(value("--tick")?.parse().map_err(|_| "--tick: not a number")?)
+            }
+            "--replay-swf-cancels" => out.replay_swf_cancels = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -116,6 +189,18 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     }
     if out.window == 0 {
         return Err("--window must be positive".into());
+    }
+    for (flag, v) in [
+        ("--cancel-frac", out.cancel_frac),
+        ("--overrun-frac", out.overrun_frac),
+        ("--drain-frac", out.drain_frac),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag} must be in [0, 1]"));
+        }
+    }
+    if out.overrun_factor <= 1.0 {
+        return Err("--overrun-factor must exceed 1".into());
     }
     find_spec(&out.workload)?;
     Ok(out)
@@ -130,6 +215,39 @@ pub fn find_spec(name: &str) -> Result<WorkloadSpec, String> {
         .ok_or_else(|| format!("unknown workload '{name}' (expected S1..S10)"))
 }
 
+/// Build the evaluation disruption set for a parsed invocation: the
+/// (possibly overrun-modified) jobs plus the events to inject.
+fn disruptions_for(
+    args: &CliArgs,
+    jobs: Vec<Job>,
+    system: &SystemConfig,
+    trace: &[TraceJob],
+) -> (Vec<Job>, Vec<InjectedEvent>) {
+    if !args.disruptions_enabled() {
+        return (jobs, Vec::new());
+    }
+    let mut drains = Vec::new();
+    if args.drain_frac > 0.0 {
+        drains.push(DrainSpec {
+            resource: 0,
+            fraction: args.drain_frac,
+            at: args.drain_start,
+            duration: args.drain_duration,
+        });
+    }
+    let cfg = DisruptionConfig {
+        cancel_fraction: args.cancel_frac,
+        overrun_fraction: args.overrun_frac,
+        overrun_factor: args.overrun_factor,
+        drains,
+    };
+    let mut disrupted = cfg.synthesize(&jobs, system, args.seed ^ 0x5eed);
+    if args.replay_swf_cancels {
+        disrupted.events.extend(swf_cancel_events(&disrupted.jobs, trace));
+    }
+    (disrupted.jobs, disrupted.events)
+}
+
 /// Run a parsed invocation over an already-loaded trace, returning the
 /// simulator report (separated from I/O for testability).
 pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, String> {
@@ -137,22 +255,26 @@ pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, Str
     let base = SystemConfig::two_resource(args.nodes, args.bb);
     let system = spec.system_for(&base);
     let jobs = spec.build(trace, &system, args.seed);
-    let params = SimParams { window: args.window, backfill: true };
+    let (jobs, events) = disruptions_for(args, jobs, &system, trace);
+    let params = SimParams {
+        enforce_walltime: args.enforce_walltime,
+        tick: args.tick,
+        ..SimParams::new(args.window, true)
+    };
+    let run_baseline = |policy: &mut dyn Policy| -> Result<SimReport, String> {
+        let mut sim =
+            Simulator::new(system.clone(), jobs.clone(), params).map_err(|e| e.to_string())?;
+        sim.inject_all(&events).map_err(|e| e.to_string())?;
+        Ok(sim.run(policy))
+    };
     let report = match args.policy {
-        CliPolicy::Fcfs => Simulator::new(system, jobs, params)
-            .map_err(|e| e.to_string())?
-            .run(&mut FcfsPolicy::default()),
-        CliPolicy::Sjf => Simulator::new(system, jobs, params)
-            .map_err(|e| e.to_string())?
-            .run(&mut ListPolicy::new(ListOrder::ShortestFirst)),
-        CliPolicy::Ljf => Simulator::new(system, jobs, params)
-            .map_err(|e| e.to_string())?
-            .run(&mut ListPolicy::new(ListOrder::LongestFirst)),
-        CliPolicy::Ga => Simulator::new(system, jobs, params)
-            .map_err(|e| e.to_string())?
-            .run(&mut GaPolicy::with_seed(args.seed)),
+        CliPolicy::Fcfs => run_baseline(&mut FcfsPolicy::default())?,
+        CliPolicy::Sjf => run_baseline(&mut ListPolicy::new(ListOrder::ShortestFirst))?,
+        CliPolicy::Ljf => run_baseline(&mut ListPolicy::new(ListOrder::LongestFirst))?,
+        CliPolicy::Ga => run_baseline(&mut GaPolicy::with_seed(args.seed))?,
         CliPolicy::Mrsch => {
-            let mut agent = MrschBuilder::new(system, params).seed(args.seed).build();
+            let mut agent =
+                MrschBuilder::new(system.clone(), params).seed(args.seed).build();
             if let Some(path) = &args.model_in {
                 let data = std::fs::read(path).map_err(|e| format!("--load: {e}"))?;
                 agent
@@ -177,7 +299,7 @@ pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, Str
                 let ckpt = agent.agent_mut().network_mut().save_checkpoint();
                 std::fs::write(path, &ckpt).map_err(|e| format!("--model: {e}"))?;
             }
-            agent.evaluate(&jobs)
+            agent.evaluate_disrupted(&jobs, &events).map_err(|e| e.to_string())?
         }
     };
     Ok(report)
@@ -213,6 +335,22 @@ pub fn render_report(args: &CliArgs, report: &SimReport) -> String {
         csv::f(report.avg_slowdown),
         report.backfilled_jobs
     ));
+    if report.jobs_cancelled + report.jobs_killed > 0
+        || report.capacity_lost_unit_seconds.iter().any(|&l| l > 0.0)
+    {
+        let lost: Vec<String> = report
+            .resource_names
+            .iter()
+            .zip(&report.capacity_lost_unit_seconds)
+            .map(|(n, l)| format!("{n}={}", csv::f(*l)))
+            .collect();
+        out.push_str(&format!(
+            "  disruptions: cancelled {} | killed {} | lost unit-seconds {}\n",
+            report.jobs_cancelled,
+            report.jobs_killed,
+            lost.join(" ")
+        ));
+    }
     out
 }
 
@@ -287,6 +425,43 @@ mod tests {
         .unwrap();
         let r2 = run_on_trace(&b, &trace).unwrap();
         assert_eq!(r1.records, r2.records, "checkpoint roundtrip via CLI");
+    }
+
+    #[test]
+    fn parses_disruption_flags() {
+        let a = parse_args(&args(&[
+            "--swf", "t.swf", "--cancel-frac", "0.1", "--overrun-frac", "0.05",
+            "--overrun-factor", "2.0", "--drain-frac", "0.25", "--drain-start", "5000",
+            "--drain-duration", "3000", "--tick", "600",
+        ]))
+        .unwrap();
+        assert_eq!(a.cancel_frac, 0.1);
+        assert_eq!(a.overrun_frac, 0.05);
+        assert!(a.enforce_walltime, "--overrun-frac implies walltime enforcement");
+        assert_eq!(a.drain_frac, 0.25);
+        assert_eq!(a.tick, Some(600));
+        assert!(a.disruptions_enabled());
+        assert!(parse_args(&args(&["--swf", "t", "--cancel-frac", "1.5"])).is_err());
+        assert!(parse_args(&args(&["--swf", "t", "--overrun-factor", "0.5"])).is_err());
+    }
+
+    #[test]
+    fn disrupted_run_accounts_for_every_job() {
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(60) }.generate(6);
+        let a = parse_args(&args(&[
+            "--swf", "unused.swf", "--workload", "S1", "--nodes", "16", "--bb", "8",
+            "--policy", "fcfs", "--window", "4", "--cancel-frac", "0.15",
+            "--overrun-frac", "0.15", "--drain-frac", "0.25",
+            "--drain-start", "2000", "--drain-duration", "4000",
+        ]))
+        .unwrap();
+        let report = run_on_trace(&a, &trace).unwrap();
+        assert!(report.all_jobs_accounted(60), "finished+cancelled+killed == trace");
+        assert!(report.jobs_cancelled > 0);
+        assert!(report.jobs_killed > 0);
+        assert!(report.capacity_lost_unit_seconds[0] > 0.0);
+        let text = render_report(&a, &report);
+        assert!(text.contains("disruptions:"), "render shows the disruption line");
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Policy for FixedOrder {
 
 /// Run both schedules.
 pub fn run() -> Fig1Result {
-    let params = SimParams { window: 4, backfill: false };
+    let params = SimParams::new(4, false);
     let run_with = |policy: &mut dyn Policy| {
         let mut sim = Simulator::new(system(), jobs(), params).unwrap();
         let report = sim.run(policy);

@@ -97,6 +97,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "experiment-scale (trains 10 agents); run with --ignored / in CI"]
     fn ablation_produces_both_arches_per_workload() {
         let mut scale = ExpScale::quick();
         scale.eval_jobs = 20;

@@ -97,6 +97,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "experiment-scale (6 curricula); run with --ignored / in CI"]
     fn six_curves_with_expected_lengths() {
         let mut scale = ExpScale::quick();
         scale.jobs_per_set = 15;

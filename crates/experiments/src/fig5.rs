@@ -55,6 +55,8 @@ mod tests {
             0,
             0,
             0,
+            mrsim::EventCounts::new(),
+            0,
         );
         report.resource_utilization = vec![node, bb];
         Comparison { method, workload: workload.into(), report }

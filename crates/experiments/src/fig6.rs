@@ -90,6 +90,7 @@ mod tests {
             start: wait_s,
             end: wait_s + 100,
             backfilled: false,
+            outcome: mrsim::job::JobOutcome::Finished,
         }];
         let report = SimReport::assemble(
             vec!["nodes".into(), "burst_buffer_tb".into()],
@@ -99,6 +100,8 @@ mod tests {
             wait_s + 100,
             1,
             1,
+            mrsim::EventCounts::new(),
+            0,
         );
         Comparison { method, workload: workload.into(), report }
     }

@@ -128,6 +128,7 @@ mod tests {
             start: wait,
             end: wait + 1000,
             backfilled: false,
+            outcome: mrsim::job::JobOutcome::Finished,
         }];
         let mut report = SimReport::assemble(
             vec!["nodes".into(), "burst_buffer_tb".into()],
@@ -137,6 +138,8 @@ mod tests {
             wait + 1000,
             1,
             1,
+            mrsim::EventCounts::new(),
+            0,
         );
         report.resource_utilization = vec![util, util * 0.8];
         Comparison { method, workload: workload.into(), report }

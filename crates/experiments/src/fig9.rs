@@ -85,8 +85,8 @@ mod tests {
     #[test]
     fn five_boxes_ordered_and_bounded() {
         let mut scale = ExpScale::quick();
-        scale.eval_jobs = 40;
-        scale.jobs_per_set = 15;
+        scale.eval_jobs = 16;
+        scale.jobs_per_set = 10;
         scale.batches_per_episode = 2;
         let boxes = run(&scale, 41);
         assert_eq!(boxes.len(), 5);
@@ -98,6 +98,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "experiment-scale (5 workloads); run with --ignored / in CI"]
     fn s5_mean_exceeds_s1_mean() {
         // S5 is the most BB-contended workload; its rBB should sit higher
         // than S1's (the paper's Fig. 9 observation 2).

@@ -107,6 +107,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "experiment-scale (full 11410-dim Theta net); run with --ignored / in CI"]
     fn theta_scale_meets_paper_bound() {
         // Full 11410-dim state with the 4000/1000/512 architecture must
         // decide in far less than the paper's 2 s budget.

@@ -36,16 +36,22 @@ pub struct ExpScale {
 
 impl ExpScale {
     /// Small scale for unit tests and Criterion benches (seconds).
+    ///
+    /// Sized for a warm `cargo test -q` under the ROADMAP's ~45 s
+    /// budget on a single core: the machine (48×16) keeps the DFP state
+    /// vector — and with it every gradient step — small, and the
+    /// train/eval job counts are the smallest that keep the figure
+    /// tests' qualitative orderings stable.
     pub fn quick() -> Self {
         Self {
-            nodes: 64,
-            burst_buffer: 20,
-            window: 5,
-            trace_jobs: 400,
-            eval_jobs: 80,
+            nodes: 48,
+            burst_buffer: 16,
+            window: 4,
+            trace_jobs: 240,
+            eval_jobs: 48,
             sets_per_phase: 1,
-            jobs_per_set: 40,
-            batches_per_episode: 8,
+            jobs_per_set: 30,
+            batches_per_episode: 6,
             train_rounds: 1,
         }
     }
@@ -72,7 +78,7 @@ impl ExpScale {
 
     /// Simulator parameters at this scale.
     pub fn sim_params(&self) -> SimParams {
-        SimParams { window: self.window, backfill: true }
+        SimParams::new(self.window, true)
     }
 
     /// Theta-like trace generator matched to this machine size.
@@ -106,9 +112,9 @@ mod tests {
     #[test]
     fn derived_objects_consistent() {
         let s = ExpScale::quick();
-        assert_eq!(s.base_system().capacities(), vec![64, 20]);
-        assert_eq!(s.sim_params().window, 5);
-        assert_eq!(s.trace_config().machine_nodes, 64);
+        assert_eq!(s.base_system().capacities(), vec![48, 16]);
+        assert_eq!(s.sim_params().window, 4);
+        assert_eq!(s.trace_config().machine_nodes, 48);
         assert_eq!(s.base_trace(1).len(), s.trace_jobs);
     }
 

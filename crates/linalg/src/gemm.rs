@@ -33,6 +33,35 @@ pub enum ParallelPolicy {
 /// Minimum number of multiply-adds before threading is considered.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 18;
 
+/// Process-wide default policy used by [`matmul`]: 0 = Auto, 1 = Serial,
+/// n >= 2 = `Threads { max_threads: n }`. Results are bit-identical
+/// under every policy (row-band splitting preserves reduction order), so
+/// this only trades wall time — and lets determinism tests drive the
+/// whole pipeline serial vs parallel to prove it.
+static DEFAULT_POLICY: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Replace the process-wide default [`ParallelPolicy`] used by [`matmul`]
+/// and friends when no explicit policy is given. `Threads` with
+/// `max_threads <= 1` means "one thread" and is stored as `Serial` —
+/// the execution they describe is identical.
+pub fn set_default_policy(policy: ParallelPolicy) {
+    let enc = match policy {
+        ParallelPolicy::Auto => 0,
+        ParallelPolicy::Serial | ParallelPolicy::Threads { max_threads: 0 | 1 } => 1,
+        ParallelPolicy::Threads { max_threads } => max_threads,
+    };
+    DEFAULT_POLICY.store(enc, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current process-wide default [`ParallelPolicy`].
+pub fn default_policy() -> ParallelPolicy {
+    match DEFAULT_POLICY.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => ParallelPolicy::Auto,
+        1 => ParallelPolicy::Serial,
+        n => ParallelPolicy::Threads { max_threads: n },
+    }
+}
+
 fn thread_count(policy: ParallelPolicy, rows: usize, flops: usize) -> usize {
     let hw = || {
         std::thread::available_parallelism()
@@ -50,12 +79,13 @@ fn thread_count(policy: ParallelPolicy, rows: usize, flops: usize) -> usize {
     n.min(rows).max(1)
 }
 
-/// `C = A · B` with the default (auto) parallel policy.
+/// `C = A · B` with the process-wide default parallel policy
+/// ([`default_policy`]; `Auto` unless overridden).
 ///
 /// # Panics
 /// Panics when `A.cols() != B.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    matmul_with(a, b, ParallelPolicy::Auto)
+    matmul_with(a, b, default_policy())
 }
 
 /// `C = A · B` under an explicit parallel policy.
@@ -241,6 +271,29 @@ mod tests {
         let serial = matmul_with(&a, &b, ParallelPolicy::Serial);
         let par = matmul_with(&a, &b, ParallelPolicy::Threads { max_threads: 4 });
         assert_eq!(serial, par, "threaded GEMM must be bit-identical");
+    }
+
+    #[test]
+    fn default_policy_roundtrips_and_is_bit_stable() {
+        let a = rand_matrix(48, 64, 5);
+        let b = rand_matrix(64, 40, 6);
+        let reference = matmul_with(&a, &b, ParallelPolicy::Serial);
+        for policy in [
+            ParallelPolicy::Serial,
+            ParallelPolicy::Threads { max_threads: 3 },
+            ParallelPolicy::Auto,
+        ] {
+            set_default_policy(policy);
+            assert_eq!(default_policy(), policy);
+            assert_eq!(matmul(&a, &b), reference, "{policy:?}");
+        }
+        // Threads{0|1} are one-thread requests: stored as Serial, never
+        // widened to 2 workers.
+        for single in [0, 1] {
+            set_default_policy(ParallelPolicy::Threads { max_threads: single });
+            assert_eq!(default_policy(), ParallelPolicy::Serial);
+        }
+        set_default_policy(ParallelPolicy::Auto);
     }
 
     #[test]

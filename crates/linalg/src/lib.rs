@@ -22,7 +22,7 @@ pub mod init;
 pub mod matrix;
 pub mod stats;
 
-pub use gemm::{matmul, matmul_a_bt, matmul_at_b, ParallelPolicy};
+pub use gemm::{default_policy, matmul, matmul_a_bt, matmul_at_b, set_default_policy, ParallelPolicy};
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the crate's own tests when comparing floats.

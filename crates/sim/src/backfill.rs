@@ -28,10 +28,17 @@ pub struct ReservationPlan {
 ///
 /// Candidate shadow times are `now` plus every distinct estimated release
 /// time of a running allocation; the earliest candidate where the job's
-/// full demand fits is chosen. Because job demands are validated against
-/// capacity, a shadow time always exists (at worst when everything has
-/// drained).
-pub fn compute_reservation(pools: &PoolState, job: &Job, now: SimTime) -> ReservationPlan {
+/// full demand fits is chosen. Returns `None` when no candidate fits —
+/// which can only happen while capacity is drained below the job's
+/// demand (static validation guarantees a fit at full capacity). The
+/// reservation then waits for a capacity-return event to re-trigger
+/// scheduling; see `Simulator::backfill_pass` for how backfilling
+/// proceeds without a shadow time.
+pub fn compute_reservation(
+    pools: &PoolState,
+    job: &Job,
+    now: SimTime,
+) -> Option<ReservationPlan> {
     let nres = pools.num_resources();
     let mut candidates: Vec<SimTime> = vec![now];
     candidates.extend(
@@ -48,10 +55,10 @@ pub fn compute_reservation(pools: &PoolState, job: &Job, now: SimTime) -> Reserv
             let extra = (0..nres)
                 .map(|r| pools.projected_free(r, t) - job.demands[r])
                 .collect();
-            return ReservationPlan { shadow: t, extra };
+            return Some(ReservationPlan { shadow: t, extra });
         }
     }
-    unreachable!("compute_reservation: demand validated <= capacity, must fit at drain time");
+    None
 }
 
 /// May `candidate` backfill right now without delaying the reservation?
@@ -100,7 +107,7 @@ mod tests {
     fn shadow_is_now_when_fits_immediately() {
         let (_, pools) = setup();
         let j = job(0, 10, 10, vec![5, 5]);
-        let plan = compute_reservation(&pools, &j, 100);
+        let plan = compute_reservation(&pools, &j, 100).unwrap();
         assert_eq!(plan.shadow, 100);
         assert_eq!(plan.extra, vec![5, 5]);
     }
@@ -113,7 +120,7 @@ mod tests {
         pools.allocate(&job(1, 80, 80, vec![4, 0]), 0);
         // Reserved job needs 8 nodes; free now = 2; after t=50 -> 6; after t=80 -> 10.
         let reserved = job(2, 100, 100, vec![8, 0]);
-        let plan = compute_reservation(&pools, &reserved, 10);
+        let plan = compute_reservation(&pools, &reserved, 10).unwrap();
         assert_eq!(plan.shadow, 80);
         assert_eq!(plan.extra, vec![2, 10]);
     }
@@ -123,7 +130,7 @@ mod tests {
         let (_, mut pools) = setup();
         pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
         let reserved = job(1, 50, 50, vec![5, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0);
+        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
         assert_eq!(plan.shadow, 100);
         // 1 node free; a 1-node job estimated at 60s finishes before t=100.
         let shortie = job(2, 60, 60, vec![1, 0]);
@@ -135,7 +142,7 @@ mod tests {
         let (_, mut pools) = setup();
         pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
         let reserved = job(1, 50, 50, vec![5, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0);
+        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
         // extra = projected_free(100) - 5 = 10 - 5 = 5 nodes.
         assert_eq!(plan.extra[0], 5);
         // 1-node job running past shadow: 1 <= extra, may backfill.
@@ -152,7 +159,7 @@ mod tests {
         // 5 nodes and all 10 BB are held until t=100.
         pools.allocate(&job(0, 100, 100, vec![5, 10]), 0);
         let reserved = job(1, 10, 10, vec![10, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0);
+        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
         assert_eq!(plan.shadow, 100);
         // Candidate fits node-wise but needs BB that is not free.
         let bb_hungry = job(2, 10, 10, vec![1, 1]);
@@ -168,7 +175,7 @@ mod tests {
         pools.allocate(&job(0, 40, 40, vec![6, 0]), 0);
         // Reserved needs 8 nodes -> shadow at t=40, extra = 10-8 = 2.
         let reserved = job(1, 10, 10, vec![8, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0);
+        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
         assert_eq!(plan.shadow, 40);
         // 4-node candidate estimated to run 100s: fits now (4 free) but
         // would hold 4 > extra=2 nodes at the shadow time -> rejected.
@@ -177,12 +184,41 @@ mod tests {
     }
 
     #[test]
+    fn no_plan_while_drain_debt_pends() {
+        let (_, mut pools) = setup();
+        pools.allocate(&job(0, 100, 100, vec![8, 0]), 0); // free = 2
+        // Drain 6: 2 removed immediately, 4 parked as debt. After the
+        // release absorbs the debt only 4 nodes exist — a 6-node job has
+        // no shadow time until capacity returns.
+        pools.adjust_capacity(0, -6);
+        let reserved = job(1, 10, 10, vec![6, 0]);
+        assert_eq!(compute_reservation(&pools, &reserved, 0), None);
+        // A 4-node job fits at the (post-absorption) release.
+        let smaller = job(2, 10, 10, vec![4, 0]);
+        let plan = compute_reservation(&pools, &smaller, 0).unwrap();
+        assert_eq!(plan.shadow, 100);
+        assert_eq!(plan.extra, vec![0, 10]);
+    }
+
+    #[test]
+    fn no_plan_when_capacity_drained_below_demand() {
+        let (_, mut pools) = setup();
+        // Drain 6 of 10 nodes: a 8-node job can never fit until they return.
+        pools.adjust_capacity(0, -6);
+        let reserved = job(0, 10, 10, vec![8, 0]);
+        assert_eq!(compute_reservation(&pools, &reserved, 0), None);
+        // A job within the shrunken capacity still gets a plan.
+        let small = job(1, 10, 10, vec![4, 0]);
+        assert!(compute_reservation(&pools, &small, 0).is_some());
+    }
+
+    #[test]
     fn shadow_clamps_past_estimates_to_now() {
         let (_, mut pools) = setup();
         pools.allocate(&job(0, 10, 10, vec![10, 0]), 0);
         // Ask at t=50, well past the allocation's est_end=10 (overstayed).
         let reserved = job(1, 10, 10, vec![10, 0]);
-        let plan = compute_reservation(&pools, &reserved, 50);
+        let plan = compute_reservation(&pools, &reserved, 50).unwrap();
         assert_eq!(plan.shadow, 50, "overdue releases count as 'now'");
     }
 }

@@ -1,34 +1,124 @@
 //! The discrete-event queue driving the simulation clock.
 //!
-//! Two event kinds exist, mirroring CQSim's triggers ("Typical triggers
+//! The seed mirrored CQSim's minimal trigger set ("Typical triggers
 //! include the submission of a new job to the queue or a running job
-//! leaving the system", §IV): [`EventKind::Submit`] and
-//! [`EventKind::Finish`]. At equal timestamps, finishes are processed
-//! before submissions so that a job arriving exactly when resources free
-//! up sees them available; remaining ties break on insertion sequence for
-//! full determinism.
+//! leaving the system", §IV): submissions and completions. The engine is
+//! now general: an [`EventKind`] may be any of the six variants below and
+//! the simulator dispatches each to a dedicated handler in
+//! `crate::handlers`.
+//!
+//! # Adding a new event kind
+//!
+//! Two places change, and only two:
+//!
+//! 1. **here** — add the variant, give it a slot in [`EventKind::rank`]
+//!    (its priority among events sharing a timestamp) and in
+//!    [`EventKind::index`] / [`EventKind::KIND_NAMES`] (its metrics
+//!    counter slot);
+//! 2. **`crate::handlers`** — write one `on_<kind>` handler and add its
+//!    dispatch arm.
+//!
+//! `Simulator::run` itself never matches on kinds: it pops events and
+//! calls `handlers::dispatch`, so its control flow is untouched by new
+//! kinds. The `dispatch_covers_every_kind` test in `crate::handlers`
+//! keeps the registry honest.
+//!
+//! At equal timestamps the rank order is: releases first (finish, then
+//! walltime-kill) so a job arriving exactly when resources free up sees
+//! them available; capacity changes next so drains can absorb
+//! just-freed units and returns are visible to same-instant submits;
+//! submissions after that; cancellations after submissions (a job
+//! submitted and cancelled at the same instant is cancelled, and a job
+//! finishing exactly when cancelled counts as finished); ticks last
+//! (they only trigger a scheduling instance). Remaining ties break on
+//! insertion sequence for full determinism.
 
 use crate::job::JobId;
 use crate::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// What happens at an event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A running job completes and releases its resources.
     Finish(JobId),
+    /// A running job is killed because its true runtime exceeds its
+    /// walltime estimate (scheduled at `start + estimate`, as real RJMS
+    /// enforce). No-op if the job is not running.
+    WalltimeKill(JobId),
+    /// A user cancels a job: dequeued if waiting, released if running,
+    /// no-op if already terminal.
+    Cancel(JobId),
+    /// The capacity of one resource pool changes by `delta` units — a
+    /// node drain/return, a power-cap ramp, a partition going offline.
+    /// Shrinks that exceed the currently free units are absorbed lazily
+    /// as running jobs release (a *drain*, not a kill).
+    CapacityChange {
+        /// Index of the resource pool.
+        resource: usize,
+        /// Signed change in units (negative = drain, positive = return).
+        delta: i64,
+    },
     /// A job arrives into the waiting queue.
     Submit(JobId),
+    /// A periodic pulse for time-driven policies: triggers a scheduling
+    /// instance without any state change of its own.
+    Tick,
 }
 
 impl EventKind {
-    /// Ordering rank at equal time: finishes first.
+    /// Number of distinct event kinds (size of per-kind counter arrays).
+    pub const KIND_COUNT: usize = 6;
+
+    /// Human-readable name per counter slot, aligned with
+    /// [`EventKind::index`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] =
+        ["finish", "walltime_kill", "capacity_change", "submit", "cancel", "tick"];
+
+    /// Ordering rank at equal time: releases, capacity changes,
+    /// submissions, cancellations, ticks. Cancels sort *after* submits
+    /// so a job submitted and cancelled at the same instant is cancelled
+    /// (not silently kept: the cancel would otherwise fire against a
+    /// not-yet-queued job and no-op); finishes sort before cancels so a
+    /// job completing exactly when cancelled counts as finished.
     fn rank(self) -> u8 {
         match self {
             EventKind::Finish(_) => 0,
-            EventKind::Submit(_) => 1,
+            EventKind::WalltimeKill(_) => 1,
+            EventKind::CapacityChange { .. } => 2,
+            EventKind::Submit(_) => 3,
+            EventKind::Cancel(_) => 4,
+            EventKind::Tick => 5,
         }
+    }
+
+    /// Dense per-kind counter slot (same order as [`EventKind::KIND_NAMES`]).
+    pub fn index(self) -> usize {
+        self.rank() as usize
+    }
+
+    /// Name of this kind (for reports).
+    pub fn name(self) -> &'static str {
+        Self::KIND_NAMES[self.index()]
+    }
+}
+
+/// An externally scheduled event: what disruption traces inject into a
+/// simulation before it runs (see `Simulator::inject`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedEvent {
+    /// When the event fires.
+    pub time: SimTime,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+impl InjectedEvent {
+    /// Convenience constructor.
+    pub fn new(time: SimTime, kind: EventKind) -> Self {
+        Self { time, kind }
     }
 }
 
@@ -64,6 +154,11 @@ impl PartialOrd for Event {
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
     seq: u64,
+    /// Pending [`EventKind::Tick`]s, tracked separately so tick re-arm
+    /// logic can ask for *real* (non-tick) pending work — otherwise two
+    /// concurrent tick chains would count each other as progress and
+    /// sustain themselves forever.
+    ticks: usize,
 }
 
 impl EventQueue {
@@ -74,13 +169,22 @@ impl EventQueue {
 
     /// Schedule an event.
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        if kind == EventKind::Tick {
+            self.ticks += 1;
+        }
         self.heap.push(Event { time, kind, seq: self.seq });
         self.seq += 1;
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let e = self.heap.pop();
+        if let Some(ev) = &e {
+            if ev.kind == EventKind::Tick {
+                self.ticks -= 1;
+            }
+        }
+        e
     }
 
     /// Time of the earliest event without removing it.
@@ -93,9 +197,21 @@ impl EventQueue {
         self.heap.len()
     }
 
+    /// Number of pending events that are not ticks — the "can the
+    /// simulation still evolve on its own?" signal tick re-arming uses.
+    pub fn non_tick_len(&self) -> usize {
+        self.heap.len() - self.ticks
+    }
+
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Iterate over all pending events in unspecified order (used to
+    /// consult scheduled capacity changes during reservation planning).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.heap.iter()
     }
 }
 
@@ -123,6 +239,29 @@ mod tests {
     }
 
     #[test]
+    fn same_time_rank_order_is_release_capacity_submit_cancel_tick() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::Tick);
+        q.push(10, EventKind::Cancel(2));
+        q.push(10, EventKind::Submit(3));
+        q.push(10, EventKind::CapacityChange { resource: 0, delta: -4 });
+        q.push(10, EventKind::WalltimeKill(1));
+        q.push(10, EventKind::Finish(0));
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Finish(0),
+                EventKind::WalltimeKill(1),
+                EventKind::CapacityChange { resource: 0, delta: -4 },
+                EventKind::Submit(3),
+                EventKind::Cancel(2),
+                EventKind::Tick,
+            ]
+        );
+    }
+
+    #[test]
     fn insertion_order_breaks_remaining_ties() {
         let mut q = EventQueue::new();
         q.push(5, EventKind::Submit(7));
@@ -138,5 +277,25 @@ mod tests {
         assert_eq!(q.peek_time(), Some(42));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn kind_index_and_names_are_aligned() {
+        let kinds = [
+            EventKind::Finish(0),
+            EventKind::WalltimeKill(0),
+            EventKind::Cancel(0),
+            EventKind::CapacityChange { resource: 0, delta: 1 },
+            EventKind::Submit(0),
+            EventKind::Tick,
+        ];
+        assert_eq!(kinds.len(), EventKind::KIND_COUNT);
+        let mut seen = [false; EventKind::KIND_COUNT];
+        for k in kinds {
+            assert!(!seen[k.index()], "duplicate index for {k:?}");
+            seen[k.index()] = true;
+            assert_eq!(k.name(), EventKind::KIND_NAMES[k.index()]);
+        }
+        assert!(seen.iter().all(|&s| s), "every kind has a counter slot");
     }
 }

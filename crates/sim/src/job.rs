@@ -67,6 +67,29 @@ pub enum JobState {
     Running,
     /// Completed.
     Finished,
+    /// Removed by a user cancellation (while queued or running).
+    Cancelled,
+    /// Killed by the walltime enforcer at `start + estimate`.
+    Killed,
+}
+
+impl JobState {
+    /// True once the job can never run again (finished, cancelled, killed).
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Finished | JobState::Cancelled | JobState::Killed)
+    }
+}
+
+/// How a job left the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Finished,
+    /// Cancelled by its user. If it never started, `start == end` is the
+    /// cancellation time and the record carries pure queue wait.
+    Cancelled,
+    /// Ran but was killed at its walltime limit (`end = start + estimate`).
+    Killed,
 }
 
 /// Per-job outcome recorded by the simulator.
@@ -76,13 +99,16 @@ pub struct JobRecord {
     pub id: JobId,
     /// Submission time (copied from the job for self-containedness).
     pub submit: SimTime,
-    /// Time the job began executing.
+    /// Time the job began executing (for a cancelled-while-queued job,
+    /// the cancellation time — see [`JobOutcome::Cancelled`]).
     pub start: SimTime,
-    /// Time the job finished.
+    /// Time the job left the system.
     pub end: SimTime,
     /// Whether the job started via backfilling rather than direct
     /// selection (diagnostics for the backfill tests and ablations).
     pub backfilled: bool,
+    /// How the job left the system.
+    pub outcome: JobOutcome,
 }
 
 impl JobRecord {
@@ -138,7 +164,7 @@ mod tests {
 
     #[test]
     fn record_derived_metrics() {
-        let r = JobRecord { id: 0, submit: 100, start: 160, end: 220, backfilled: false };
+        let r = JobRecord { id: 0, submit: 100, start: 160, end: 220, backfilled: false, outcome: JobOutcome::Finished };
         assert_eq!(r.wait(), 60);
         assert_eq!(r.runtime(), 60);
         assert!((r.slowdown() - 2.0).abs() < 1e-12);
@@ -148,14 +174,14 @@ mod tests {
     fn bounded_slowdown_floors_tiny_jobs() {
         // 1-second job that waited 99 seconds: raw slowdown 100,
         // bounded (10s) slowdown 10.
-        let r = JobRecord { id: 0, submit: 0, start: 99, end: 100, backfilled: true };
+        let r = JobRecord { id: 0, submit: 0, start: 99, end: 100, backfilled: true, outcome: JobOutcome::Finished };
         assert!((r.slowdown() - 100.0).abs() < 1e-12);
         assert!((r.bounded_slowdown(10) - 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn bounded_slowdown_never_below_one() {
-        let r = JobRecord { id: 0, submit: 0, start: 0, end: 2, backfilled: false };
+        let r = JobRecord { id: 0, submit: 0, start: 0, end: 2, backfilled: false, outcome: JobOutcome::Finished };
         assert_eq!(r.bounded_slowdown(10), 1.0);
     }
 }

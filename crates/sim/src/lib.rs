@@ -5,8 +5,12 @@
 //!
 //! * imports jobs from a trace (submit time, walltime estimate, actual
 //!   runtime, per-resource demands),
-//! * advances a simulation clock by discrete events (job submission and
-//!   job completion), each of which triggers a *scheduling instance*,
+//! * advances a simulation clock by discrete events — job submission,
+//!   completion, user cancellation, walltime kill, capacity change
+//!   (node drains and power-cap ramps), and a periodic tick — each
+//!   batch of which triggers a *scheduling instance*; kinds dispatch to
+//!   pluggable handlers ([`handlers`]) so new event kinds are additive
+//!   (see the [`event`] module docs),
 //! * at each instance asks a pluggable [`policy::Policy`] to select jobs
 //!   from a fixed-size **window** at the front of the waiting queue,
 //! * enforces the HPC-specific starvation protections of §III-C:
@@ -45,6 +49,7 @@
 
 pub mod backfill;
 pub mod event;
+pub mod handlers;
 pub mod job;
 pub mod metrics;
 pub mod policy;
@@ -53,8 +58,9 @@ pub mod resources;
 pub mod simulator;
 pub mod timeline;
 
-pub use job::{Job, JobId, JobRecord};
-pub use metrics::SimReport;
+pub use event::{EventKind, InjectedEvent};
+pub use job::{Job, JobId, JobOutcome, JobRecord};
+pub use metrics::{EventCounts, SimReport};
 pub use policy::{Policy, SchedulerView};
 pub use resources::{ResourceSpec, SystemConfig};
 pub use simulator::{SimParams, Simulator};

@@ -47,7 +47,8 @@ pub struct SchedulerView<'a> {
 }
 
 impl<'a> SchedulerView<'a> {
-    /// Current measurement vector (per-resource utilization).
+    /// Current measurement vector (per-resource utilization, normalized
+    /// by the capacity *currently online* — honest under disruptions).
     pub fn measurement(&self) -> Vec<f64> {
         self.pools.measurement()
     }
@@ -57,16 +58,36 @@ impl<'a> SchedulerView<'a> {
         self.pools.fits(&self.window[idx].job.demands)
     }
 
+    /// Capacity of each pool currently online (drains/power caps applied).
+    pub fn current_capacities(&self) -> Vec<u64> {
+        (0..self.pools.num_resources()).map(|r| self.pools.capacity(r)).collect()
+    }
+
+    /// Fraction of configured capacity online per pool: all 1.0 in an
+    /// undisrupted system, 0.75 on a 25 % node drain. Policies use this
+    /// to detect (and react to) disruptions.
+    pub fn capacity_online(&self) -> Vec<f64> {
+        (0..self.pools.num_resources()).map(|r| self.pools.online_fraction(r)).collect()
+    }
+
+    /// Is any pool currently drained below its configured capacity?
+    pub fn is_disrupted(&self) -> bool {
+        (0..self.pools.num_resources())
+            .any(|r| self.pools.capacity(r) < self.pools.base_capacity(r))
+    }
+
     /// The goal-vector weights of the paper's Eq. (1): for each resource
     /// `j`, the normalized total outstanding demand-time
     /// `r_j = Σ_i P_ij·t_i / Σ_j Σ_i P_ij·t_i`, summed over *all* jobs in
     /// the system — queued jobs (with their full estimate) and running
-    /// jobs (with their remaining estimate).
+    /// jobs (with their remaining estimate). Demand fractions are taken
+    /// over the capacity *currently online*, so a drained pool reads as
+    /// proportionally more contended.
     ///
     /// Falls back to uniform weights when no job demands anything.
     pub fn contention_weights(&self) -> Vec<f64> {
         let nres = self.config.num_resources();
-        let caps = self.config.capacities();
+        let caps = self.current_capacities();
         let mut demand_time = vec![0.0f64; nres];
         for &jid in self.queued {
             let job = &self.jobs[jid];
@@ -226,6 +247,59 @@ mod tests {
             jobs: &jobs,
         };
         assert_eq!(view.contention_weights(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn view_exposes_disruption_state() {
+        let config = SystemConfig::two_resource(8, 4);
+        let jobs: Vec<Job> = vec![];
+        let mut pools = PoolState::new(&config);
+        pools.adjust_capacity(0, -2); // 25 % node drain
+        let queued: Vec<JobId> = vec![];
+        let view = SchedulerView {
+            now: 0,
+            instance: 0,
+            decision: 0,
+            window: vec![],
+            pools: &pools,
+            config: &config,
+            queued: &queued,
+            jobs: &jobs,
+        };
+        assert!(view.is_disrupted());
+        assert_eq!(view.current_capacities(), vec![6, 4]);
+        let online = view.capacity_online();
+        assert!((online[0] - 0.75).abs() < 1e-12);
+        assert_eq!(online[1], 1.0);
+    }
+
+    #[test]
+    fn contention_weights_use_current_capacity() {
+        // One queued job wanting 4 nodes + 4 BB. At full capacity (8, 8)
+        // the weights are even; with half the nodes drained the node side
+        // reads twice as contended.
+        let config = SystemConfig::two_resource(8, 8);
+        let jobs = vec![Job::new(0, 0, 100, 100, vec![4, 4])];
+        let mut pools = PoolState::new(&config);
+        let queued = vec![0];
+        let make = |pools: &PoolState| -> Vec<f64> {
+            SchedulerView {
+                now: 0,
+                instance: 0,
+                decision: 0,
+                window: vec![],
+                pools,
+                config: &config,
+                queued: &queued,
+                jobs: &jobs,
+            }
+            .contention_weights()
+        };
+        let even = make(&pools);
+        assert!((even[0] - 0.5).abs() < 1e-12);
+        pools.adjust_capacity(0, -4);
+        let drained = make(&pools);
+        assert!((drained[0] - 2.0 / 3.0).abs() < 1e-12, "nodes weight doubles: {drained:?}");
     }
 
     #[test]

@@ -39,6 +39,19 @@ impl WaitQueue {
         self.jobs.remove(idx);
     }
 
+    /// Remove a job if it is queued (cancellation path: the job may have
+    /// started or finished before the cancel event fired). Returns
+    /// whether it was present.
+    pub fn try_remove(&mut self, job: JobId) -> bool {
+        match self.jobs.iter().position(|&j| j == job) {
+            Some(idx) => {
+                self.jobs.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The first `window` waiting jobs, oldest first.
     pub fn window(&self, window: usize) -> &[JobId] {
         &self.jobs[..window.min(self.jobs.len())]
@@ -106,6 +119,17 @@ mod tests {
     fn remove_missing_panics() {
         let mut q = WaitQueue::new();
         q.remove(9);
+    }
+
+    #[test]
+    fn try_remove_reports_presence() {
+        let mut q = WaitQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert!(q.try_remove(1));
+        assert!(!q.try_remove(1), "second removal is a no-op");
+        assert!(!q.try_remove(9));
+        assert_eq!(q.all(), &[2]);
     }
 
     #[test]

@@ -127,10 +127,22 @@ pub struct Allocation {
 }
 
 /// Live allocation state of all pools.
+///
+/// Capacity is *time-varying*: [`PoolState::adjust_capacity`] applies
+/// node drains/returns and power-cap ramps. A shrink larger than the
+/// currently free units does not kill anything — the excess is parked in
+/// a per-pool *drain debt* and absorbed as running jobs release, exactly
+/// like `scontrol update state=drain`. [`PoolState::check_conservation`]
+/// (`free + held == capacity`) holds at every instant throughout.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PoolState {
+    /// Configured (static) capacity — the denominator of encoder layouts.
+    base_capacities: Vec<u64>,
+    /// Current online capacity.
     capacities: Vec<u64>,
     free: Vec<u64>,
+    /// Units scheduled for removal that are still held by running jobs.
+    draining: Vec<u64>,
     running: Vec<Allocation>,
 }
 
@@ -138,12 +150,66 @@ impl PoolState {
     /// Fresh, fully idle state.
     pub fn new(config: &SystemConfig) -> Self {
         let capacities = config.capacities();
-        Self { free: capacities.clone(), capacities, running: Vec::new() }
+        Self {
+            base_capacities: capacities.clone(),
+            free: capacities.clone(),
+            draining: vec![0; capacities.len()],
+            capacities,
+            running: Vec::new(),
+        }
     }
 
-    /// Capacity of pool `r`.
+    /// Current online capacity of pool `r`.
     pub fn capacity(&self, r: usize) -> u64 {
         self.capacities[r]
+    }
+
+    /// Configured capacity of pool `r` (before any capacity changes).
+    pub fn base_capacity(&self, r: usize) -> u64 {
+        self.base_capacities[r]
+    }
+
+    /// Units of pool `r` pending removal (drain debt held by running jobs).
+    pub fn draining(&self, r: usize) -> u64 {
+        self.draining[r]
+    }
+
+    /// Fraction of configured capacity currently online, in `[0, ∞)`.
+    /// 1.0 means no disruption; a 25 % node drain reads 0.75.
+    pub fn online_fraction(&self, r: usize) -> f64 {
+        if self.base_capacities[r] == 0 {
+            1.0
+        } else {
+            self.capacities[r] as f64 / self.base_capacities[r] as f64
+        }
+    }
+
+    /// Apply a capacity change of `delta` units to pool `r`.
+    ///
+    /// Positive deltas first pay down drain debt (a return cancels a
+    /// pending drain without any unit movement, because drained-but-held
+    /// units never left `capacities`), then bring fresh units online.
+    /// Negative deltas take free units immediately and park the excess as
+    /// drain debt to be absorbed by future releases. A shrink is clamped
+    /// to the units that actually remain after pending debt — otherwise
+    /// an over-drain would record *phantom* debt that silently eats
+    /// later returns.
+    pub fn adjust_capacity(&mut self, r: usize, delta: i64) {
+        if delta >= 0 {
+            let mut add = delta as u64;
+            let undrain = add.min(self.draining[r]);
+            self.draining[r] -= undrain;
+            add -= undrain;
+            self.capacities[r] += add;
+            self.free[r] += add;
+        } else {
+            let cut = delta.unsigned_abs().min(self.capacities[r] - self.draining[r]);
+            let immediate = cut.min(self.free[r]);
+            self.free[r] -= immediate;
+            self.capacities[r] -= immediate;
+            self.draining[r] += cut - immediate;
+        }
+        debug_assert!(self.check_conservation());
     }
 
     /// Free units of pool `r`.
@@ -190,6 +256,11 @@ impl PoolState {
         self.running.len()
     }
 
+    /// Is the given job currently holding an allocation?
+    pub fn is_running(&self, job: JobId) -> bool {
+        self.running.iter().any(|a| a.job == job)
+    }
+
     /// Allocate for a starting job.
     ///
     /// # Panics
@@ -210,7 +281,9 @@ impl PoolState {
         });
     }
 
-    /// Release the allocation of a finishing job, returning it.
+    /// Release the allocation of a finishing job, returning it. Freed
+    /// units first pay down any pending drain debt before becoming
+    /// available again.
     ///
     /// # Panics
     /// Panics if the job is not running.
@@ -224,6 +297,15 @@ impl PoolState {
         for (f, d) in self.free.iter_mut().zip(&alloc.demands) {
             *f += d;
         }
+        for r in 0..self.capacities.len() {
+            let absorb = self.draining[r].min(self.free[r]);
+            if absorb > 0 {
+                self.free[r] -= absorb;
+                self.capacities[r] -= absorb;
+                self.draining[r] -= absorb;
+            }
+        }
+        debug_assert!(self.check_conservation());
         alloc
     }
 
@@ -258,6 +340,9 @@ impl PoolState {
 
     /// Estimated free units of pool `r` at future time `t`, assuming every
     /// running job releases at its *estimated* end and nothing new starts.
+    /// Pending drain debt is honored: freed units are absorbed by the
+    /// drain before becoming available, exactly as [`PoolState::release`]
+    /// will do.
     pub fn projected_free(&self, r: usize, t: SimTime) -> u64 {
         let mut free = self.free[r];
         for a in &self.running {
@@ -265,7 +350,7 @@ impl PoolState {
                 free += a.demands[r];
             }
         }
-        free
+        free.saturating_sub(self.draining[r])
     }
 
     /// Internal consistency check: free + Σ running demands == capacity
@@ -365,6 +450,18 @@ mod tests {
     }
 
     #[test]
+    fn projected_free_honors_pending_drain_debt() {
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 100, 100, vec![8, 0]), 0); // free = 2
+        pools.adjust_capacity(0, -6); // 2 removed now, 4 parked as debt
+        // At the release, the 8 freed units first pay the 4-unit debt:
+        // only 4 are actually available.
+        assert_eq!(pools.projected_free(0, 100), 4);
+        assert_eq!(pools.projected_free(0, 50), 0, "debt exceeds current free");
+    }
+
+    #[test]
     fn validate_job_catches_mismatches() {
         let cfg = SystemConfig::two_resource(4, 4);
         assert!(cfg.validate_job(&job(0, 1, 1, vec![1, 1])).is_ok());
@@ -376,5 +473,101 @@ mod tests {
     fn named_configs() {
         assert_eq!(SystemConfig::theta().capacities(), vec![4392, 1293]);
         assert_eq!(SystemConfig::three_resource(8, 4, 500).num_resources(), 3);
+    }
+
+    #[test]
+    fn capacity_shrink_takes_free_units_immediately() {
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.adjust_capacity(0, -3);
+        assert_eq!(pools.capacity(0), 7);
+        assert_eq!(pools.free(0), 7);
+        assert_eq!(pools.draining(0), 0);
+        assert_eq!(pools.base_capacity(0), 10);
+        assert!((pools.online_fraction(0) - 0.7).abs() < 1e-12);
+        assert!(pools.check_conservation());
+    }
+
+    #[test]
+    fn capacity_shrink_beyond_free_becomes_drain_debt() {
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 100, 100, vec![8, 0]), 0);
+        // Only 2 free: a 5-unit drain removes 2 now, parks 3 as debt.
+        pools.adjust_capacity(0, -5);
+        assert_eq!(pools.capacity(0), 8);
+        assert_eq!(pools.free(0), 0);
+        assert_eq!(pools.draining(0), 3);
+        assert!(pools.check_conservation());
+        // The release pays the debt before freeing units.
+        pools.release(0);
+        assert_eq!(pools.capacity(0), 5);
+        assert_eq!(pools.free(0), 5);
+        assert_eq!(pools.draining(0), 0);
+        assert!(pools.check_conservation());
+    }
+
+    #[test]
+    fn capacity_return_cancels_drain_debt_first() {
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
+        pools.adjust_capacity(0, -4); // 1 free removed, 3 parked
+        assert_eq!(pools.draining(0), 3);
+        // Returning 4 units: 3 cancel the debt (no unit movement), 1 fresh.
+        pools.adjust_capacity(0, 4);
+        assert_eq!(pools.draining(0), 0);
+        assert_eq!(pools.capacity(0), 10);
+        assert_eq!(pools.free(0), 1);
+        assert!(pools.check_conservation());
+        pools.release(0);
+        assert_eq!(pools.free(0), 10);
+        assert!(pools.check_conservation());
+    }
+
+    #[test]
+    fn over_drain_clamps_instead_of_recording_phantom_debt() {
+        // Idle 10-unit pool: a -20 drain can only remove the 10 units
+        // that exist; a +10 return must restore full capacity.
+        let cfg = SystemConfig::two_resource(10, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.adjust_capacity(0, -20);
+        assert_eq!(pools.capacity(0), 0);
+        assert_eq!(pools.draining(0), 0, "no phantom debt");
+        pools.adjust_capacity(0, 10);
+        assert_eq!(pools.capacity(0), 10);
+        assert_eq!(pools.free(0), 10);
+        // With held units: 8 held, -20 drain = 2 immediate + 8 debt max.
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 10, 10, vec![8, 0]), 0);
+        pools.adjust_capacity(0, -20);
+        assert_eq!(pools.capacity(0), 8);
+        assert_eq!(pools.draining(0), 8, "debt capped at held units");
+        pools.release(0);
+        assert_eq!(pools.capacity(0), 0);
+        pools.adjust_capacity(0, 10);
+        assert_eq!(pools.capacity(0), 10);
+        assert!(pools.check_conservation());
+    }
+
+    #[test]
+    fn measurement_normalizes_by_current_capacity() {
+        let cfg = SystemConfig::two_resource(8, 4);
+        let mut pools = PoolState::new(&cfg);
+        pools.allocate(&job(0, 10, 10, vec![4, 0]), 0);
+        assert_eq!(pools.measurement()[0], 0.5);
+        pools.adjust_capacity(0, -2); // 8 -> 6 online, 4 still used
+        assert!((pools.measurement()[0] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_running_tracks_allocations() {
+        let cfg = SystemConfig::two_resource(4, 4);
+        let mut pools = PoolState::new(&cfg);
+        assert!(!pools.is_running(0));
+        pools.allocate(&job(0, 10, 10, vec![1, 0]), 0);
+        assert!(pools.is_running(0));
+        pools.release(0);
+        assert!(!pools.is_running(0));
     }
 }

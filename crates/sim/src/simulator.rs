@@ -1,9 +1,17 @@
 //! The discrete-event simulation engine (the CQSim replacement).
+//!
+//! [`Simulator::run`] is a pure dispatch loop: it pops events, routes
+//! each to its handler in [`crate::handlers`], and runs one scheduling
+//! instance per distinct timestamp. Event kinds — including the
+//! disruption kinds (cancel, walltime kill, capacity change) and the
+//! periodic tick — are therefore additive: see the module docs of
+//! [`crate::event`].
 
-use crate::backfill::{can_backfill, compute_reservation};
-use crate::event::{EventKind, EventQueue};
-use crate::job::{Job, JobId, JobRecord, JobState};
-use crate::metrics::{MetricsCollector, SimReport};
+use crate::backfill::{can_backfill, compute_reservation, ReservationPlan};
+use crate::event::{EventKind, EventQueue, InjectedEvent};
+use crate::handlers;
+use crate::job::{Job, JobId, JobOutcome, JobRecord, JobState};
+use crate::metrics::{EventCounts, MetricsCollector, SimReport};
 use crate::policy::{JobView, Policy, SchedulerView, StepFeedback};
 use crate::queue::WaitQueue;
 use crate::resources::{PoolState, SystemConfig};
@@ -19,11 +27,26 @@ pub struct SimParams {
     /// Disabling it reproduces the "directly applying DFP ... results in
     /// severe job starvation" ablation of §III-C.
     pub backfill: bool,
+    /// Kill jobs whose true runtime exceeds their walltime estimate at
+    /// `start + estimate`, as real RJMS do. Off by default: trace replays
+    /// without disruptions let over-runners finish (the seed behavior).
+    pub enforce_walltime: bool,
+    /// Period of the [`EventKind::Tick`] pulse for time-driven policies.
+    /// `None` (default) disables ticking.
+    pub tick: Option<SimTime>,
+}
+
+impl SimParams {
+    /// Parameters with a given window and backfill toggle, disruptions
+    /// off — the common construction throughout tests and experiments.
+    pub fn new(window: usize, backfill: bool) -> Self {
+        Self { window, backfill, enforce_walltime: false, tick: None }
+    }
 }
 
 impl Default for SimParams {
     fn default() -> Self {
-        Self { window: 10, backfill: true }
+        Self::new(10, true)
     }
 }
 
@@ -34,6 +57,8 @@ pub enum SimError {
     InvalidJob(String),
     /// Job ids must equal their index in the trace vector.
     NonDenseIds(JobId),
+    /// An injected event references a job or resource that does not exist.
+    InvalidEvent(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -43,6 +68,7 @@ impl std::fmt::Display for SimError {
             SimError::NonDenseIds(id) => {
                 write!(f, "job ids must be dense; found out-of-place id {id}")
             }
+            SimError::InvalidEvent(msg) => write!(f, "invalid injected event: {msg}"),
         }
     }
 }
@@ -53,22 +79,25 @@ impl std::error::Error for SimError {}
 ///
 /// Owns the job table, event queue, waiting queue, pool state and metric
 /// accumulators; [`Simulator::run`] drives a [`Policy`] over the whole
-/// trace and returns the [`SimReport`].
+/// trace and returns the [`SimReport`]. Fields are crate-visible so the
+/// per-kind handlers in [`crate::handlers`] can mutate them directly.
 #[derive(Debug)]
 pub struct Simulator {
-    config: SystemConfig,
-    params: SimParams,
-    jobs: Vec<Job>,
-    states: Vec<JobState>,
-    events: EventQueue,
-    queue: WaitQueue,
-    pools: PoolState,
-    collector: MetricsCollector,
-    records: Vec<JobRecord>,
-    now: SimTime,
-    decisions: u64,
-    instances: u64,
-    finished: usize,
+    pub(crate) config: SystemConfig,
+    pub(crate) params: SimParams,
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) states: Vec<JobState>,
+    pub(crate) events: EventQueue,
+    pub(crate) queue: WaitQueue,
+    pub(crate) pools: PoolState,
+    pub(crate) collector: MetricsCollector,
+    pub(crate) records: Vec<JobRecord>,
+    pub(crate) counts: EventCounts,
+    pub(crate) now: SimTime,
+    pub(crate) decisions: u64,
+    pub(crate) instances: u64,
+    /// Jobs in a terminal state (finished + cancelled + killed).
+    pub(crate) finished: usize,
 }
 
 impl Simulator {
@@ -93,6 +122,13 @@ impl Simulator {
         for job in &jobs {
             events.push(job.submit, EventKind::Submit(job.id));
         }
+        if let Some(period) = params.tick {
+            // Anchor the tick chain to the trace start so ticking never
+            // drags start_time (and the capacity integral) earlier than
+            // the first real event.
+            let t0 = jobs.iter().map(|j| j.submit).min().unwrap_or(0);
+            events.push(t0 + period.max(1), EventKind::Tick);
+        }
         let pools = PoolState::new(&config);
         let nres = config.num_resources();
         let states = vec![JobState::Queued; jobs.len()];
@@ -106,11 +142,49 @@ impl Simulator {
             pools,
             collector: MetricsCollector::new(nres),
             records: Vec::new(),
+            counts: EventCounts::new(),
             now: 0,
             decisions: 0,
             instances: 0,
             finished: 0,
         })
+    }
+
+    /// Schedule an external event (disruption traces: cancels, walltime
+    /// kills, capacity changes, extra ticks) before running.
+    pub fn inject(&mut self, event: InjectedEvent) -> Result<(), SimError> {
+        match event.kind {
+            EventKind::Cancel(id)
+            | EventKind::WalltimeKill(id)
+            | EventKind::Finish(id)
+            | EventKind::Submit(id) => {
+                if id >= self.jobs.len() {
+                    return Err(SimError::InvalidEvent(format!(
+                        "job {id} out of range ({} jobs)",
+                        self.jobs.len()
+                    )));
+                }
+            }
+            EventKind::CapacityChange { resource, .. } => {
+                if resource >= self.config.num_resources() {
+                    return Err(SimError::InvalidEvent(format!(
+                        "resource {resource} out of range ({} pools)",
+                        self.config.num_resources()
+                    )));
+                }
+            }
+            EventKind::Tick => {}
+        }
+        self.events.push(event.time, event.kind);
+        Ok(())
+    }
+
+    /// Inject a whole disruption trace (see [`Simulator::inject`]).
+    pub fn inject_all(&mut self, events: &[InjectedEvent]) -> Result<(), SimError> {
+        for e in events {
+            self.inject(*e)?;
+        }
+        Ok(())
     }
 
     /// Current simulation time.
@@ -123,20 +197,35 @@ impl Simulator {
         &self.config
     }
 
+    /// The live pool state (current capacity, free units, allocations).
+    pub fn pools(&self) -> &PoolState {
+        &self.pools
+    }
+
     /// Run the whole trace under `policy`, returning the report.
+    ///
+    /// This loop is kind-agnostic: every event is routed through
+    /// [`handlers::dispatch`]; all events sharing a timestamp are applied
+    /// as one batch, then a single scheduling instance runs.
     pub fn run(&mut self, policy: &mut dyn Policy) -> SimReport {
         while let Some(event) = self.events.pop() {
+            // Tombstoned events (see `handlers::is_live`) are dropped
+            // without advancing the clock or triggering scheduling.
+            if !handlers::is_live(self, event.kind) {
+                continue;
+            }
             // Advance the utilization integral to the event time *before*
-            // applying occupancy changes.
+            // applying occupancy or capacity changes.
             self.collector.advance(&self.pools, event.time);
             self.now = event.time;
-            self.apply(event.kind);
-            // Batch: apply every event with the same timestamp, then run a
-            // single scheduling instance.
+            handlers::dispatch(self, event.kind);
             while self.events.peek_time() == Some(self.now) {
                 let e = self.events.pop().expect("peeked");
-                self.apply(e.kind);
+                if handlers::is_live(self, e.kind) {
+                    handlers::dispatch(self, e.kind);
+                }
             }
+            debug_assert!(self.pools.check_conservation());
             self.schedule(policy);
         }
         let report = self.report();
@@ -144,37 +233,21 @@ impl Simulator {
         report
     }
 
-    fn apply(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Submit(id) => {
-                debug_assert_eq!(self.states[id], JobState::Queued);
-                self.queue.enqueue(id);
-            }
-            EventKind::Finish(id) => {
-                let alloc = self.pools.release(id);
-                self.states[id] = JobState::Finished;
-                self.finished += 1;
-                let backfilled = self
-                    .records
-                    .iter()
-                    .rev()
-                    .find(|r| r.id == id)
-                    .map(|r| r.backfilled)
-                    .unwrap_or(false);
-                // Replace the provisional record written at start time.
-                if let Some(rec) = self.records.iter_mut().rev().find(|r| r.id == id) {
-                    rec.end = self.now;
-                } else {
-                    self.records.push(JobRecord {
-                        id,
-                        submit: self.jobs[id].submit,
-                        start: alloc.start,
-                        end: self.now,
-                        backfilled,
-                    });
-                }
-            }
-        }
+    /// Terminal-state bookkeeping shared by the finish/cancel/kill
+    /// handlers of a *started* job: update its provisional record in
+    /// place and count it.
+    pub(crate) fn settle(&mut self, id: JobId, state: JobState, outcome: JobOutcome) {
+        self.states[id] = state;
+        self.finished += 1;
+        let now = self.now;
+        let rec = self
+            .records
+            .iter_mut()
+            .rev()
+            .find(|r| r.id == id)
+            .expect("settle: started jobs always have a provisional record");
+        rec.end = now;
+        rec.outcome = outcome;
     }
 
     fn start_job(&mut self, id: JobId, backfilled: bool) {
@@ -182,13 +255,19 @@ impl Simulator {
         self.pools.allocate(job, self.now);
         self.states[id] = JobState::Running;
         self.queue.remove(id);
-        self.events.push(self.now + job.runtime, EventKind::Finish(id));
+        if self.params.enforce_walltime && job.runtime > job.estimate {
+            // The walltime enforcer fires first; the job never finishes.
+            self.events.push(self.now + job.estimate, EventKind::WalltimeKill(id));
+        } else {
+            self.events.push(self.now + job.runtime, EventKind::Finish(id));
+        }
         self.records.push(JobRecord {
             id,
             submit: job.submit,
             start: self.now,
-            end: self.now + job.runtime, // provisional; confirmed at Finish
+            end: self.now + job.runtime, // provisional; confirmed at settle
             backfilled,
+            outcome: JobOutcome::Finished, // provisional
         });
         debug_assert!(self.pools.check_conservation());
     }
@@ -250,21 +329,58 @@ impl Simulator {
     }
 
     /// EASY backfilling behind the reservation for `res_id`.
+    ///
+    /// When capacity is drained below the reserved job's demand no shadow
+    /// time exists ([`compute_reservation`] returns `None`). The
+    /// reservation then waits for a capacity-return event; if one is
+    /// already scheduled, its time acts as a conservative shadow
+    /// (candidates must be estimated to finish before it, so the return
+    /// finds the machine as free as it is now). Under a *permanent*
+    /// shrink no future could unblock the reserved job, so any fitting
+    /// candidate may start — stalling the whole queue behind an
+    /// infeasible job would be worse.
     fn backfill_pass(&mut self, res_id: JobId) {
         loop {
             let plan = compute_reservation(&self.pools, &self.jobs[res_id], self.now);
+            let gate = match &plan {
+                Some(_) => None,
+                None => self.earliest_capacity_return(),
+            };
             let candidate = self
                 .queue
                 .all()
                 .iter()
                 .copied()
                 .filter(|&j| j != res_id)
-                .find(|&j| can_backfill(&plan, &self.pools, &self.jobs[j], self.now));
+                .find(|&j| match (&plan, gate) {
+                    (Some(p), _) => can_backfill(p, &self.pools, &self.jobs[j], self.now),
+                    (None, Some(t_return)) => {
+                        self.pools.fits(&self.jobs[j].demands)
+                            && self.now + self.jobs[j].estimate <= t_return
+                    }
+                    (None, None) => self.pools.fits(&self.jobs[j].demands),
+                });
             match candidate {
                 Some(j) => self.start_job(j, true),
                 None => break,
             }
         }
+    }
+
+    /// Earliest pending capacity-*increase* event, if any — the time a
+    /// drained machine is next expected to grow.
+    fn earliest_capacity_return(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CapacityChange { delta, .. } if delta > 0))
+            .map(|e| e.time)
+            .min()
+    }
+
+    /// The reservation plan the current instance would compute for a job
+    /// (diagnostics; `None` while capacity is drained below its demand).
+    pub fn reservation_for(&self, id: JobId) -> Option<ReservationPlan> {
+        compute_reservation(&self.pools, &self.jobs[id], self.now)
     }
 
     fn view(&self) -> SchedulerView<'_> {
@@ -294,7 +410,7 @@ impl Simulator {
             self.config.resources.iter().map(|r| r.name.clone()).collect(),
             self.records
                 .iter()
-                .filter(|r| self.states[r.id] == JobState::Finished)
+                .filter(|r| self.states[r.id].is_terminal())
                 .copied()
                 .collect(),
             &self.collector,
@@ -302,6 +418,8 @@ impl Simulator {
             self.now,
             self.decisions,
             self.instances,
+            self.counts.clone(),
+            self.jobs.len() - self.finished,
         )
     }
 }
@@ -328,6 +446,8 @@ mod tests {
         assert_eq!(rec.start, 10);
         assert_eq!(rec.end, 110, "runs for actual runtime, not estimate");
         assert_eq!(report.makespan, 100);
+        assert_eq!(rec.outcome, JobOutcome::Finished);
+        assert!(report.all_jobs_accounted(1));
     }
 
     #[test]
@@ -409,12 +529,7 @@ mod tests {
             Job::new(1, 1, 100, 100, vec![4, 0]),
             Job::new(2, 2, 50, 50, vec![1, 0]),
         ];
-        let mut sim = Simulator::new(
-            sys(5, 4),
-            jobs,
-            SimParams { window: 10, backfill: false },
-        )
-        .unwrap();
+        let mut sim = Simulator::new(sys(5, 4), jobs, SimParams::new(10, false)).unwrap();
         let report = sim.run(&mut HeadOfQueue);
         let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
         assert!(rec2.start >= 100, "without backfill the short job waits");
@@ -466,6 +581,25 @@ mod tests {
     }
 
     #[test]
+    fn rejects_invalid_injected_events() {
+        let mut sim = Simulator::new(
+            sys(4, 4),
+            vec![Job::new(0, 0, 10, 10, vec![1, 0])],
+            SimParams::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.inject(InjectedEvent::new(5, EventKind::Cancel(7))),
+            Err(SimError::InvalidEvent(_))
+        ));
+        assert!(matches!(
+            sim.inject(InjectedEvent::new(5, EventKind::CapacityChange { resource: 9, delta: -1 })),
+            Err(SimError::InvalidEvent(_))
+        ));
+        sim.inject(InjectedEvent::new(5, EventKind::Cancel(0))).unwrap();
+    }
+
+    #[test]
     fn window_limits_policy_choice() {
         // Policy that always selects the LAST window entry; with window=1
         // it behaves exactly like FCFS.
@@ -483,12 +617,7 @@ mod tests {
             Job::new(0, 0, 100, 100, vec![2, 0]),
             Job::new(1, 0, 100, 100, vec![2, 0]),
         ];
-        let mut sim = Simulator::new(
-            sys(2, 2),
-            jobs.clone(),
-            SimParams { window: 1, backfill: true },
-        )
-        .unwrap();
+        let mut sim = Simulator::new(sys(2, 2), jobs.clone(), SimParams::new(1, true)).unwrap();
         let report = sim.run(&mut LastInWindow);
         assert_eq!(report.records[0].start, 0, "window=1 forces FCFS order");
         assert_eq!(report.records[1].start, 100);
@@ -557,6 +686,224 @@ mod tests {
     }
 
     #[test]
+    fn walltime_enforcement_kills_overrunners() {
+        // Same trace as `overstayed_estimate_handled`, but with the
+        // enforcer on: J0 dies at its estimate (t=50) and J1 starts then.
+        let j0 = Job { id: 0, submit: 0, runtime: 100, estimate: 50, demands: vec![2, 0] };
+        let j1 = Job::new(1, 10, 10, 10, vec![2, 0]);
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            vec![j0, j1],
+            SimParams { enforce_walltime: true, ..SimParams::default() },
+        )
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(rec0.outcome, JobOutcome::Killed);
+        assert_eq!(rec0.end, 50, "killed exactly at start + estimate");
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 50, "killed job's resources free immediately");
+        assert_eq!(report.jobs_killed, 1);
+        assert_eq!(report.jobs_completed, 1);
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn cancel_dequeues_waiting_job() {
+        // J1 can never start while J0 runs; cancelling it at t=30 frees
+        // the queue and the run ends at J0's finish.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 10, 50, 50, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(30, EventKind::Cancel(1))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.outcome, JobOutcome::Cancelled);
+        assert_eq!(rec1.start, 30, "queued cancel records the cancel time");
+        assert_eq!(rec1.end, 30);
+        assert_eq!(report.end_time, 100);
+        assert_eq!(report.jobs_cancelled, 1);
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn cancel_releases_running_job() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 10, 50, 50, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(40, EventKind::Cancel(0))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(rec0.outcome, JobOutcome::Cancelled);
+        assert_eq!(rec0.end, 40);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 40, "freed resources start the next job at once");
+        assert_eq!(rec1.outcome, JobOutcome::Finished);
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn cancel_after_finish_is_noop() {
+        let jobs = vec![Job::new(0, 0, 10, 10, vec![1, 0])];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(50, EventKind::Cancel(0))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_cancelled, 0);
+        assert_eq!(report.records[0].outcome, JobOutcome::Finished);
+    }
+
+    #[test]
+    fn capacity_drain_and_return_roundtrip() {
+        // One job holds 2 of 4 nodes. Drain 2 at t=10 (both free), return
+        // them at t=50. The second job (4 nodes) can only start after the
+        // return AND the first job's finish.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 5, 10, 10, vec![4, 0]),
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.inject_all(&[
+            InjectedEvent::new(10, EventKind::CapacityChange { resource: 0, delta: -2 }),
+            InjectedEvent::new(50, EventKind::CapacityChange { resource: 0, delta: 2 }),
+        ])
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 100, "starts when J0 frees the last 2 nodes");
+        assert!(report.all_jobs_accounted(2));
+        // 2 units offline for 40 s.
+        assert!((report.capacity_lost_unit_seconds[0] - 80.0).abs() < 1e-9);
+        assert_eq!(
+            report.event_counts.count(EventKind::CapacityChange { resource: 0, delta: 0 }),
+            2
+        );
+    }
+
+    #[test]
+    fn drain_never_interrupts_running_jobs() {
+        // Drain the whole machine while a job runs: the job completes,
+        // capacity hits zero only as it releases, and returns revive it.
+        let jobs = vec![
+            Job::new(0, 0, 50, 50, vec![4, 0]),
+            Job::new(1, 10, 10, 10, vec![1, 0]),
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.inject_all(&[
+            InjectedEvent::new(20, EventKind::CapacityChange { resource: 0, delta: -4 }),
+            InjectedEvent::new(80, EventKind::CapacityChange { resource: 0, delta: 4 }),
+        ])
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(rec0.outcome, JobOutcome::Finished);
+        assert_eq!(rec0.end, 50, "drain waited for the release");
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 80, "queued job waits out the total drain");
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn tick_triggers_scheduling_and_terminates() {
+        let jobs = vec![Job::new(0, 0, 100, 100, vec![1, 0])];
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            jobs,
+            SimParams { tick: Some(10), ..SimParams::default() },
+        )
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 1);
+        let ticks = report.event_counts.count(EventKind::Tick);
+        assert!(ticks >= 9, "ticks cover the 100 s run: {ticks}");
+        assert!(ticks <= 12, "ticking stops once the system drains: {ticks}");
+    }
+
+    #[test]
+    fn unplanned_backfill_cannot_outlive_a_scheduled_capacity_return() {
+        // Drain leaves the reserved job (28 nodes) unplannable; the
+        // return at t=200 would let it start. A long candidate that fits
+        // now must NOT backfill past the return; a short one may.
+        let jobs = vec![
+            Job::new(0, 150, 1000, 1000, vec![28, 0]), // reserved, unplannable
+            Job::new(1, 151, 500_000, 500_000, vec![20, 0]), // would starve J0
+            Job::new(2, 152, 30, 30, vec![20, 0]),     // finishes before the return
+        ];
+        let mut sim = Simulator::new(sys(32, 8), jobs, SimParams::default()).unwrap();
+        sim.inject_all(&[
+            InjectedEvent::new(100, EventKind::CapacityChange { resource: 0, delta: -5 }),
+            InjectedEvent::new(200, EventKind::CapacityChange { resource: 0, delta: 5 }),
+        ])
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(rec0.start, 200, "reserved job starts at the capacity return");
+        let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(rec2.start, 152, "short candidate backfills during the drain");
+        assert!(rec2.backfilled);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(rec1.start >= 200, "long candidate must wait out the drain window");
+        assert!(report.all_jobs_accounted(3));
+    }
+
+    #[test]
+    fn injected_extra_tick_chain_still_terminates() {
+        // Regression: two tick chains (the params one + an injected one)
+        // must not count each other as pending work and re-arm forever.
+        let jobs = vec![Job::new(0, 0, 100, 100, vec![1, 0])];
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            jobs,
+            SimParams { tick: Some(10), ..SimParams::default() },
+        )
+        .unwrap();
+        sim.inject(InjectedEvent::new(5, EventKind::Tick)).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 1);
+        let ticks = report.event_counts.count(EventKind::Tick);
+        assert!(ticks <= 25, "both chains stop at drain time: {ticks}");
+    }
+
+    #[test]
+    fn ticks_anchor_to_the_first_submit() {
+        // A trace starting late must not have its start_time (and thus
+        // makespan and utilization) dragged earlier by the tick chain.
+        let jobs = vec![Job::new(0, 80_000, 100, 100, vec![1, 0])];
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            jobs,
+            SimParams { tick: Some(600), ..SimParams::default() },
+        )
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.start_time, 80_000, "no pre-trace ticks");
+        assert_eq!(report.makespan, 100);
+        assert!(report.event_counts.count(EventKind::Tick) <= 2);
+    }
+
+    #[test]
+    fn cancel_at_submit_instant_cancels_the_job() {
+        // Submit and cancel at the same timestamp: the submit enqueues
+        // first (rank order), then the cancel removes the job.
+        let jobs = vec![
+            Job::new(0, 50, 100, 100, vec![2, 0]),
+            Job::new(1, 50, 10, 10, vec![1, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(50, EventKind::Cancel(0))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_cancelled, 1);
+        let rec0 = report.records.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(rec0.outcome, JobOutcome::Cancelled);
+        assert_eq!((rec0.start, rec0.end), (50, 50));
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
     fn three_resource_power_budget_enforced() {
         // 3 jobs, each drawing 4 kW of a 10 kW budget: only two co-run
         // even though nodes and BB are plentiful.
@@ -599,10 +946,33 @@ mod tests {
     }
 
     #[test]
+    fn power_cap_ramp_throttles_admission() {
+        // A power-cap drain on the third resource: with the budget halved
+        // the second 4 kW job has to wait for the ramp back up.
+        let config = SystemConfig::three_resource(100, 100, 10);
+        let jobs = vec![
+            Job::new(0, 0, 200, 200, vec![10, 0, 4]),
+            Job::new(1, 20, 100, 100, vec![10, 0, 4]),
+        ];
+        let mut sim = Simulator::new(config, jobs, SimParams::default()).unwrap();
+        sim.inject_all(&[
+            InjectedEvent::new(10, EventKind::CapacityChange { resource: 2, delta: -5 }),
+            InjectedEvent::new(90, EventKind::CapacityChange { resource: 2, delta: 5 }),
+        ])
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 90, "admission waits for the power budget to return");
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
     fn decisions_and_instances_counted() {
         let jobs = vec![Job::new(0, 0, 10, 10, vec![1, 0])];
         let report = run_fcfs(sys(2, 2), jobs);
         assert!(report.decisions >= 1);
         assert!(report.instances >= 1);
+        assert_eq!(report.event_counts.count(EventKind::Submit(0)), 1);
+        assert_eq!(report.event_counts.count(EventKind::Finish(0)), 1);
     }
 }

@@ -248,7 +248,13 @@ mod tests {
     #[test]
     fn mean_interarrival_degenerate_cases() {
         assert_eq!(mean_interarrival(&[]), 1.0);
-        let one = vec![TraceJob { submit: 5, runtime: 1, estimate: 1, nodes: 1 }];
+        let one = vec![TraceJob {
+            submit: 5,
+            runtime: 1,
+            estimate: 1,
+            nodes: 1,
+            status: crate::theta::SwfStatus::Completed,
+        }];
         assert_eq!(mean_interarrival(&one), 1.0);
     }
 }

@@ -21,12 +21,15 @@
 //!   orderings compared in Fig. 4,
 //! * [`split`] — chronological train/validation/test splitting (§IV-A
 //!   splits five months into 3.5 months / 2 weeks / rest),
+//! * [`disruption`] — seeded cancellation / walltime-overrun / node-drain
+//!   trace synthesis on top of any job set, plus SWF status replay,
 //! * [`swf`] — Standard Workload Format ingestion/export, so real
 //!   production logs drive the identical pipeline.
 //!
 //! All generators take explicit seeds and are fully deterministic.
 
 pub mod darshan;
+pub mod disruption;
 pub mod dist;
 pub mod jobset;
 pub mod split;
@@ -34,5 +37,6 @@ pub mod suite;
 pub mod swf;
 pub mod theta;
 
+pub use disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
 pub use suite::{WorkloadSpec, PowerSpec};
-pub use theta::{ThetaConfig, TraceJob};
+pub use theta::{SwfStatus, ThetaConfig, TraceJob};

@@ -26,6 +26,43 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Completion status of a trace job, following the SWF convention
+/// (column 11: 1 = completed, 0 = failed, 5 = cancelled). Synthetic
+/// traces generate [`SwfStatus::Completed`]; SWF ingestion maps the real
+/// codes through so disruption replay can re-issue the trace's
+/// cancellations (see `crate::disruption::swf_cancel_events`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwfStatus {
+    /// Ran to completion (SWF code 1, and anything unrecognized).
+    #[default]
+    Completed,
+    /// Failed or killed — commonly a walltime kill when the recorded
+    /// runtime reaches the request (SWF code 0).
+    Failed,
+    /// Cancelled by its user (SWF code 5).
+    Cancelled,
+}
+
+impl SwfStatus {
+    /// Decode an SWF status column value.
+    pub fn from_code(code: i64) -> Self {
+        match code {
+            0 => SwfStatus::Failed,
+            5 => SwfStatus::Cancelled,
+            _ => SwfStatus::Completed,
+        }
+    }
+
+    /// Encode back to the SWF status column.
+    pub fn code(self) -> i64 {
+        match self {
+            SwfStatus::Completed => 1,
+            SwfStatus::Failed => 0,
+            SwfStatus::Cancelled => 5,
+        }
+    }
+}
+
 /// One job of a base trace: everything but the extended resources.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceJob {
@@ -37,6 +74,8 @@ pub struct TraceJob {
     pub estimate: SimTime,
     /// Requested compute nodes.
     pub nodes: u64,
+    /// Recorded completion status (always `Completed` for synthetic jobs).
+    pub status: SwfStatus,
 }
 
 /// Synthesizer parameters.
@@ -119,7 +158,7 @@ impl ThetaConfig {
                 900,
             );
             let nodes = ladder[dist::weighted_index(&mut rng, &weights)];
-            jobs.push(TraceJob { submit, runtime, estimate, nodes });
+            jobs.push(TraceJob { submit, runtime, estimate, nodes, status: SwfStatus::Completed });
         }
         jobs
     }

@@ -19,7 +19,7 @@ use mrsim::policy::SchedulerView;
 
 fn main() {
     let system = SystemConfig::two_resource(48, 16);
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
     let trace = ThetaConfig { machine_nodes: 48, ..ThetaConfig::scaled(400) }.generate(3);
     let spec = WorkloadSpec::s4();
     let jobs = spec.build(&trace, &system, 4);

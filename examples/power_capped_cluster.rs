@@ -35,7 +35,7 @@ fn main() {
     let train_jobs = spec.build(&split.train[..150.min(split.train.len())], &system, 1);
     let eval_jobs = spec.build(&split.test[..100.min(split.test.len())], &system, 2);
 
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
     let mut mrsch = MrschBuilder::new(system.clone(), params)
         .seed(11)
         .batches_per_episode(16)

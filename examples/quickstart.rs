@@ -13,7 +13,7 @@ use mrsch_workload::split::paper_split;
 fn main() {
     // 1. A 64-node machine with a 20-unit (≈TB) shared burst buffer.
     let system = SystemConfig::two_resource(64, 20);
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
 
     // 2. Synthesize a Theta-like trace and derive the S4 workload
     //    (75 % of jobs request a large burst-buffer slice — heavy

@@ -67,7 +67,7 @@ const BIG: usize = 6;
 fn main() {
     let system = SystemConfig::two_resource(32, 8);
     let run = |label: &str, policy: &mut dyn Policy, backfill: bool| {
-        let params = SimParams { window: 10, backfill };
+        let params = SimParams::new(10, backfill);
         let report = Simulator::new(system.clone(), workload(), params)
             .expect("valid jobs")
             .run(policy);

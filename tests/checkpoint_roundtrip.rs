@@ -19,7 +19,7 @@ fn setup(seed: u64) -> (SystemConfig, Vec<Job>, Vec<Job>) {
 #[test]
 fn restored_agent_reproduces_greedy_schedule() {
     let (system, train, eval) = setup(13);
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
 
     // Train an agent, checkpoint its network.
     let mut trained = MrschBuilder::new(system.clone(), params)
@@ -54,11 +54,11 @@ fn restored_agent_reproduces_greedy_schedule() {
 #[test]
 fn checkpoint_rejects_mismatched_window() {
     let (system, _, _) = setup(14);
-    let mut a = MrschBuilder::new(system.clone(), SimParams { window: 5, backfill: true })
+    let mut a = MrschBuilder::new(system.clone(), SimParams::new(5, true))
         .seed(1)
         .build();
     let ckpt = a.agent_mut().network_mut().save_checkpoint();
-    let mut b = MrschBuilder::new(system, SimParams { window: 6, backfill: true })
+    let mut b = MrschBuilder::new(system, SimParams::new(6, true))
         .seed(1)
         .build();
     assert!(

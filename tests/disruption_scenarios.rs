@@ -1,0 +1,164 @@
+//! End-to-end disruption scenarios over the whole stack: synthesized
+//! cancellation / overrun / drain traces driving the generalized event
+//! engine under both the FCFS baseline and the DFP agent.
+
+use mrsch::prelude::*;
+use mrsch_workload::disruption::DrainSpec;
+
+fn system() -> SystemConfig {
+    SystemConfig::two_resource(32, 12)
+}
+
+fn eval_jobs(n: usize, seed: u64) -> Vec<Job> {
+    let cfg = ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(n) };
+    WorkloadSpec::s1().build(&cfg.generate(seed), &system(), seed + 1)
+}
+
+fn full_disruptions() -> DisruptionConfig {
+    DisruptionConfig {
+        cancel_fraction: 0.15,
+        overrun_fraction: 0.15,
+        overrun_factor: 1.5,
+        drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: 2_000, duration: 5_000 }],
+    }
+}
+
+fn run_fcfs(trace: &DisruptionTrace, enforce_walltime: bool) -> SimReport {
+    let params = SimParams { enforce_walltime, ..SimParams::new(5, true) };
+    let mut sim = Simulator::new(system(), trace.jobs.clone(), params).unwrap();
+    sim.inject_all(&trace.events).unwrap();
+    sim.run(&mut HeadOfQueue)
+}
+
+#[test]
+fn fcfs_survives_combined_disruptions_with_full_accounting() {
+    let jobs = eval_jobs(120, 3);
+    let trace = full_disruptions().synthesize(&jobs, &system(), 11);
+    let report = run_fcfs(&trace, true);
+    assert!(
+        report.all_jobs_accounted(trace.jobs.len()),
+        "finished {} + cancelled {} + killed {} != {} (unfinished {})",
+        report.jobs_completed,
+        report.jobs_cancelled,
+        report.jobs_killed,
+        trace.jobs.len(),
+        report.jobs_unfinished
+    );
+    assert!(report.jobs_cancelled > 0, "cancel events must land");
+    assert!(report.jobs_killed > 0, "overrunners must be walltime-killed");
+    assert!(report.capacity_lost_unit_seconds[0] > 0.0, "the drain must register");
+    // Killed jobs die exactly at their walltime limit.
+    for rec in report.records.iter().filter(|r| r.outcome == JobOutcome::Killed) {
+        let est = trace.jobs[rec.id].estimate;
+        assert_eq!(rec.end, rec.start + est, "job {} killed at start+estimate", rec.id);
+    }
+    // Cancelled-while-queued records carry zero runtime.
+    for rec in report.records.iter().filter(|r| r.outcome == JobOutcome::Cancelled) {
+        assert!(rec.end >= rec.start);
+    }
+}
+
+#[test]
+fn dfp_agent_survives_the_same_disruptions() {
+    let jobs = eval_jobs(80, 5);
+    let trace = full_disruptions().synthesize(&jobs, &system(), 13);
+    let mut mrsch = MrschBuilder::new(
+        system(),
+        SimParams { enforce_walltime: true, ..SimParams::new(5, true) },
+    )
+    .seed(7)
+    .batches_per_episode(4)
+    .build();
+    mrsch.train_episode(&eval_jobs(60, 6));
+    let report = mrsch.evaluate_disrupted(&trace.jobs, &trace.events).unwrap();
+    assert!(report.all_jobs_accounted(trace.jobs.len()));
+    assert!(report.jobs_cancelled > 0);
+    assert!(report.capacity_lost_unit_seconds[0] > 0.0);
+}
+
+#[test]
+fn drained_utilization_is_normalized_by_online_capacity() {
+    // A permanent 50 % drain with a half-machine-wide job stream: static
+    // normalization would cap utilization near 0.5; the dynamic report
+    // can exceed it because only 16 nodes exist after the drain.
+    let jobs: Vec<Job> = (0..30)
+        .map(|i| Job::new(i, (i as u64) * 10, 2_000, 2_400, vec![16, 0]))
+        .collect();
+    let mut sim = Simulator::new(system(), jobs, SimParams::new(5, true)).unwrap();
+    sim.inject(InjectedEvent::new(
+        1,
+        EventKind::CapacityChange { resource: 0, delta: -16 },
+    ))
+    .unwrap();
+    let report = sim.run(&mut HeadOfQueue);
+    assert!(report.all_jobs_accounted(30));
+    assert!(
+        report.resource_utilization[0] > 0.9,
+        "16-node jobs on a 16-node machine should saturate it: {}",
+        report.resource_utilization[0]
+    );
+}
+
+#[test]
+fn backfill_reservations_survive_capacity_shrink() {
+    // J0 holds 24 of 32 nodes until t=1000. J1 (needs 24) is reserved.
+    // At t=100 a drain removes the 8 free nodes entirely; at t=500 they
+    // return. The reservation must neither crash nor be lost: J1 starts
+    // when J0 releases.
+    let jobs = vec![
+        Job::new(0, 0, 1000, 1000, vec![24, 0]),
+        Job::new(1, 10, 100, 100, vec![24, 0]),
+        Job::new(2, 20, 100, 100, vec![4, 0]),
+    ];
+    let mut sim = Simulator::new(system(), jobs, SimParams::new(5, true)).unwrap();
+    sim.inject_all(&[
+        InjectedEvent::new(100, EventKind::CapacityChange { resource: 0, delta: -8 }),
+        InjectedEvent::new(500, EventKind::CapacityChange { resource: 0, delta: 8 }),
+    ])
+    .unwrap();
+    let report = sim.run(&mut HeadOfQueue);
+    assert!(report.all_jobs_accounted(3));
+    let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+    assert_eq!(rec1.start, 1000, "reservation survives the shrink");
+    let rec2 = report.records.iter().find(|r| r.id == 2).unwrap();
+    assert!(
+        rec2.start < 100 || rec2.start >= 500,
+        "the small job runs while nodes exist, not during the total drain: {}",
+        rec2.start
+    );
+}
+
+#[test]
+fn tick_driven_run_matches_untipped_schedule() {
+    // Ticks add scheduling instances but no state changes: with no
+    // disruptions the schedule (records) must be identical with and
+    // without ticking.
+    let jobs = eval_jobs(60, 9);
+    let run = |tick: Option<u64>| {
+        let params = SimParams { tick, ..SimParams::new(5, true) };
+        let mut sim = Simulator::new(system(), jobs.clone(), params).unwrap();
+        sim.run(&mut HeadOfQueue)
+    };
+    let plain = run(None);
+    let ticked = run(Some(300));
+    assert_eq!(plain.records, ticked.records, "ticks must not change the schedule");
+    assert!(ticked.event_counts.count(EventKind::Tick) > 0);
+    assert_eq!(plain.event_counts.count(EventKind::Tick), 0);
+}
+
+#[test]
+fn cancellations_free_resources_for_later_jobs() {
+    // J0 monopolizes the machine for a long time; J1 waits. Cancelling
+    // J0 early lets J1 start immediately at the cancel time.
+    let jobs = vec![
+        Job::new(0, 0, 50_000, 50_000, vec![32, 0]),
+        Job::new(1, 10, 100, 100, vec![32, 0]),
+    ];
+    let mut sim = Simulator::new(system(), jobs, SimParams::new(5, true)).unwrap();
+    sim.inject(InjectedEvent::new(200, EventKind::Cancel(0))).unwrap();
+    let report = sim.run(&mut HeadOfQueue);
+    let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+    assert_eq!(rec1.start, 200);
+    assert_eq!(report.end_time, 300);
+    assert_eq!(report.jobs_cancelled, 1);
+}

@@ -14,28 +14,26 @@ fn system() -> SystemConfig {
 }
 
 fn pipeline_jobs(seed: u64) -> (Vec<Job>, Vec<Job>) {
-    let cfg = ThetaConfig { machine_nodes: 48, ..ThetaConfig::scaled(500) };
+    let cfg = ThetaConfig { machine_nodes: 48, ..ThetaConfig::scaled(320) };
     let trace = cfg.generate(seed);
     let split = paper_split(&trace);
     let spec = WorkloadSpec::s4();
-    let train = spec.build(&split.train[..120.min(split.train.len())], &system(), seed);
-    let eval = spec.build(&split.test[..80.min(split.test.len())], &system(), seed + 1);
+    let train = spec.build(&split.train[..70.min(split.train.len())], &system(), seed);
+    let eval = spec.build(&split.test[..50.min(split.test.len())], &system(), seed + 1);
     (train, eval)
 }
 
 #[test]
 fn full_pipeline_all_methods_complete_all_jobs() {
     let (train, eval) = pipeline_jobs(77);
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
 
     // MRSch.
     let mut mrsch = MrschBuilder::new(system(), params)
         .seed(5)
-        .batches_per_episode(8)
+        .batches_per_episode(6)
         .build();
-    for _ in 0..2 {
-        mrsch.train_episode(&train);
-    }
+    mrsch.train_episode(&train);
     let mrsch_report = mrsch.evaluate(&eval);
 
     // Scalar RL.
@@ -84,13 +82,13 @@ fn full_pipeline_all_methods_complete_all_jobs() {
 #[test]
 fn trained_agent_beats_untrained_or_matches_on_loss() {
     let (train, _) = pipeline_jobs(88);
-    let mut mrsch = MrschBuilder::new(system(), SimParams { window: 5, backfill: true })
+    let mut mrsch = MrschBuilder::new(system(), SimParams::new(5, true))
         .seed(9)
-        .batches_per_episode(16)
+        .batches_per_episode(8)
         .build();
     let first = mrsch.train_episode(&train);
     let mut last = None;
-    for _ in 0..3 {
+    for _ in 0..2 {
         last = mrsch.train_episode(&train);
     }
     let (first, last) = (first.unwrap_or(f32::MAX), last.unwrap());
@@ -107,7 +105,7 @@ fn goal_log_matches_contention_direction() {
     // node weight whenever the BB demand-time dominates — validate the
     // sign of Eq. 1 end-to-end on at least a majority of decisions.
     let (_, eval) = pipeline_jobs(99);
-    let mut mrsch = MrschBuilder::new(system(), SimParams { window: 5, backfill: true })
+    let mut mrsch = MrschBuilder::new(system(), SimParams::new(5, true))
         .seed(3)
         .build();
     let (_, log) = mrsch.evaluate_with_goal_log(&eval);

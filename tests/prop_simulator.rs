@@ -87,7 +87,7 @@ proptest! {
     fn fcfs_with_backfill_never_oversubscribes(jobs in arb_jobs(16, 8, 40)) {
         let system = SystemConfig::two_resource(16, 8);
         let caps = system.capacities();
-        let mut sim = Simulator::new(system, jobs.clone(), SimParams { window: 6, backfill: true }).unwrap();
+        let mut sim = Simulator::new(system, jobs.clone(), SimParams::new(6, true)).unwrap();
         let report = sim.run(&mut FcfsPolicy::default());
         check_report(&report, &jobs, &caps);
     }
@@ -96,7 +96,7 @@ proptest! {
     fn fcfs_without_backfill_never_oversubscribes(jobs in arb_jobs(16, 8, 40)) {
         let system = SystemConfig::two_resource(16, 8);
         let caps = system.capacities();
-        let mut sim = Simulator::new(system, jobs.clone(), SimParams { window: 6, backfill: false }).unwrap();
+        let mut sim = Simulator::new(system, jobs.clone(), SimParams::new(6, false)).unwrap();
         let report = sim.run(&mut FcfsPolicy::default());
         check_report(&report, &jobs, &caps);
     }
@@ -105,7 +105,7 @@ proptest! {
     fn ga_never_oversubscribes(jobs in arb_jobs(12, 6, 25)) {
         let system = SystemConfig::two_resource(12, 6);
         let caps = system.capacities();
-        let mut sim = Simulator::new(system, jobs.clone(), SimParams { window: 5, backfill: true }).unwrap();
+        let mut sim = Simulator::new(system, jobs.clone(), SimParams::new(5, true)).unwrap();
         let report = sim.run(&mut GaPolicy::with_seed(0));
         check_report(&report, &jobs, &caps);
     }
@@ -120,7 +120,7 @@ proptest! {
             let mut sim = Simulator::new(
                 system.clone(),
                 jobs.clone(),
-                SimParams { window: 6, backfill },
+                SimParams::new(6, backfill),
             )
             .unwrap();
             sim.run(&mut FcfsPolicy::default())
@@ -145,7 +145,7 @@ proptest! {
         // simulator's streaming utilization integral on any schedule.
         let system = SystemConfig::two_resource(16, 8);
         let caps = system.capacities();
-        let mut sim = Simulator::new(system, jobs.clone(), SimParams { window: 6, backfill: true }).unwrap();
+        let mut sim = Simulator::new(system, jobs.clone(), SimParams::new(6, true)).unwrap();
         let report = sim.run(&mut FcfsPolicy::default());
         let tl = mrsim::Timeline::from_report(&report, &jobs, &caps);
         let mean = tl.mean_utilization();
@@ -169,7 +169,7 @@ proptest! {
         let mut sim = Simulator::new(
             system,
             jobs.clone(),
-            SimParams { window: 1, backfill: false },
+            SimParams::new(1, false),
         )
         .unwrap();
         let report = sim.run(&mut FcfsPolicy::default());

@@ -26,7 +26,7 @@ fn swf_trace_schedules_end_to_end() {
         system.validate_job(j).unwrap();
     }
 
-    let params = SimParams { window: 5, backfill: true };
+    let params = SimParams::new(5, true);
     // FCFS pass.
     let fcfs_report = Simulator::new(system.clone(), jobs.clone(), params)
         .unwrap()

@@ -42,12 +42,29 @@ impl Default for Settings {
 #[derive(Default)]
 pub struct Criterion {
     settings: Settings,
+    /// Substring filters from the CLI; empty means "run everything".
+    filters: Vec<String>,
+}
+
+/// Does `id` pass the substring filters? Empty filter set accepts all;
+/// otherwise any filter substring-matching the id accepts it (upstream's
+/// default, non-regex behavior).
+fn matches_filters(filters: &[String], id: &str) -> bool {
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+/// Extract benchmark name filters from raw CLI arguments: positional
+/// (non-flag) arguments are filters; flags — including the `--bench` /
+/// `--test` markers cargo passes to every bench binary — are ignored.
+fn filters_from(args: impl Iterator<Item = String>) -> Vec<String> {
+    args.filter(|a| !a.starts_with('-')).collect()
 }
 
 impl Criterion {
-    /// Upstream parses CLI flags here; this harness accepts and ignores
-    /// them (`cargo bench -- <filter>` filtering is not implemented).
-    pub fn configure_from_args(self) -> Self {
+    /// Parse CLI arguments: `cargo bench -- gemm` runs only benchmarks
+    /// whose id contains `gemm`. Other flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = filters_from(std::env::args().skip(1));
         self
     }
 
@@ -60,13 +77,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, &self.settings, &mut f);
+        if matches_filters(&self.filters, id) {
+            run_one(id, &self.settings, &mut f);
+        }
         self
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             settings: Settings::default(),
         }
@@ -75,7 +94,7 @@ impl Criterion {
 
 /// A named group of related benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     settings: Settings,
 }
@@ -96,7 +115,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, &self.settings, &mut f);
+        if matches_filters(&self.parent.filters, &full) {
+            run_one(&full, &self.settings, &mut f);
+        }
         self
     }
 
@@ -196,4 +217,38 @@ macro_rules! criterion_main {
             )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filters(args: &[&str]) -> Vec<String> {
+        filters_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn positional_args_become_filters_flags_ignored() {
+        assert_eq!(filters(&["--bench", "gemm"]), vec!["gemm"]);
+        assert_eq!(filters(&["--bench", "--test"]), Vec::<String>::new());
+        assert_eq!(filters(&["gemm", "sim/run"]), vec!["gemm", "sim/run"]);
+        assert_eq!(
+            filters(&["--sample-size", "10", "encode"]),
+            vec!["10", "encode"],
+            "flag values are indistinguishable from filters; harmless over-match"
+        );
+    }
+
+    #[test]
+    fn substring_matching_selects_benches() {
+        let f = vec!["gemm".to_string()];
+        assert!(matches_filters(&f, "substrate_gemm/256"));
+        assert!(matches_filters(&f, "gemm"));
+        assert!(!matches_filters(&f, "simulator/run"));
+        assert!(matches_filters(&[], "anything"), "no filters runs everything");
+        let multi = vec!["encode".to_string(), "replay".to_string()];
+        assert!(matches_filters(&multi, "state_encode/theta"));
+        assert!(matches_filters(&multi, "replay_push"));
+        assert!(!matches_filters(&multi, "gemm/64"));
+    }
 }

@@ -63,10 +63,35 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // 1. Halve the length (respecting the strategy's minimum), then
+        //    try dropping just the last element.
+        let half = (value.len() / 2).max(self.size.lo);
+        if half < value.len() {
+            out.push(value[..half].to_vec());
+        }
+        if value.len() > self.size.lo && value.len() - 1 != half {
+            out.push(value[..value.len() - 1].to_vec());
+        }
+        // 2. Shrink individual elements (first candidate each), keeping
+        //    the length fixed.
+        for (i, v) in value.iter().enumerate() {
+            if let Some(cand) = self.element.shrink(v).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }

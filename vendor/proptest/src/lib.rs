@@ -8,8 +8,12 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case panics with the assertion's own
-//!   message instead of a minimized counterexample.
+//! * **Simple halving/bisection shrinking** instead of value trees: on a
+//!   failure the runner greedily applies [`strategy::Strategy::shrink`]
+//!   candidates (numeric ranges bisect toward their low bound, vectors
+//!   halve) and reports the minimized counterexample via `Debug`.
+//!   Mapped strategies (`prop_map` and friends) cannot invert their
+//!   closures and do not shrink.
 //! * **Fixed derivation of the RNG stream** from the test-function name,
 //!   so failures reproduce exactly across runs (upstream persists a
 //!   failure seed file; here every run is the same run).
@@ -76,20 +80,14 @@ pub mod prelude {
 
 /// Run `n` cases of a property, panicking on the first failure.
 ///
-/// This is the engine behind the [`proptest!`] macro; it is public so the
-/// macro expansion can reach it.
+/// Legacy engine without shrinking (the [`proptest!`] macro now uses
+/// [`run_cases_shrink`]); kept public for direct callers.
 pub fn run_cases<F>(name: &str, config: &test_runner::ProptestConfig, mut case: F)
 where
     F: FnMut(&mut rand::rngs::StdRng, u32) -> Result<(), test_runner::TestCaseError>,
 {
     use rand::SeedableRng;
-    // FNV-1a over the test name: stable, deterministic per-test streams.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(h);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(stream_seed(name));
     let mut rejected = 0u32;
     let mut ran = 0u32;
     while ran < config.cases {
@@ -109,8 +107,142 @@ where
     }
 }
 
+/// FNV-1a over the test name: stable, deterministic per-test streams.
+fn stream_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+thread_local! {
+    /// True while this thread's minimizer intentionally re-fails the
+    /// property; the quiet hook suppresses those panic reports.
+    static SHRINKING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that delegates to the
+/// previous hook except on threads currently shrinking. Never
+/// uninstalled, so concurrent tests in the same binary keep their panic
+/// diagnostics and there is no take/set race.
+fn install_quiet_shrink_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SHRINKING.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run one case, converting body panics (plain `assert!` inside the
+/// property) into [`test_runner::TestCaseError::Fail`] so they shrink
+/// like `prop_assert!` failures.
+fn run_guarded<V, F>(case: &mut F, value: &V) -> Result<(), test_runner::TestCaseError>
+where
+    F: FnMut(&V) -> Result<(), test_runner::TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic (non-string payload)".to_string()
+            };
+            Err(test_runner::TestCaseError::Fail(msg))
+        }
+    }
+}
+
+/// Greedy halving/bisection minimization: repeatedly adopt the first
+/// shrink candidate that still fails, until none does (or the probe
+/// budget runs out). Returns the minimized value, its failure message
+/// and the number of successful shrink steps.
+fn minimize<S, F>(
+    strat: &S,
+    case: &mut F,
+    mut value: S::Value,
+    mut msg: String,
+) -> (S::Value, String, usize)
+where
+    S: strategy::Strategy,
+    S::Value: Clone,
+    F: FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut steps = 0usize;
+    let mut budget = 512usize;
+    loop {
+        let mut improved = false;
+        for cand in strat.shrink(&value) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if let Err(test_runner::TestCaseError::Fail(m)) = run_guarded(case, &cand) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved || budget == 0 {
+            return (value, msg, steps);
+        }
+    }
+}
+
+/// The engine behind the [`proptest!`] macro: run `config.cases` cases
+/// drawn from `strat`; on failure, shrink and panic with the minimized
+/// counterexample.
+pub fn run_cases_shrink<S, F>(name: &str, config: &test_runner::ProptestConfig, strat: &S, mut case: F)
+where
+    S: strategy::Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(stream_seed(name));
+    let mut rejected = 0u32;
+    let mut ran = 0u32;
+    while ran < config.cases {
+        let value = strat.new_value(&mut rng);
+        match run_guarded(&mut case, &value) {
+            Ok(()) => ran += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.max_global_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejected})"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                // Quiet the panic printer for THIS thread while shrink
+                // probes intentionally re-fail the property; other
+                // threads' diagnostics are unaffected.
+                install_quiet_shrink_hook();
+                SHRINKING.with(|s| s.set(true));
+                let (min_value, min_msg, steps) = minimize(strat, &mut case, value, msg);
+                SHRINKING.with(|s| s.set(false));
+                panic!(
+                    "proptest `{name}` failed at case {ran}: {min_msg}\n\
+                     minimal counterexample ({steps} shrink steps): {min_value:#?}"
+                );
+            }
+        }
+    }
+}
+
 /// The `proptest! { ... }` macro: each `fn name(pat in strategy, ...)`
-/// becomes a `#[test]` running `config.cases` randomized cases.
+/// becomes a `#[test]` running `config.cases` randomized cases, with
+/// failing cases minimized by halving/bisection shrinking.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -124,16 +256,16 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                $crate::run_cases(
+                // One tuple strategy over all arguments: element draws
+                // happen in declaration order, preserving the legacy
+                // engine's RNG stream exactly.
+                let __proptest_strategy = ($(($strat),)+);
+                $crate::run_cases_shrink(
                     stringify!($name),
                     &config,
-                    |__proptest_rng, __proptest_case| {
-                        $(
-                            let $arg = $crate::strategy::Strategy::new_value(
-                                &($strat),
-                                __proptest_rng,
-                            );
-                        )+
+                    &__proptest_strategy,
+                    |__proptest_values| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_values);
                         $body
                         Ok(())
                     },

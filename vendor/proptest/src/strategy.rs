@@ -6,13 +6,23 @@ use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike upstream proptest there is no value tree / shrinking: a
-/// strategy is just a deterministic function of the RNG stream.
+/// Unlike upstream proptest there is no value tree: a strategy is a
+/// deterministic function of the RNG stream, plus an optional
+/// [`Strategy::shrink`] step the runner uses to minimize failing cases
+/// by halving/bisection (numeric ranges bisect toward their low bound,
+/// vectors halve their length). Mapped strategies cannot invert their
+/// closure and therefore do not shrink.
 pub trait Strategy {
     type Value;
 
     /// Draw one value.
     fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Map generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -62,6 +72,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn new_value(&self, rng: &mut StdRng) -> Self::Value {
         (**self).new_value(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -136,6 +149,15 @@ where
         }
         panic!("prop_filter `{}`: rejected 1000 draws in a row", self.whence);
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through the inner strategy, keeping only candidates
+        // that still satisfy the predicate.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.pred)(v))
+            .collect()
+    }
 }
 
 /// See [`Strategy::boxed`].
@@ -145,12 +167,16 @@ pub struct BoxedStrategy<T>(Box<dyn StrategyObject<Value = T>>);
 trait StrategyObject {
     type Value;
     fn new_value_dyn(&self, rng: &mut StdRng) -> Self::Value;
+    fn shrink_dyn(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
 impl<S: Strategy> StrategyObject for S {
     type Value = S::Value;
     fn new_value_dyn(&self, rng: &mut StdRng) -> S::Value {
         self.new_value(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -159,45 +185,136 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn new_value(&self, rng: &mut StdRng) -> T {
         self.0.new_value_dyn(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
+    }
 }
+
+/// Halving/bisection shrink steps for primitives: candidates between a
+/// range's low bound and the failing value, simplest (the bound) first.
+pub trait Bisect: Sized {
+    /// Candidate simplifications of `value` toward `low`, excluding
+    /// `value` itself. Empty when the value is already minimal.
+    fn bisect_toward(low: &Self, value: &Self) -> Vec<Self>;
+}
+
+macro_rules! impl_bisect_int {
+    ($($t:ty),*) => {$(
+        impl Bisect for $t {
+            fn bisect_toward(low: &Self, value: &Self) -> Vec<Self> {
+                if value <= low {
+                    return Vec::new();
+                }
+                // A bisection ladder ascending from `low` toward `value`
+                // with halving gaps: [low, v - gap/2, v - gap/4, ...,
+                // v - 1]. The greedy minimizer adopts the *first* failing
+                // rung, so each round halves the remaining interval and
+                // the search converges to the failure boundary in
+                // O(log^2) probes instead of decrement-crawling.
+                let mut out = vec![*low];
+                let mut gap = (value - low) / 2;
+                while gap > 0 {
+                    let rung = value - gap;
+                    if out.last() != Some(&rung) && rung != *value {
+                        out.push(rung);
+                    }
+                    gap /= 2;
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_bisect_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_bisect_float {
+    ($($t:ty),*) => {$(
+        impl Bisect for $t {
+            fn bisect_toward(low: &Self, value: &Self) -> Vec<Self> {
+                if value.partial_cmp(low) != Some(std::cmp::Ordering::Greater)
+                    || !low.is_finite()
+                    || !value.is_finite()
+                {
+                    return Vec::new();
+                }
+                let mut out = vec![*low];
+                let mut gap = (value - low) / 2.0;
+                for _ in 0..24 {
+                    let rung = value - gap;
+                    if rung.is_finite() && out.last() != Some(&rung) && rung != *value {
+                        out.push(rung);
+                    }
+                    gap /= 2.0;
+                    if gap <= 0.0 {
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_bisect_float!(f32, f64);
 
 // Ranges of samplable primitives are strategies: `0u64..10_000`,
-// `-10.0f32..10.0`, `1u64..=nodes`, ...
-impl<T: SampleUniform + Clone> Strategy for Range<T> {
+// `-10.0f32..10.0`, `1u64..=nodes`, ... Failing draws shrink by
+// bisection toward the range's low bound.
+impl<T: SampleUniform + Clone + Bisect> Strategy for Range<T> {
     type Value = T;
     fn new_value(&self, rng: &mut StdRng) -> T {
         use rand::Rng;
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::bisect_toward(&self.start, value)
+    }
 }
 
-impl<T: SampleUniform + Clone> Strategy for RangeInclusive<T> {
+impl<T: SampleUniform + Clone + Bisect> Strategy for RangeInclusive<T> {
     type Value = T;
     fn new_value(&self, rng: &mut StdRng) -> T {
         use rand::Rng;
         rng.gen_range(self.clone())
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::bisect_toward(self.start(), value)
+    }
 }
 
-// Tuples of strategies are strategies over tuples of values.
+// Tuples of strategies are strategies over tuples of values; shrinking
+// simplifies one element at a time (values must be Clone for that).
 macro_rules! impl_strategy_tuple {
-    ($($S:ident),+) => {
-        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+    ($(($S:ident, $idx:tt)),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone,)+
+        {
             type Value = ($($S::Value,)+);
-            #[allow(non_snake_case)]
             fn new_value(&self, rng: &mut StdRng) -> Self::Value {
-                let ($($S,)+) = self;
-                ($($S.new_value(rng),)+)
+                ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_strategy_tuple!(A);
-impl_strategy_tuple!(A, B);
-impl_strategy_tuple!(A, B, C);
-impl_strategy_tuple!(A, B, C, D);
-impl_strategy_tuple!(A, B, C, D, E);
-impl_strategy_tuple!(A, B, C, D, E, F);
-impl_strategy_tuple!(A, B, C, D, E, F, G);
-impl_strategy_tuple!(A, B, C, D, E, F, G, H);
+impl_strategy_tuple!((A, 0));
+impl_strategy_tuple!((A, 0), (B, 1));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7));

@@ -1,0 +1,84 @@
+//! The shrinking engine reports *minimized* counterexamples: a failing
+//! property's panic message must contain the smallest failing value the
+//! halving/bisection search can reach, not the original random draw.
+
+use proptest::prelude::*;
+
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(hook);
+    let payload = result.expect_err("property must fail");
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("non-string panic payload")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Not #[test]: driven manually through catch_unwind below.
+    fn fails_above_ten(x in 0u64..100_000) {
+        prop_assert!(x <= 10, "x = {x} exceeds 10");
+    }
+
+    fn fails_on_long_vecs(v in prop::collection::vec(0u32..9, 0..64)) {
+        prop_assert!(v.len() <= 3, "len = {}", v.len());
+    }
+
+    fn plain_assert_also_shrinks(x in 0i64..1_000_000) {
+        // A bare assert! (no prop_ prefix) must still shrink: body panics
+        // are caught and treated as failures.
+        assert!(x < 500, "plain assert: {x}");
+    }
+}
+
+#[test]
+fn numeric_counterexample_is_minimal() {
+    let msg = panic_message(fails_above_ten);
+    // Bisection toward 0 with a final -1 step lands exactly on the
+    // boundary: 11 is the smallest value violating x <= 10.
+    assert!(
+        msg.contains("minimal counterexample"),
+        "shrink summary missing: {msg}"
+    );
+    assert!(msg.contains("11"), "expected the boundary value 11 in: {msg}");
+    assert!(msg.contains("shrink steps"), "step count missing: {msg}");
+}
+
+#[test]
+fn vec_counterexample_is_minimal_length() {
+    let msg = panic_message(fails_on_long_vecs);
+    // Length halving + drop-last converges to the shortest failing
+    // length, 4; element shrinking turns every entry into the range
+    // minimum 0.
+    assert!(msg.contains("len = 4") || msg.contains("minimal counterexample"), "{msg}");
+    let wanted = "0,\n    0,\n    0,\n    0,\n]";
+    assert!(
+        msg.replace(' ', "").contains(&wanted.replace(' ', ""))
+            || msg.contains("[0, 0, 0, 0]")
+            || msg.contains("0,\n        0,\n        0,\n        0,"),
+        "expected a 4-zero vector in: {msg}"
+    );
+}
+
+#[test]
+fn plain_asserts_shrink_too() {
+    let msg = panic_message(plain_assert_also_shrinks);
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    assert!(msg.contains("500"), "boundary 500 expected in: {msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn passing_properties_still_pass(x in 0u64..100, y in 0u64..100) {
+        prop_assert!(x < 100 && y < 100);
+    }
+}
