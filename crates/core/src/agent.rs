@@ -6,6 +6,17 @@
 //! the DFP episode when the simulation ends. In **evaluation mode** it
 //! acts greedily and additionally logs the goal vector at every decision
 //! — the `rBB` time series plotted in Figs. 8 and 9.
+//!
+//! Training mode is the *inline* path: the agent's own persistent RNG
+//! drives exploration, which is what the paper's setup describes and
+//! what custom training loops over a borrowed agent need. The engine
+//! path (`Mrsch::train_episode` / `mrsch::engine`) instead rolls out
+//! frozen snapshots with per-episode seeded RNGs so episodes can run on
+//! worker threads; both paths build experiences through the same
+//! `mrsch_dfp::EpisodeRecorder` and act through the same shared
+//! decision rule (`mrsch_dfp::rollout::act_epsilon_greedy`), so they
+//! cannot drift — they differ only in where exploration randomness
+//! comes from.
 
 use crate::encoder::StateEncoder;
 use crate::goal::GoalMode;

@@ -19,7 +19,12 @@
 //!   modes,
 //! * [`agent`] — [`agent::MrschPolicy`], the [`mrsim::Policy`]
 //!   implementation wrapping a [`mrsch_dfp::DfpAgent`],
-//! * [`training`] — the three-phase curriculum trainer of §III-D,
+//! * [`training`] — agent construction and the three-phase curriculum
+//!   trainer of §III-D,
+//! * [`engine`] — the scenario-driven training engine: curriculum
+//!   phases rolled out by parallel workers under frozen policy
+//!   snapshots and merged deterministically (worker count never changes
+//!   results, only wall-clock),
 //! * [`explain`] — per-decision explanations (the paper's §VI
 //!   interpretability future work).
 //!
@@ -42,11 +47,13 @@
 
 pub mod agent;
 pub mod encoder;
+pub mod engine;
 pub mod explain;
 pub mod goal;
 pub mod training;
 
 pub use agent::{Mode, MrschPolicy};
+pub use engine::{EngineOutcome, PhaseOutcome, TrainerConfig, TrainingEngine};
 pub use explain::{Explainer, Explanation};
 pub use encoder::StateEncoder;
 pub use goal::GoalMode;
@@ -56,10 +63,14 @@ pub use training::{Mrsch, MrschBuilder, TrainOutcome, ValidatedOutcome};
 pub mod prelude {
     pub use crate::agent::{Mode, MrschPolicy};
     pub use crate::encoder::StateEncoder;
+    pub use crate::engine::{EngineOutcome, PhaseOutcome, TrainerConfig, TrainingEngine};
     pub use crate::goal::GoalMode;
     pub use crate::training::{Mrsch, MrschBuilder, TrainOutcome, ValidatedOutcome};
     pub use mrsch_dfp::{DfpAgent, DfpConfig, StateModuleKind};
     pub use mrsch_workload::disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
+    pub use mrsch_workload::scenario::{
+        Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, Scenario,
+    };
     pub use mrsch_workload::suite::WorkloadSpec;
     pub use mrsch_workload::theta::ThetaConfig;
     pub use mrsim::event::{EventKind, InjectedEvent};

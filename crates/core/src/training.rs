@@ -8,9 +8,11 @@
 
 use crate::agent::{Mode, MrschPolicy};
 use crate::encoder::StateEncoder;
+use crate::engine::{EngineOutcome, RolloutTask, TrainerConfig, TrainingEngine};
 use crate::goal::GoalMode;
 use mrsch_dfp::{DfpAgent, DfpConfig, StateModuleKind};
 use mrsch_workload::jobset::JobSetKind;
+use mrsch_workload::scenario::{mix_seed, Curriculum};
 use mrsch_workload::suite::WorkloadSpec;
 use mrsch_workload::theta::TraceJob;
 use mrsim::job::Job;
@@ -26,7 +28,7 @@ pub struct MrschBuilder {
     seed: u64,
     state_module: StateModuleKind,
     goal_mode: GoalMode,
-    batches_per_episode: usize,
+    trainer: TrainerConfig,
     config_override: Option<DfpConfig>,
 }
 
@@ -40,7 +42,7 @@ impl MrschBuilder {
             seed: 0,
             state_module: StateModuleKind::Mlp,
             goal_mode: GoalMode::Dynamic,
-            batches_per_episode: 32,
+            trainer: TrainerConfig::default(),
             config_override: None,
         }
     }
@@ -63,9 +65,17 @@ impl MrschBuilder {
         self
     }
 
-    /// Gradient steps per training episode.
+    /// Gradient steps per training episode (sugar for the corresponding
+    /// [`TrainerConfig`] field).
     pub fn batches_per_episode(mut self, n: usize) -> Self {
-        self.batches_per_episode = n;
+        self.trainer.batches_per_episode = n;
+        self
+    }
+
+    /// Replace the whole training-loop configuration (workers, round
+    /// size, gradient steps).
+    pub fn trainer(mut self, cfg: TrainerConfig) -> Self {
+        self.trainer = cfg;
         self
     }
 
@@ -94,7 +104,8 @@ impl MrschBuilder {
             system: self.system,
             params: self.params,
             goal_mode: self.goal_mode,
-            batches_per_episode: self.batches_per_episode,
+            trainer: self.trainer,
+            seed: self.seed,
         }
     }
 }
@@ -132,7 +143,8 @@ pub struct Mrsch {
     system: SystemConfig,
     params: SimParams,
     goal_mode: GoalMode,
-    batches_per_episode: usize,
+    trainer: TrainerConfig,
+    seed: u64,
 }
 
 impl Mrsch {
@@ -156,21 +168,67 @@ impl Mrsch {
         self.params
     }
 
+    /// The training-loop configuration.
+    pub fn trainer(&self) -> &TrainerConfig {
+        &self.trainer
+    }
+
+    /// The state encoder (engine internals).
+    pub(crate) fn encoder_ref(&self) -> &StateEncoder {
+        &self.encoder
+    }
+
+    /// The goal mode (engine internals).
+    pub(crate) fn goal_mode_ref(&self) -> &GoalMode {
+        &self.goal_mode
+    }
+
+    /// The builder seed, from which rollout seeds derive.
+    pub(crate) fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Train one episode on a concrete job list. Returns the post-episode
     /// evaluation loss (None until replay holds a batch).
+    ///
+    /// This is the engine's rollout path at `workers = 1`: the episode
+    /// runs under a frozen snapshot with a per-episode RNG derived from
+    /// the builder seed and the episode counter, then is absorbed and
+    /// trained on — so inline and engine-driven episodes are
+    /// interchangeable.
     pub fn train_episode(&mut self, jobs: &[Job]) -> Option<f32> {
-        let mut policy = MrschPolicy::new(
-            &mut self.agent,
-            self.encoder.clone(),
-            self.goal_mode.clone(),
-            Mode::Train,
-        )
-        .with_batches_per_episode(self.batches_per_episode);
-        let mut sim = Simulator::new(self.system.clone(), jobs.to_vec(), self.params)
-            .expect("jobs must be valid for the system");
-        sim.run(&mut policy);
-        drop(policy);
+        let episode = self.agent.episodes();
+        let task = RolloutTask {
+            spec: mrsch_workload::scenario::EpisodeSpec {
+                jobs: jobs.to_vec(),
+                events: Vec::new(),
+                params: self.params,
+            },
+            epsilon: self.agent.epsilon(),
+            seed: mix_seed(mix_seed(self.seed, 0x5ce7a710), episode),
+        };
+        let mut snap = self.agent.snapshot();
+        let (exps, _report) = crate::engine::rollout_episode(
+            &mut snap,
+            &self.encoder,
+            &self.goal_mode,
+            &self.system,
+            &mut None,
+            &task,
+        );
+        self.agent.absorb_episode(exps);
+        for _ in 0..self.trainer.batches_per_episode {
+            self.agent.train_batch();
+        }
         self.agent.eval_loss(256)
+    }
+
+    /// Train over a scenario [`Curriculum`] with this agent's
+    /// [`TrainerConfig`] (rollout workers, round size) — the full
+    /// engine: clean-first phases, disruption hardening, parallel
+    /// rollouts, deterministic merge.
+    pub fn train_with_curriculum(&mut self, curriculum: &Curriculum) -> EngineOutcome {
+        TrainingEngine::new(self.trainer.clone()).train(self, curriculum)
     }
 
     /// Train over a curriculum of job sets materialized through a
@@ -229,7 +287,7 @@ impl Mrsch {
 
     /// Evaluate greedily on a job list, returning the simulator report.
     pub fn evaluate(&mut self, jobs: &[Job]) -> SimReport {
-        self.run_eval(jobs, &[]).expect("no disruptions: injection cannot fail").0
+        self.run_eval(jobs, &[], &[]).expect("no disruptions: injection cannot fail").0
     }
 
     /// Evaluate greedily under a disruption trace (cancellations,
@@ -241,7 +299,20 @@ impl Mrsch {
         jobs: &[Job],
         disruptions: &[mrsim::InjectedEvent],
     ) -> Result<SimReport, mrsim::simulator::SimError> {
-        Ok(self.run_eval(jobs, disruptions)?.0)
+        Ok(self.run_eval(jobs, disruptions, &[])?.0)
+    }
+
+    /// [`Mrsch::evaluate_disrupted`] plus wait-time-aware cancel replay:
+    /// each `(job, delay)` pair cancels the job at `start + delay` of
+    /// the *simulated* run (the faithful SWF cancel mapping — see
+    /// `mrsim::Simulator::schedule_cancel_after_start`).
+    pub fn evaluate_disrupted_replay(
+        &mut self,
+        jobs: &[Job],
+        disruptions: &[mrsim::InjectedEvent],
+        relative_cancels: &[(usize, SimTime)],
+    ) -> Result<SimReport, mrsim::simulator::SimError> {
+        Ok(self.run_eval(jobs, disruptions, relative_cancels)?.0)
     }
 
     /// Evaluate and also return the per-decision goal log (Figs. 8–9).
@@ -249,7 +320,7 @@ impl Mrsch {
         &mut self,
         jobs: &[Job],
     ) -> (SimReport, Vec<(SimTime, Vec<f32>)>) {
-        self.run_eval(jobs, &[]).expect("no disruptions: injection cannot fail")
+        self.run_eval(jobs, &[], &[]).expect("no disruptions: injection cannot fail")
     }
 
     #[allow(clippy::type_complexity)]
@@ -257,6 +328,7 @@ impl Mrsch {
         &mut self,
         jobs: &[Job],
         disruptions: &[mrsim::InjectedEvent],
+        relative_cancels: &[(usize, SimTime)],
     ) -> Result<(SimReport, Vec<(SimTime, Vec<f32>)>), mrsim::simulator::SimError> {
         let mut policy = MrschPolicy::new(
             &mut self.agent,
@@ -267,6 +339,9 @@ impl Mrsch {
         let mut sim = Simulator::new(self.system.clone(), jobs.to_vec(), self.params)
             .expect("jobs must be valid for the system");
         sim.inject_all(disruptions)?;
+        for &(id, delay) in relative_cancels {
+            sim.schedule_cancel_after_start(id, delay)?;
+        }
         let report = sim.run(&mut policy);
         let log = policy.goal_log().to_vec();
         Ok((report, log))

@@ -11,20 +11,12 @@
 use crate::config::DfpConfig;
 use crate::network::DfpNetwork;
 use crate::replay::{Experience, ReplayBuffer};
+use crate::rollout::{EpisodeRecorder, PolicySnapshot};
 use mrsch_linalg::Matrix;
 use mrsch_nn::loss::masked_mse;
 use mrsch_nn::opt::{Adam, ExpDecay, Optimizer};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// One in-flight decision awaiting its future measurements.
-#[derive(Clone, Debug)]
-struct PendingStep {
-    state: Vec<f32>,
-    meas: Vec<f32>,
-    goal: Vec<f32>,
-    action: usize,
-}
+use rand::SeedableRng;
 
 /// The DFP agent.
 #[derive(Debug)]
@@ -37,9 +29,8 @@ pub struct DfpAgent {
     epsilon: f32,
     episodes: u64,
     train_steps: u64,
-    // Current-episode history.
-    pending: Vec<PendingStep>,
-    meas_log: Vec<Vec<f32>>,
+    /// Current-episode history (inline training path).
+    recorder: EpisodeRecorder,
 }
 
 impl DfpAgent {
@@ -60,8 +51,7 @@ impl DfpAgent {
             epsilon,
             episodes: 0,
             train_steps: 0,
-            pending: Vec::new(),
-            meas_log: Vec::new(),
+            recorder: EpisodeRecorder::new(),
         }
     }
 
@@ -120,27 +110,16 @@ impl DfpAgent {
         valid: &[bool],
         explore: bool,
     ) -> Option<usize> {
-        assert_eq!(valid.len(), self.cfg.num_actions, "valid mask length");
-        let valid_indices: Vec<usize> =
-            valid.iter().enumerate().filter(|(_, &v)| v).map(|(i, _)| i).collect();
-        if valid_indices.is_empty() {
-            return None;
-        }
-        if explore && self.rng.gen::<f32>() < self.epsilon {
-            let pick = valid_indices[self.rng.gen_range(0..valid_indices.len())];
-            return Some(pick);
-        }
-        let scores = self.net.action_scores(state, meas, goal);
-        let best = valid_indices
-            .into_iter()
-            .max_by(|&a, &b| {
-                scores[a]
-                    .partial_cmp(&scores[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a)) // deterministic tie-break: lowest index
-            })
-            .expect("non-empty valid set");
-        Some(best)
+        crate::rollout::act_epsilon_greedy(
+            &mut self.net,
+            self.epsilon,
+            state,
+            meas,
+            goal,
+            valid,
+            explore,
+            &mut self.rng,
+        )
     }
 
     /// Record a decision taken with [`DfpAgent::act`] so it can become a
@@ -148,60 +127,72 @@ impl DfpAgent {
     pub fn record_step(&mut self, state: &[f32], meas: &[f32], goal: &[f32], action: usize) {
         debug_assert_eq!(state.len(), self.cfg.state_dim);
         debug_assert_eq!(meas.len(), self.cfg.measurement_dim);
-        self.pending.push(PendingStep {
-            state: state.to_vec(),
-            meas: meas.to_vec(),
-            goal: goal.to_vec(),
-            action,
-        });
-        self.meas_log.push(meas.to_vec());
+        self.recorder.record_step(state, meas, goal, action);
     }
 
     /// Record the post-action measurement (the environment's feedback for
     /// the most recent step).
     pub fn record_outcome(&mut self, meas_after: &[f32]) {
         debug_assert_eq!(meas_after.len(), self.cfg.measurement_dim);
-        // The measurement timeline interleaves decision-time and
-        // post-action values; DFP's offsets index decisions, so we track
-        // the post-action measurement as the value "at" the next step when
-        // no further decision happens. Simplest faithful bookkeeping:
-        // replace the provisional entry for this step with the observed
-        // outcome (the decision-time value is stored in `pending`).
-        if let Some(last) = self.meas_log.last_mut() {
-            *last = meas_after.to_vec();
-        }
+        self.recorder.record_outcome(meas_after);
     }
 
     /// Close the episode: convert every pending step into an experience
     /// (masking offsets that overrun the episode), decay ε, clear state.
     pub fn finish_episode(&mut self) {
-        let m = self.cfg.measurement_dim;
-        let t_count = self.cfg.offsets.len();
-        let steps = self.pending.len();
-        for (t, step) in self.pending.drain(..).enumerate() {
-            let mut targets = vec![0.0f32; m * t_count];
-            let mut mask = vec![0.0f32; m * t_count];
-            for (oi, &off) in self.cfg.offsets.iter().enumerate() {
-                let future = t + off;
-                if future < steps {
-                    for mi in 0..m {
-                        targets[oi * m + mi] = self.meas_log[future][mi] - step.meas[mi];
-                        mask[oi * m + mi] = 1.0;
-                    }
-                }
-            }
-            self.replay.push(Experience {
-                state: step.state,
-                meas: step.meas,
-                goal: step.goal,
-                action: step.action,
-                targets,
-                mask,
-            });
+        let exps = self.recorder.finish(&self.cfg.offsets, self.cfg.measurement_dim);
+        self.absorb_episode(exps);
+    }
+
+    /// Freeze the acting parts of this agent into a [`PolicySnapshot`]
+    /// that rollout workers can clone and drive with their own RNGs.
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot::new(self.net.clone(), self.epsilon)
+    }
+
+    /// Feed one finished episode's experiences into replay — the learner
+    /// half of the snapshot/rollout split. Bookkeeping matches an inline
+    /// [`DfpAgent::finish_episode`]: the episode counter advances and ε
+    /// decays once, so detached and inline episodes are interchangeable.
+    pub fn absorb_episode(&mut self, experiences: Vec<Experience>) {
+        for e in experiences {
+            debug_assert_eq!(e.state.len(), self.cfg.state_dim);
+            debug_assert_eq!(e.targets.len(), self.cfg.pred_width());
+            self.replay.push(e);
         }
-        self.meas_log.clear();
         self.episodes += 1;
         self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.epsilon_min);
+    }
+
+    /// Sample `n` replay indices and fill the five batch matrices
+    /// directly from the buffer — no per-experience clones. Returns
+    /// `(states, measurements, goals, targets, mask)` with `targets` and
+    /// `mask` scattered into each row's action block.
+    fn materialize_batch(
+        replay: &ReplayBuffer,
+        cfg: &DfpConfig,
+        rng: &mut StdRng,
+        n: usize,
+    ) -> (Matrix, Matrix, Matrix, Matrix, Matrix) {
+        let mt = cfg.pred_width();
+        let a_total = cfg.num_actions * mt;
+        let indices = replay.sample_indices(rng, n);
+        let n = indices.len();
+        let mut s = Matrix::zeros(n, cfg.state_dim);
+        let mut me = Matrix::zeros(n, cfg.measurement_dim);
+        let mut g = Matrix::zeros(n, cfg.measurement_dim);
+        let mut target = Matrix::zeros(n, a_total);
+        let mut mask = Matrix::zeros(n, a_total);
+        for (i, &idx) in indices.iter().enumerate() {
+            let e = replay.get(idx);
+            s.row_mut(i).copy_from_slice(&e.state);
+            me.row_mut(i).copy_from_slice(&e.meas);
+            g.row_mut(i).copy_from_slice(&e.goal);
+            let base = e.action * mt;
+            target.row_mut(i)[base..base + mt].copy_from_slice(&e.targets);
+            mask.row_mut(i)[base..base + mt].copy_from_slice(&e.mask);
+        }
+        (s, me, g, target, mask)
     }
 
     /// One minibatch gradient step. Returns the masked-MSE loss, or
@@ -210,30 +201,8 @@ impl DfpAgent {
         if self.replay.len() < self.cfg.batch_size {
             return None;
         }
-        let n = self.cfg.batch_size;
-        let mt = self.cfg.pred_width();
-        let a_total = self.cfg.num_actions * mt;
-        // Materialize the batch (clone out of replay so the network can be
-        // borrowed mutably afterwards).
-        let batch: Vec<Experience> = self
-            .replay
-            .sample(&mut self.rng, n)
-            .into_iter()
-            .cloned()
-            .collect();
-        let mut s = Matrix::zeros(n, self.cfg.state_dim);
-        let mut me = Matrix::zeros(n, self.cfg.measurement_dim);
-        let mut g = Matrix::zeros(n, self.cfg.measurement_dim);
-        let mut target = Matrix::zeros(n, a_total);
-        let mut mask = Matrix::zeros(n, a_total);
-        for (i, e) in batch.iter().enumerate() {
-            s.row_mut(i).copy_from_slice(&e.state);
-            me.row_mut(i).copy_from_slice(&e.meas);
-            g.row_mut(i).copy_from_slice(&e.goal);
-            let base = e.action * mt;
-            target.row_mut(i)[base..base + mt].copy_from_slice(&e.targets);
-            mask.row_mut(i)[base..base + mt].copy_from_slice(&e.mask);
-        }
+        let (s, me, g, target, mask) =
+            Self::materialize_batch(&self.replay, &self.cfg, &mut self.rng, self.cfg.batch_size);
         let pred = self.net.forward(&s, &me, &g);
         let (loss, grad) = masked_mse(&pred, &target, &mask);
         self.net.zero_grad();
@@ -255,28 +224,8 @@ impl DfpAgent {
         if self.replay.is_empty() {
             return None;
         }
-        let mt = self.cfg.pred_width();
-        let a_total = self.cfg.num_actions * mt;
-        let batch: Vec<Experience> = self
-            .replay
-            .sample(&mut self.rng, samples)
-            .into_iter()
-            .cloned()
-            .collect();
-        let n = batch.len();
-        let mut s = Matrix::zeros(n, self.cfg.state_dim);
-        let mut me = Matrix::zeros(n, self.cfg.measurement_dim);
-        let mut g = Matrix::zeros(n, self.cfg.measurement_dim);
-        let mut target = Matrix::zeros(n, a_total);
-        let mut mask = Matrix::zeros(n, a_total);
-        for (i, e) in batch.iter().enumerate() {
-            s.row_mut(i).copy_from_slice(&e.state);
-            me.row_mut(i).copy_from_slice(&e.meas);
-            g.row_mut(i).copy_from_slice(&e.goal);
-            let base = e.action * mt;
-            target.row_mut(i)[base..base + mt].copy_from_slice(&e.targets);
-            mask.row_mut(i)[base..base + mt].copy_from_slice(&e.mask);
-        }
+        let (s, me, g, target, mask) =
+            Self::materialize_batch(&self.replay, &self.cfg, &mut self.rng, samples);
         let pred = self.net.forward(&s, &me, &g);
         let (loss, _) = masked_mse(&pred, &target, &mask);
         Some(loss)
@@ -291,6 +240,7 @@ fn step_adam(opt: &mut Adam, net: &mut DfpNetwork) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
 
     fn tiny_cfg() -> DfpConfig {
         let mut c = DfpConfig::scaled(12, 2, 3);

@@ -119,6 +119,22 @@ impl DfpConfig {
         self.measurement_dim * self.offsets.len()
     }
 
+    /// The exploration rate in force *during* episode `episode`
+    /// (0-based): `max(ε_start · decay^episode, ε_min)`. An agent that
+    /// has finished `k` episodes acts at `epsilon_at(k)` — rollout
+    /// schedulers use this to precompute per-episode rates for episodes
+    /// generated ahead of the learner under a frozen snapshot.
+    pub fn epsilon_at(&self, episode: u64) -> f32 {
+        let mut eps = self.epsilon_start;
+        for _ in 0..episode {
+            eps *= self.epsilon_decay;
+            if eps <= self.epsilon_min {
+                return self.epsilon_min;
+            }
+        }
+        eps.max(self.epsilon_min)
+    }
+
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.offsets.is_empty() {

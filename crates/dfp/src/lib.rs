@@ -20,14 +20,20 @@
 //!   of the original paper (§II-B of the MRSch paper),
 //! * [`replay`] — the experience memory,
 //! * [`agent`] — ε-greedy acting, episode bookkeeping, future-target
-//!   construction, and minibatch training.
+//!   construction, and minibatch training,
+//! * [`rollout`] — frozen [`rollout::PolicySnapshot`]s and the
+//!   [`rollout::EpisodeRecorder`], so episodes can be generated on
+//!   worker threads and absorbed back into the learner
+//!   deterministically.
 
 pub mod agent;
 pub mod config;
 pub mod network;
 pub mod replay;
+pub mod rollout;
 
 pub use agent::DfpAgent;
 pub use config::{DfpConfig, StateModuleKind};
 pub use network::DfpNetwork;
 pub use replay::{Experience, ReplayBuffer};
+pub use rollout::{EpisodeRecorder, PolicySnapshot};

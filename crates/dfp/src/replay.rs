@@ -73,10 +73,28 @@ impl ReplayBuffer {
     ///
     /// Returns references; empty buffer yields an empty vector.
     pub fn sample<'a, R: Rng + ?Sized>(&'a self, rng: &mut R, n: usize) -> Vec<&'a Experience> {
+        self.sample_indices(rng, n).into_iter().map(|i| &self.items[i]).collect()
+    }
+
+    /// Sample `n` slot indices uniformly with replacement (empty buffer
+    /// yields an empty vector). Draws the identical RNG stream as
+    /// [`ReplayBuffer::sample`], so the two are interchangeable; batch
+    /// builders use indices to fill matrices straight from the buffer
+    /// without cloning experiences.
+    pub fn sample_indices<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
         if self.items.is_empty() {
             return Vec::new();
         }
-        (0..n).map(|_| &self.items[rng.gen_range(0..self.items.len())]).collect()
+        (0..n).map(|_| rng.gen_range(0..self.items.len())).collect()
+    }
+
+    /// The experience stored at slot `index` (from
+    /// [`ReplayBuffer::sample_indices`]).
+    ///
+    /// # Panics
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> &Experience {
+        &self.items[index]
     }
 }
 

@@ -1,0 +1,21 @@
+//! Disruption-curriculum comparison: clean-trained vs hardened MRSch
+//! (and FCFS) on a disrupted held-out trace.
+//!
+//! ```text
+//! cargo run -p mrsch-experiments --release --bin disruption_curriculum [workers]
+//! ```
+
+use mrsch_experiments::{csv, disruption_curriculum, ExpScale};
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let rows = disruption_curriculum::run(&ExpScale::full(), 1, workers);
+    disruption_curriculum::print(&rows);
+    let (header, body) = disruption_curriculum::csv_rows(&rows);
+    if let Ok(path) = csv::write_results("disruption_curriculum", &header, &body) {
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Disruption-curriculum comparison: does hardening on cancel/overrun/
+//! drain-heavy training phases pay off when the evaluation trace is
+//! itself disrupted?
+//!
+//! Two MRSch agents are trained from the same seed through the engine
+//! (same total episode budget, same rollout-worker machinery):
+//!
+//! * **clean** — every episode disruption-free,
+//! * **hardened** — the [`Curriculum::disruption_hardening`] phases:
+//!   clean → cancel/overrun-heavy → drain-heavy.
+//!
+//! Both are then evaluated greedily on the identical held-out trace
+//! under a mid-trace node drain plus user cancellations and walltime
+//! overruns (the PR-2 `node_drain_recovery` setting), alongside the
+//! FCFS baseline. Rows report user- and system-level metrics with full
+//! disruption accounting.
+
+use crate::csv;
+use crate::scale::ExpScale;
+use mrsch::prelude::*;
+use mrsch_baselines::FcfsPolicy;
+use mrsch_workload::split::paper_split;
+
+/// One evaluated scheduler's metrics on the disrupted trace.
+#[derive(Clone, Debug)]
+pub struct CurriculumRow {
+    /// "fcfs", "mrsch-clean" or "mrsch-hardened".
+    pub method: String,
+    /// The full evaluation report (disruption counters included).
+    pub report: SimReport,
+}
+
+/// Episodes per curriculum phase at a given scale.
+fn episodes_per_phase(scale: &ExpScale) -> usize {
+    (scale.sets_per_phase * scale.train_rounds).max(2)
+}
+
+/// The disrupted evaluation setting: 25 % node drain a third of the way
+/// in (one simulated hour), 15 % cancels, 10 % overruns.
+fn eval_disruption(eval_jobs: &[Job]) -> DisruptionConfig {
+    let last_submit = eval_jobs.iter().map(|j| j.submit).max().unwrap_or(0);
+    DisruptionConfig {
+        cancel_fraction: 0.15,
+        overrun_fraction: 0.10,
+        overrun_factor: 1.5,
+        drains: vec![DrainSpec {
+            resource: 0,
+            fraction: 0.25,
+            at: last_submit / 3,
+            duration: 3600,
+        }],
+    }
+}
+
+/// Run the comparison with `workers` rollout threads.
+pub fn run(scale: &ExpScale, seed: u64, workers: usize) -> Vec<CurriculumRow> {
+    let system = scale.base_system();
+    let spec = WorkloadSpec::s2();
+    let trace = scale.base_trace(seed);
+    let split = paper_split(&trace);
+    let train_slice = &split.train[..(scale.jobs_per_set * 2).min(split.train.len())];
+    let eval_jobs = spec.build(
+        &split.test[..scale.eval_jobs.min(split.test.len())],
+        &system,
+        seed ^ 0xeea1,
+    );
+    let disrupted = eval_disruption(&eval_jobs).synthesize(&eval_jobs, &system, seed ^ 0xd15);
+    let eval_params = SimParams {
+        enforce_walltime: true,
+        ..SimParams::new(scale.window, true)
+    };
+
+    let clean_scenario = Scenario::new(
+        "clean",
+        JobSource::Trace(train_slice.to_vec()),
+        spec.clone(),
+        SimParams::new(scale.window, true),
+    )
+    .with_seed(seed ^ 0x5c);
+    let per_phase = episodes_per_phase(scale);
+    // Same episode budget for both agents: 3 phases × per_phase each.
+    let clean_curriculum = Curriculum::new()
+        .phase(CurriculumPhase::new(clean_scenario.clone(), 3 * per_phase));
+    let hardened_curriculum = Curriculum::disruption_hardening(
+        clean_scenario,
+        DisruptionConfig {
+            cancel_fraction: 0.25,
+            overrun_fraction: 0.15,
+            overrun_factor: 1.5,
+            drains: Vec::new(),
+        },
+        eval_disruption(&eval_jobs),
+        per_phase,
+    );
+
+    let trainer = TrainerConfig::default()
+        .workers(workers)
+        .batches_per_episode(scale.batches_per_episode);
+    let train_and_eval = |name: &str, curriculum: &Curriculum| -> CurriculumRow {
+        let mut agent = MrschBuilder::new(system.clone(), eval_params)
+            .seed(seed)
+            .trainer(trainer.clone())
+            .build();
+        agent.train_with_curriculum(curriculum);
+        let report = agent
+            .evaluate_disrupted(&disrupted.jobs, &disrupted.events)
+            .expect("evaluation disruptions reference this job set");
+        CurriculumRow { method: name.to_string(), report }
+    };
+
+    let mut rows = Vec::new();
+    let mut fcfs_sim = Simulator::new(system.clone(), disrupted.jobs.clone(), eval_params)
+        .expect("eval jobs fit the system");
+    fcfs_sim.inject_all(&disrupted.events).expect("valid disruption trace");
+    rows.push(CurriculumRow {
+        method: "fcfs".into(),
+        report: fcfs_sim.run(&mut FcfsPolicy::default()),
+    });
+    rows.push(train_and_eval("mrsch-clean", &clean_curriculum));
+    rows.push(train_and_eval("mrsch-hardened", &hardened_curriculum));
+    rows
+}
+
+/// Print the comparison table.
+pub fn print(rows: &[CurriculumRow]) {
+    println!("Disruption-curriculum comparison (disrupted held-out trace)");
+    println!(
+        "  {:<16} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "method", "node_util", "bb_util", "wait_h", "slowdown", "makespan", "cancelled", "killed"
+    );
+    for r in rows {
+        println!(
+            "  {:<16} {:>9.4} {:>9.4} {:>9.3} {:>10.3} {:>10} {:>9} {:>9}",
+            r.method,
+            r.report.resource_utilization[0],
+            r.report.resource_utilization[1],
+            r.report.avg_wait_hours(),
+            r.report.avg_slowdown,
+            r.report.makespan,
+            r.report.jobs_cancelled,
+            r.report.jobs_killed,
+        );
+    }
+}
+
+/// CSV rows for `results/disruption_curriculum.csv`.
+pub fn csv_rows(rows: &[CurriculumRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let header = vec![
+        "method", "node_util", "bb_util", "avg_wait_h", "avg_slowdown", "makespan",
+        "cancelled", "killed", "unfinished", "capacity_lost_node_s",
+    ];
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                csv::f(r.report.resource_utilization[0]),
+                csv::f(r.report.resource_utilization[1]),
+                csv::f(r.report.avg_wait_hours()),
+                csv::f(r.report.avg_slowdown),
+                r.report.makespan.to_string(),
+                r.report.jobs_cancelled.to_string(),
+                r.report.jobs_killed.to_string(),
+                r.report.jobs_unfinished.to_string(),
+                csv::f(r.report.capacity_lost_unit_seconds[0]),
+            ]
+        })
+        .collect();
+    (header, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "experiment-scale (trains two agents); run with --ignored / in CI"]
+    fn three_rows_with_disruption_accounting() {
+        let mut scale = ExpScale::quick();
+        scale.jobs_per_set = 20;
+        scale.eval_jobs = 30;
+        scale.batches_per_episode = 2;
+        let rows = run(&scale, 33, 2);
+        assert_eq!(rows.len(), 3);
+        let methods: Vec<&str> = rows.iter().map(|r| r.method.as_str()).collect();
+        assert_eq!(methods, ["fcfs", "mrsch-clean", "mrsch-hardened"]);
+        for r in &rows {
+            assert!(
+                r.report.all_jobs_accounted(r.report.records.len()),
+                "{}: every job must be accounted",
+                r.method
+            );
+            assert!(r.report.capacity_lost_unit_seconds[0] > 0.0, "{}: drain fired", r.method);
+            assert!(r.report.jobs_cancelled > 0, "{}: cancels fired", r.method);
+        }
+    }
+
+    #[test]
+    #[ignore = "experiment-scale; run with --ignored / in CI"]
+    fn worker_count_does_not_change_rows() {
+        let mut scale = ExpScale::quick();
+        scale.jobs_per_set = 15;
+        scale.eval_jobs = 20;
+        scale.batches_per_episode = 2;
+        let a = run(&scale, 7, 1);
+        let b = run(&scale, 7, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report, y.report, "{} differs across worker counts", x.method);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`fig10`] | Fig. 10 — three-resource case study S6–S10 |
 //! | [`overhead`] | §V-F — decision latency |
 //! | [`ablation`] | extra ablations: goal mode, starvation guards, window size |
+//! | [`disruption_curriculum`] | clean-trained vs disruption-hardened MRSch on a disrupted trace |
 //!
 //! The [`scale`] module defines the experiment sizes: `quick()` for tests
 //! and benches, `full()` for the standalone binaries. All runs are
@@ -26,6 +27,7 @@ pub mod ablation;
 pub mod cli;
 pub mod comparison;
 pub mod csv;
+pub mod disruption_curriculum;
 pub mod fig1;
 pub mod fig10;
 pub mod fig3;

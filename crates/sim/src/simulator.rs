@@ -98,6 +98,10 @@ pub struct Simulator {
     pub(crate) instances: u64,
     /// Jobs in a terminal state (finished + cancelled + killed).
     pub(crate) finished: usize,
+    /// Wait-time-aware cancel replay: `Some(delay)` schedules a
+    /// `Cancel` at `start + delay` of the *simulated* run when the job
+    /// starts (see [`Simulator::schedule_cancel_after_start`]).
+    pub(crate) replay_cancels: Vec<Option<SimTime>>,
 }
 
 impl Simulator {
@@ -110,36 +114,17 @@ impl Simulator {
         jobs: Vec<Job>,
         params: SimParams,
     ) -> Result<Self, SimError> {
-        for (i, job) in jobs.iter().enumerate() {
-            if job.id != i {
-                return Err(SimError::NonDenseIds(job.id));
-            }
-            config
-                .validate_job(job)
-                .map_err(SimError::InvalidJob)?;
-        }
-        let mut events = EventQueue::new();
-        for job in &jobs {
-            events.push(job.submit, EventKind::Submit(job.id));
-        }
-        if let Some(period) = params.tick {
-            // Anchor the tick chain to the trace start so ticking never
-            // drags start_time (and the capacity integral) earlier than
-            // the first real event.
-            let t0 = jobs.iter().map(|j| j.submit).min().unwrap_or(0);
-            events.push(t0 + period.max(1), EventKind::Tick);
-        }
-        let pools = PoolState::new(&config);
+        Self::validate_trace(&config, &jobs)?;
         let nres = config.num_resources();
-        let states = vec![JobState::Queued; jobs.len()];
-        Ok(Self {
+        let n = jobs.len();
+        let mut sim = Self {
+            pools: PoolState::new(&config),
             config,
             params,
             jobs,
-            states,
-            events,
+            states: vec![JobState::Queued; n],
+            events: EventQueue::new(),
             queue: WaitQueue::new(),
-            pools,
             collector: MetricsCollector::new(nres),
             records: Vec::new(),
             counts: EventCounts::new(),
@@ -147,7 +132,81 @@ impl Simulator {
             decisions: 0,
             instances: 0,
             finished: 0,
-        })
+            replay_cancels: vec![None; n],
+        };
+        sim.seed_events();
+        Ok(sim)
+    }
+
+    fn validate_trace(config: &SystemConfig, jobs: &[Job]) -> Result<(), SimError> {
+        for (i, job) in jobs.iter().enumerate() {
+            if job.id != i {
+                return Err(SimError::NonDenseIds(job.id));
+            }
+            config.validate_job(job).map_err(SimError::InvalidJob)?;
+        }
+        Ok(())
+    }
+
+    /// Schedule the trace's submissions and the anchored tick chain into
+    /// an empty event queue (shared by construction and reset).
+    fn seed_events(&mut self) {
+        for job in &self.jobs {
+            self.events.push(job.submit, EventKind::Submit(job.id));
+        }
+        if let Some(period) = self.params.tick {
+            // Anchor the tick chain to the trace start so ticking never
+            // drags start_time (and the capacity integral) earlier than
+            // the first real event.
+            let t0 = self.jobs.iter().map(|j| j.submit).min().unwrap_or(0);
+            self.events.push(t0 + period.max(1), EventKind::Tick);
+        }
+    }
+
+    /// Return this simulator to its freshly constructed state so the
+    /// same trace can be run again without rebuilding — rollout workers
+    /// reuse one simulator across training episodes. Injected events
+    /// and relative cancels are cleared; re-inject before re-running.
+    pub fn reset(&mut self) {
+        let n = self.jobs.len();
+        self.states.clear();
+        self.states.resize(n, JobState::Queued);
+        self.events = EventQueue::new();
+        self.queue = WaitQueue::new();
+        self.pools = PoolState::new(&self.config);
+        self.collector = MetricsCollector::new(self.config.num_resources());
+        self.records.clear();
+        self.counts = EventCounts::new();
+        self.now = 0;
+        self.decisions = 0;
+        self.instances = 0;
+        self.finished = 0;
+        self.replay_cancels.clear();
+        self.replay_cancels.resize(n, None);
+        self.seed_events();
+    }
+
+    /// Swap in a new trace and [`Simulator::reset`] — the cheap
+    /// alternative to constructing a fresh simulator per episode. The
+    /// incoming jobs face the same validation as [`Simulator::new`];
+    /// on error the simulator keeps its previous trace untouched.
+    pub fn load_trace(&mut self, jobs: Vec<Job>) -> Result<(), SimError> {
+        Self::validate_trace(&self.config, &jobs)?;
+        self.jobs = jobs;
+        self.reset();
+        Ok(())
+    }
+
+    /// [`Simulator::load_trace`] plus a parameter swap, for reuse across
+    /// episodes whose scenarios differ in `SimParams` (walltime
+    /// enforcement, ticking). A loaded simulator behaves bit-identically
+    /// to a freshly constructed one.
+    pub fn load(&mut self, jobs: Vec<Job>, params: SimParams) -> Result<(), SimError> {
+        Self::validate_trace(&self.config, &jobs)?;
+        self.params = params;
+        self.jobs = jobs;
+        self.reset();
+        Ok(())
     }
 
     /// Schedule an external event (disruption traces: cancels, walltime
@@ -184,6 +243,34 @@ impl Simulator {
         for e in events {
             self.inject(*e)?;
         }
+        Ok(())
+    }
+
+    /// Schedule a cancellation relative to the job's (yet unknown)
+    /// start: when the job starts in *this* simulated schedule, a
+    /// `Cancel` fires at `start + delay`.
+    ///
+    /// This is the wait-time-aware SWF cancel replay: the archive
+    /// records a cancelled job's observed lifetime in its runtime
+    /// column, so replaying the cancel `runtime` seconds after the
+    /// *simulated* start reproduces the user's behavior even when the
+    /// simulated schedule diverges from the original (the older
+    /// `submit + recorded_runtime` proxy is only faithful when the two
+    /// track). A job that never starts keeps waiting and is reported as
+    /// unfinished — exactly what the original user saw up to the log's
+    /// horizon.
+    pub fn schedule_cancel_after_start(
+        &mut self,
+        id: JobId,
+        delay: SimTime,
+    ) -> Result<(), SimError> {
+        if id >= self.jobs.len() {
+            return Err(SimError::InvalidEvent(format!(
+                "job {id} out of range ({} jobs)",
+                self.jobs.len()
+            )));
+        }
+        self.replay_cancels[id] = Some(delay);
         Ok(())
     }
 
@@ -255,11 +342,25 @@ impl Simulator {
         self.pools.allocate(job, self.now);
         self.states[id] = JobState::Running;
         self.queue.remove(id);
-        if self.params.enforce_walltime && job.runtime > job.estimate {
-            // The walltime enforcer fires first; the job never finishes.
-            self.events.push(self.now + job.estimate, EventKind::WalltimeKill(id));
+        // The job's natural end: a walltime kill at the estimate for
+        // enforced overrunners, a finish at the runtime otherwise.
+        let (end_kind, end_after) = if self.params.enforce_walltime && job.runtime > job.estimate
+        {
+            (EventKind::WalltimeKill(id), job.estimate)
         } else {
-            self.events.push(self.now + job.runtime, EventKind::Finish(id));
+            (EventKind::Finish(id), job.runtime)
+        };
+        match self.replay_cancels[id] {
+            // Wait-aware cancel replay: the start time is now known, so
+            // the deferred cancel becomes a concrete event. A recorded
+            // lifetime at or before the natural end *is* the job's fate
+            // (in an SWF replay the two coincide exactly — the runtime
+            // column records the observed lifetime), so the cancel
+            // replaces the natural-end event rather than racing it.
+            Some(delay) if delay <= end_after => {
+                self.events.push(self.now + delay, EventKind::Cancel(id));
+            }
+            _ => self.events.push(self.now + end_after, end_kind),
         }
         self.records.push(JobRecord {
             id,
@@ -964,6 +1065,125 @@ mod tests {
         let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
         assert_eq!(rec1.start, 90, "admission waits for the power budget to return");
         assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn reset_reproduces_identical_run() {
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| Job::new(i, (i as SimTime) * 20, 40 + i as SimTime, 90, vec![1 + (i as u64 % 3), 0]))
+            .collect();
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        let first = sim.run(&mut HeadOfQueue);
+        sim.reset();
+        let second = sim.run(&mut HeadOfQueue);
+        assert_eq!(first, second, "a reset simulator replays bit-identically");
+    }
+
+    #[test]
+    fn reset_clears_injected_events_and_relative_cancels() {
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 10, 50, 50, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(30, EventKind::Cancel(1))).unwrap();
+        sim.schedule_cancel_after_start(0, 40).unwrap();
+        let disrupted = sim.run(&mut HeadOfQueue);
+        assert_eq!(disrupted.jobs_cancelled, 2);
+        sim.reset();
+        let clean = sim.run(&mut HeadOfQueue);
+        assert_eq!(clean.jobs_cancelled, 0, "reset drops disruption state");
+        assert_eq!(clean.jobs_completed, 2);
+    }
+
+    #[test]
+    fn load_trace_swaps_jobs_and_validates() {
+        let mut sim = Simulator::new(
+            sys(4, 4),
+            vec![Job::new(0, 0, 10, 10, vec![1, 0])],
+            SimParams::default(),
+        )
+        .unwrap();
+        assert_eq!(sim.run(&mut HeadOfQueue).jobs_completed, 1);
+        // Infeasible replacement is rejected and the old trace survives.
+        assert!(matches!(
+            sim.load_trace(vec![Job::new(0, 0, 10, 10, vec![9, 0])]),
+            Err(SimError::InvalidJob(_))
+        ));
+        let replacement = vec![
+            Job::new(0, 0, 30, 30, vec![2, 0]),
+            Job::new(1, 5, 30, 30, vec![2, 1]),
+        ];
+        sim.load_trace(replacement.clone()).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 2);
+        // Equivalent to building fresh.
+        let mut fresh = Simulator::new(sys(4, 4), replacement, SimParams::default()).unwrap();
+        assert_eq!(report, fresh.run(&mut HeadOfQueue));
+    }
+
+    #[test]
+    fn relative_cancel_fires_at_simulated_start_plus_delay() {
+        // J1 waits behind J0 (starts at t=100, not its submit t=10); the
+        // recorded 30 s lifetime must count from the *simulated* start.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 10, 50, 50, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.schedule_cancel_after_start(1, 30).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.outcome, JobOutcome::Cancelled);
+        assert_eq!(rec1.start, 100);
+        assert_eq!(rec1.end, 130, "cancel at simulated start + recorded lifetime");
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn relative_cancel_after_natural_finish_is_noop() {
+        // Recorded lifetime (50) exceeds the simulated runtime (10): the
+        // job finishes first and the late cancel tombstones away.
+        let jobs = vec![Job::new(0, 0, 10, 10, vec![1, 0])];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.schedule_cancel_after_start(0, 50).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_cancelled, 0);
+        assert_eq!(report.records[0].outcome, JobOutcome::Finished);
+    }
+
+    #[test]
+    fn relative_cancel_for_never_started_job_reports_unfinished() {
+        // J1 demands all four nodes but a permanent drain removes two
+        // before it could ever start: it waits past the horizon, so its
+        // deferred cancel never becomes a concrete event.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![1, 0]),
+            Job::new(1, 10, 50, 50, vec![4, 0]),
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.inject(InjectedEvent::new(5, EventKind::CapacityChange { resource: 0, delta: -2 }))
+            .unwrap();
+        sim.schedule_cancel_after_start(1, 20).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_cancelled, 0, "deferred cancel never armed");
+        assert_eq!(report.jobs_unfinished, 1, "never-started job stays waiting");
+    }
+
+    #[test]
+    fn relative_cancel_rejects_unknown_job() {
+        let mut sim = Simulator::new(
+            sys(2, 2),
+            vec![Job::new(0, 0, 10, 10, vec![1, 0])],
+            SimParams::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.schedule_cancel_after_start(3, 10),
+            Err(SimError::InvalidEvent(_))
+        ));
     }
 
     #[test]

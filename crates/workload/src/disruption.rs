@@ -155,6 +155,29 @@ pub fn swf_cancel_events(jobs: &[Job], trace: &[TraceJob]) -> Vec<InjectedEvent>
         .collect()
 }
 
+/// Map SWF `cancelled` statuses to *wait-time-aware* relative cancels:
+/// `(job id, recorded lifetime)` pairs for
+/// `Simulator::schedule_cancel_after_start`, so each replayed cancel
+/// fires at `start + runtime` of the **simulated** run.
+///
+/// This is the faithful mapping whenever the simulated schedule diverges
+/// from the original (different policy, disruptions, backfilling): the
+/// archive's runtime column records how long the cancelled job actually
+/// ran, and that lifetime is anchored to the job's start — not its
+/// submission. [`swf_cancel_events`] remains the absolute-time proxy.
+///
+/// The delay comes from the *trace's* runtime column, not the job
+/// list's — a synthetic overrun layer may have inflated a job's
+/// `runtime` past the recorded lifetime, but the user's observed
+/// cancel point is the recorded one.
+pub fn swf_relative_cancels(jobs: &[Job], trace: &[TraceJob]) -> Vec<(usize, SimTime)> {
+    jobs.iter()
+        .zip(trace)
+        .filter(|(_, t)| t.status == SwfStatus::Cancelled)
+        .map(|(j, t)| (j.id, t.runtime))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +310,75 @@ mod tests {
         assert_eq!(events[0].kind, EventKind::Cancel(1));
         assert_eq!(events[0].time, base[1].submit + base[1].runtime);
         assert_eq!(events[1].kind, EventKind::Cancel(3));
+        // The wait-aware mapping picks the same victims but anchors to
+        // the simulated start via relative delays.
+        let relative = swf_relative_cancels(&base, &trace);
+        assert_eq!(relative, vec![(1, base[1].runtime), (3, base[3].runtime)]);
+    }
+
+    #[test]
+    fn relative_cancels_use_recorded_lifetime_not_inflated_runtime() {
+        // A synthetic overrun layer inflates a job's runtime past its
+        // estimate; the replayed cancel must still fire at the trace's
+        // *recorded* lifetime.
+        let base = jobs(2);
+        let trace: Vec<TraceJob> = base
+            .iter()
+            .map(|j| TraceJob {
+                submit: j.submit,
+                runtime: j.runtime,
+                estimate: j.estimate,
+                nodes: j.demands[0],
+                status: SwfStatus::Cancelled,
+            })
+            .collect();
+        let cfg = DisruptionConfig {
+            overrun_fraction: 1.0,
+            overrun_factor: 2.0,
+            ..Default::default()
+        };
+        let inflated = cfg.synthesize(&base, &system(), 1);
+        assert!(inflated.jobs.iter().all(|j| j.runtime > j.estimate));
+        let relative = swf_relative_cancels(&inflated.jobs, &trace);
+        for (id, delay) in relative {
+            assert_eq!(delay, trace[id].runtime, "delay anchors to the recorded lifetime");
+        }
+    }
+
+    #[test]
+    fn relative_cancels_replay_through_the_simulator() {
+        use mrsim::policy::HeadOfQueue;
+        use mrsim::simulator::{SimParams, Simulator};
+        // Two machine-filling jobs: J1 starts only at J0's end (t=300),
+        // while the proxy would cancel it at submit+runtime = 250 — as a
+        // *queued* removal. The wait-aware replay cancels it mid-run at
+        // 300 + 200 = 500 instead.
+        let system = SystemConfig::two_resource(4, 8);
+        let jobs = vec![
+            Job::new(0, 0, 300, 400, vec![4, 0]),
+            Job::new(1, 50, 200, 400, vec![4, 0]),
+        ];
+        let trace: Vec<TraceJob> = jobs
+            .iter()
+            .zip([SwfStatus::Completed, SwfStatus::Cancelled])
+            .map(|(j, status)| TraceJob {
+                submit: j.submit,
+                runtime: j.runtime,
+                estimate: j.estimate,
+                nodes: j.demands[0],
+                status,
+            })
+            .collect();
+        let mut sim =
+            Simulator::new(system, jobs.clone(), SimParams::new(5, true)).unwrap();
+        for (id, delay) in swf_relative_cancels(&jobs, &trace) {
+            sim.schedule_cancel_after_start(id, delay).unwrap();
+        }
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 300);
+        assert_eq!(rec1.end, 500, "cancel fires at simulated start + lifetime");
+        assert_eq!(report.jobs_cancelled, 1);
+        assert!(report.all_jobs_accounted(2));
     }
 }

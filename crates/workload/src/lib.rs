@@ -23,6 +23,9 @@
 //!   splits five months into 3.5 months / 2 weeks / rest),
 //! * [`disruption`] — seeded cancellation / walltime-overrun / node-drain
 //!   trace synthesis on top of any job set, plus SWF status replay,
+//! * [`scenario`] — named, seeded episode recipes ([`Scenario`]) and
+//!   ordered training [`Curriculum`]s (clean → cancel-heavy →
+//!   drain-heavy hardening) consumed by the training engine,
 //! * [`swf`] — Standard Workload Format ingestion/export, so real
 //!   production logs drive the identical pipeline.
 //!
@@ -32,11 +35,13 @@ pub mod darshan;
 pub mod disruption;
 pub mod dist;
 pub mod jobset;
+pub mod scenario;
 pub mod split;
 pub mod suite;
 pub mod swf;
 pub mod theta;
 
 pub use disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
+pub use scenario::{Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, Scenario};
 pub use suite::{WorkloadSpec, PowerSpec};
 pub use theta::{SwfStatus, ThetaConfig, TraceJob};

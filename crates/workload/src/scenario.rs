@@ -1,0 +1,396 @@
+//! Scenarios and training curricula: reusable, seeded episode specs.
+//!
+//! Before this module, every experiment passed `(job set, workload spec,
+//! disruption config, sim params, seed)` tuples around by hand. A
+//! [`Scenario`] bundles those into one named, reusable recipe:
+//! *where jobs come from* ([`JobSource`]), *how they are extended into
+//! multi-resource demands* ([`WorkloadSpec`]), *what goes wrong*
+//! ([`DisruptionConfig`]) and *how the simulator runs*
+//! ([`SimParams`]). [`Scenario::materialize`] turns the recipe plus an
+//! episode index into a concrete [`EpisodeSpec`] — a job list and the
+//! events to inject — fully deterministically: the same scenario and
+//! episode index always yield the same episode, regardless of who
+//! materializes it (the serial trainer, a rollout worker thread, or an
+//! evaluation harness).
+//!
+//! A [`Curriculum`] is an ordered list of [`CurriculumPhase`]s (scenario
+//! + episode count + optional goal-vector override) with progress
+//! tracking — the structure the paper's clean-first training extends
+//! into disruption hardening: train on clean traffic, then on
+//! cancel/overrun-heavy traffic, then on drain-heavy traffic
+//! ([`Curriculum::disruption_hardening`]).
+
+use crate::disruption::DisruptionConfig;
+use crate::suite::WorkloadSpec;
+use crate::theta::{ThetaConfig, TraceJob};
+use mrsim::event::InjectedEvent;
+use mrsim::job::Job;
+use mrsim::resources::SystemConfig;
+use mrsim::simulator::SimParams;
+use serde::{Deserialize, Serialize};
+
+/// Where a scenario's base jobs come from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JobSource {
+    /// Synthesize a fresh Theta-like trace per episode (each episode
+    /// sees different jobs, seeded by the episode index).
+    Theta(ThetaConfig),
+    /// A fixed base trace replayed every episode (resource extension
+    /// and disruptions still vary per episode).
+    Trace(Vec<TraceJob>),
+}
+
+impl JobSource {
+    /// The base trace for one episode.
+    pub fn trace(&self, seed: u64) -> Vec<TraceJob> {
+        match self {
+            JobSource::Theta(cfg) => cfg.generate(seed),
+            JobSource::Trace(jobs) => jobs.clone(),
+        }
+    }
+}
+
+/// One materialized training/evaluation episode: feed `jobs` to
+/// `Simulator::new` (or `load_trace`) under `params`, inject `events`,
+/// run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpisodeSpec {
+    /// The job list (overrunners' runtimes already inflated).
+    pub jobs: Vec<Job>,
+    /// Disruption events to inject before running.
+    pub events: Vec<InjectedEvent>,
+    /// Simulator parameters for this episode.
+    pub params: SimParams,
+}
+
+/// A named, seeded, reusable episode recipe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name ("clean", "cancel_heavy", ...).
+    pub name: String,
+    /// Base-job synthesis.
+    pub source: JobSource,
+    /// Resource-extension rules (BB participation, power, ...).
+    pub spec: WorkloadSpec,
+    /// Disruptions layered on each episode.
+    pub disruption: DisruptionConfig,
+    /// Simulator parameters.
+    pub params: SimParams,
+    /// Scenario-level seed, mixed with the episode index.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A clean (disruption-free) scenario.
+    pub fn new(
+        name: impl Into<String>,
+        source: JobSource,
+        spec: WorkloadSpec,
+        params: SimParams,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            source,
+            spec,
+            disruption: DisruptionConfig::default(),
+            params,
+            seed: 0,
+        }
+    }
+
+    /// Attach a disruption layer (returns a renamed copy so curricula
+    /// read naturally). Walltime enforcement switches on automatically
+    /// when the disruption synthesizes overruns — they are inert
+    /// otherwise.
+    pub fn with_disruption(mut self, name: impl Into<String>, d: DisruptionConfig) -> Self {
+        self.name = name.into();
+        if d.overrun_fraction > 0.0 {
+            self.params.enforce_walltime = true;
+        }
+        self.disruption = d;
+        self
+    }
+
+    /// Set the scenario-level seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materialize episode `episode` for `system`, deterministically.
+    ///
+    /// Sub-seeds for trace synthesis, resource extension and disruption
+    /// placement are derived by mixing the scenario seed with the
+    /// episode index, so distinct episodes differ while any two
+    /// materializations of the same `(scenario, system, episode)` are
+    /// identical.
+    pub fn materialize(&self, system: &SystemConfig, episode: u64) -> EpisodeSpec {
+        let base = mix_seed(self.seed, episode);
+        let trace = self.source.trace(mix_seed(base, 1));
+        let jobs = self.spec.build(&trace, system, mix_seed(base, 2));
+        let disrupted = self.disruption.synthesize(&jobs, system, mix_seed(base, 3));
+        EpisodeSpec { jobs: disrupted.jobs, events: disrupted.events, params: self.params }
+    }
+}
+
+/// SplitMix64-style seed mixing: decorrelates derived seeds even for
+/// adjacent inputs (scenario sub-seeds, per-episode rollout RNGs).
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One phase of a curriculum: a scenario trained for a number of
+/// episodes, optionally under a fixed goal vector.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CurriculumPhase {
+    /// The episode recipe.
+    pub scenario: Scenario,
+    /// How many episodes this phase trains.
+    pub episodes: usize,
+    /// Fixed goal vector forced during this phase (`None` keeps the
+    /// agent's configured goal mode — MRSch's dynamic Eq. 1 weights).
+    pub goal_override: Option<Vec<f64>>,
+}
+
+impl CurriculumPhase {
+    /// Phase with the agent's own goal mode.
+    pub fn new(scenario: Scenario, episodes: usize) -> Self {
+        Self { scenario, episodes, goal_override: None }
+    }
+
+    /// Force a fixed goal vector for the phase.
+    pub fn with_goal(mut self, goal: Vec<f64>) -> Self {
+        self.goal_override = Some(goal);
+        self
+    }
+}
+
+/// Where a training run currently stands inside a curriculum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CurriculumProgress {
+    /// Index of the active phase.
+    pub phase: usize,
+    /// Name of the active phase's scenario.
+    pub phase_name: String,
+    /// Episodes completed within the active phase.
+    pub episode_in_phase: usize,
+    /// Episodes completed overall.
+    pub completed: usize,
+    /// Total episodes across all phases.
+    pub total: usize,
+}
+
+impl std::fmt::Display for CurriculumProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase {} ({}) episode {} — {}/{} overall",
+            self.phase, self.phase_name, self.episode_in_phase, self.completed, self.total
+        )
+    }
+}
+
+/// An ordered list of training phases.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Curriculum {
+    phases: Vec<CurriculumPhase>,
+}
+
+impl Curriculum {
+    /// Empty curriculum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase (builder style).
+    pub fn phase(mut self, phase: CurriculumPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// The phases in training order.
+    pub fn phases(&self) -> &[CurriculumPhase] {
+        &self.phases
+    }
+
+    /// Total episodes across all phases.
+    pub fn total_episodes(&self) -> usize {
+        self.phases.iter().map(|p| p.episodes).sum()
+    }
+
+    /// Map a global episode index to `(phase index, phase, episode
+    /// within phase)`; `None` past the end.
+    pub fn locate(&self, episode: usize) -> Option<(usize, &CurriculumPhase, usize)> {
+        let mut offset = episode;
+        for (i, p) in self.phases.iter().enumerate() {
+            if offset < p.episodes {
+                return Some((i, p, offset));
+            }
+            offset -= p.episodes;
+        }
+        None
+    }
+
+    /// Progress after `completed` episodes (clamped to the curriculum's
+    /// end; a finished curriculum reports its last phase).
+    pub fn progress(&self, completed: usize) -> CurriculumProgress {
+        let total = self.total_episodes();
+        let done = completed.min(total);
+        let (phase, name, in_phase) = self
+            .locate(done.min(total.saturating_sub(1)))
+            .map(|(i, p, e)| (i, p.scenario.name.clone(), e))
+            .unwrap_or((0, String::new(), 0));
+        CurriculumProgress {
+            phase,
+            phase_name: name,
+            episode_in_phase: in_phase,
+            completed: done,
+            total,
+        }
+    }
+
+    /// The canonical disruption-hardening curriculum: the clean scenario
+    /// first, then a cancel/overrun-heavy variant, then a drain-heavy
+    /// variant, `episodes` each. The disrupted phases reuse the clean
+    /// scenario's source, spec, params and seed, so the *only*
+    /// difference between phases is the disruption layer.
+    pub fn disruption_hardening(
+        clean: Scenario,
+        cancel_heavy: DisruptionConfig,
+        drain_heavy: DisruptionConfig,
+        episodes: usize,
+    ) -> Self {
+        let cancel = clean.clone().with_disruption("cancel_heavy", cancel_heavy);
+        let drain = clean.clone().with_disruption("drain_heavy", drain_heavy);
+        Self::new()
+            .phase(CurriculumPhase::new(clean, episodes))
+            .phase(CurriculumPhase::new(cancel, episodes))
+            .phase(CurriculumPhase::new(drain, episodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disruption::DrainSpec;
+    use mrsim::event::EventKind;
+
+    fn system() -> SystemConfig {
+        SystemConfig::two_resource(32, 12)
+    }
+
+    fn theta_source(n: usize) -> JobSource {
+        JobSource::Theta(ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(n) })
+    }
+
+    fn clean_scenario() -> Scenario {
+        Scenario::new("clean", theta_source(30), WorkloadSpec::s1(), SimParams::new(5, true))
+            .with_seed(7)
+    }
+
+    #[test]
+    fn materialize_is_deterministic_per_episode() {
+        let s = clean_scenario();
+        let a = s.materialize(&system(), 3);
+        let b = s.materialize(&system(), 3);
+        assert_eq!(a, b, "same (scenario, episode) must be identical");
+        let c = s.materialize(&system(), 4);
+        assert_ne!(a.jobs, c.jobs, "episodes see different jobs");
+    }
+
+    #[test]
+    fn fixed_trace_source_repeats_base_jobs() {
+        let trace = ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(20) }.generate(1);
+        let s = Scenario::new(
+            "replay",
+            JobSource::Trace(trace.clone()),
+            WorkloadSpec::s1(),
+            SimParams::new(5, true),
+        );
+        let a = s.materialize(&system(), 0);
+        let b = s.materialize(&system(), 5);
+        // Same base submits/runtimes; only the BB extension differs.
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.submit, y.submit);
+            assert_eq!(x.runtime, y.runtime);
+        }
+    }
+
+    #[test]
+    fn with_disruption_enables_walltime_for_overruns() {
+        let d = DisruptionConfig { overrun_fraction: 0.3, ..Default::default() };
+        let s = clean_scenario().with_disruption("overruns", d);
+        assert!(s.params.enforce_walltime);
+        assert_eq!(s.name, "overruns");
+        let cancel_only =
+            clean_scenario().with_disruption("cancels", DisruptionConfig {
+                cancel_fraction: 0.3,
+                ..Default::default()
+            });
+        assert!(!cancel_only.params.enforce_walltime, "cancels alone need no enforcement");
+    }
+
+    #[test]
+    fn disrupted_scenario_emits_events() {
+        let d = DisruptionConfig {
+            cancel_fraction: 0.5,
+            drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: 100, duration: 500 }],
+            ..Default::default()
+        };
+        let ep = clean_scenario()
+            .with_disruption("mixed", d)
+            .materialize(&system(), 0);
+        assert!(ep.events.iter().any(|e| matches!(e.kind, EventKind::Cancel(_))));
+        assert!(ep
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CapacityChange { .. })));
+    }
+
+    #[test]
+    fn curriculum_locates_episodes_and_tracks_progress() {
+        let cur = Curriculum::disruption_hardening(
+            clean_scenario(),
+            DisruptionConfig { cancel_fraction: 0.3, ..Default::default() },
+            DisruptionConfig::node_drain(0.25, 500, 2000),
+            4,
+        );
+        assert_eq!(cur.phases().len(), 3);
+        assert_eq!(cur.total_episodes(), 12);
+        let (p0, ph0, e0) = cur.locate(0).unwrap();
+        assert_eq!((p0, e0), (0, 0));
+        assert_eq!(ph0.scenario.name, "clean");
+        let (p1, ph1, e1) = cur.locate(5).unwrap();
+        assert_eq!((p1, e1), (1, 1));
+        assert_eq!(ph1.scenario.name, "cancel_heavy");
+        let (p2, ph2, e2) = cur.locate(11).unwrap();
+        assert_eq!((p2, e2), (2, 3));
+        assert_eq!(ph2.scenario.name, "drain_heavy");
+        assert!(cur.locate(12).is_none());
+        let prog = cur.progress(5);
+        assert_eq!(prog.phase, 1);
+        assert_eq!(prog.completed, 5);
+        assert_eq!(prog.total, 12);
+        assert!(prog.to_string().contains("cancel_heavy"));
+    }
+
+    #[test]
+    fn hardening_phases_share_everything_but_disruptions() {
+        let cur = Curriculum::disruption_hardening(
+            clean_scenario(),
+            DisruptionConfig { cancel_fraction: 0.3, ..Default::default() },
+            DisruptionConfig::node_drain(0.25, 500, 2000),
+            2,
+        );
+        let phases = cur.phases();
+        for p in &phases[1..] {
+            assert_eq!(p.scenario.source, phases[0].scenario.source);
+            assert_eq!(p.scenario.spec, phases[0].scenario.spec);
+            assert_eq!(p.scenario.seed, phases[0].scenario.seed);
+            assert_ne!(p.scenario.disruption, phases[0].scenario.disruption);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Curriculum-hardened vs clean-trained MRSch on a node-drain trace —
+//! the training counterpart of `node_drain_recovery`.
+//!
+//! PR 2 made the simulator disruption-capable; this example closes the
+//! loop: two MRSch agents start from the identical seed and network
+//! init and train through the scenario engine with 2 parallel rollout
+//! workers on the *same episode budget* — one on clean traffic only,
+//! one through the disruption-hardening curriculum (clean →
+//! cancel/overrun-heavy → drain-heavy). Both are then evaluated
+//! greedily on the identical held-out workload under a 25 % mid-trace
+//! node drain with user cancellations and walltime overruns, with full
+//! disruption accounting.
+//!
+//! The hardened agent has seen drained capacity, tombstoned cancels and
+//! walltime kills during training; the clean agent meets them for the
+//! first time at evaluation. The example prints both reports and
+//! asserts the hardened agent wins on at least one drain-trace metric.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example curriculum_vs_clean
+//! ```
+
+use mrsch::prelude::*;
+use mrsch_workload::split::paper_split;
+
+fn print_report(label: &str, r: &SimReport) {
+    println!("\n{label}:");
+    println!(
+        "  finished {} | cancelled {} | killed {} | unfinished {}",
+        r.jobs_completed, r.jobs_cancelled, r.jobs_killed, r.jobs_unfinished
+    );
+    println!(
+        "  node util {:.4} | bb util {:.4} | avg wait {:.3} h | avg slowdown {:.3} | makespan {} s",
+        r.resource_utilization[0],
+        r.resource_utilization[1],
+        r.avg_wait_hours(),
+        r.avg_slowdown,
+        r.makespan
+    );
+    println!(
+        "  capacity lost {:.0} node-seconds",
+        r.capacity_lost_unit_seconds[0]
+    );
+}
+
+fn main() {
+    let system = SystemConfig::two_resource(48, 16);
+    let spec = WorkloadSpec::s2();
+    let window = 4;
+    let trace = ThetaConfig { machine_nodes: 48, ..ThetaConfig::scaled(320) }.generate(17);
+    let split = paper_split(&trace);
+    let train_slice = &split.train[..100.min(split.train.len())];
+    let eval_jobs = spec.build(&split.test[..90.min(split.test.len())], &system, 2);
+
+    // The evaluation disruptions: a 25% node drain a third of the way
+    // in (one simulated hour), plus cancels and enforced overruns.
+    let last_submit = eval_jobs.iter().map(|j| j.submit).max().unwrap_or(0);
+    let eval_disruption = DisruptionConfig {
+        cancel_fraction: 0.15,
+        overrun_fraction: 0.10,
+        overrun_factor: 1.5,
+        drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: last_submit / 3, duration: 3600 }],
+    };
+    let disrupted = eval_disruption.synthesize(&eval_jobs, &system, 99);
+    let eval_params = SimParams { enforce_walltime: true, ..SimParams::new(window, true) };
+
+    // Both curricula share the clean scenario and a 6-episode budget.
+    let clean_scenario = Scenario::new(
+        "clean",
+        JobSource::Trace(train_slice.to_vec()),
+        spec.clone(),
+        SimParams::new(window, true),
+    )
+    .with_seed(5);
+    let clean_curriculum =
+        Curriculum::new().phase(CurriculumPhase::new(clean_scenario.clone(), 6));
+    let hardened_curriculum = Curriculum::disruption_hardening(
+        clean_scenario,
+        DisruptionConfig {
+            cancel_fraction: 0.25,
+            overrun_fraction: 0.15,
+            overrun_factor: 1.5,
+            drains: Vec::new(),
+        },
+        eval_disruption.clone(),
+        2,
+    );
+
+    let trainer = TrainerConfig::default().workers(2).round_size(2).batches_per_episode(16);
+    let train = |curriculum: &Curriculum, label: &str| -> SimReport {
+        let mut agent = MrschBuilder::new(system.clone(), eval_params)
+            .seed(11)
+            .trainer(trainer.clone())
+            .build();
+        let outcome = agent.train_with_curriculum(curriculum);
+        println!(
+            "trained '{label}': {} episodes over {} phase(s), final loss {:?}",
+            outcome.total_episodes(),
+            outcome.phases.len(),
+            outcome.final_loss()
+        );
+        for p in &outcome.phases {
+            let cancels: usize = p.reports.iter().map(|r| r.jobs_cancelled).sum();
+            let kills: usize = p.reports.iter().map(|r| r.jobs_killed).sum();
+            let lost: f64 = p.reports.iter().map(|r| r.capacity_lost_unit_seconds[0]).sum();
+            println!(
+                "  phase {:<14} {} episodes | cancelled {cancels} | killed {kills} | lost {lost:.0} node-s",
+                p.name, p.episodes
+            );
+        }
+        agent
+            .evaluate_disrupted(&disrupted.jobs, &disrupted.events)
+            .expect("valid disruption trace")
+    };
+
+    println!(
+        "system: 48 nodes, 16 BB units | {} eval jobs | 25% drain at t={} for 3600 s",
+        disrupted.jobs.len(),
+        last_submit / 3
+    );
+    let clean_report = train(&clean_curriculum, "clean only");
+    let hardened_report = train(&hardened_curriculum, "disruption hardened");
+
+    print_report("MRSch trained on clean traffic only", &clean_report);
+    print_report("MRSch hardened on the disruption curriculum", &hardened_report);
+
+    for (label, r) in [("clean", &clean_report), ("hardened", &hardened_report)] {
+        assert!(
+            r.all_jobs_accounted(disrupted.jobs.len()),
+            "{label}: every job must end finished/cancelled/killed"
+        );
+        assert!(r.capacity_lost_unit_seconds[0] > 0.0, "{label}: the drain must cost node-seconds");
+        assert!(r.jobs_cancelled > 0, "{label}: cancels must land");
+        assert!(r.jobs_killed > 0, "{label}: walltime kills must land");
+    }
+
+    // The hardened agent must beat the clean one on >= 1 drain-trace
+    // metric (all lower-is-better except utilization).
+    let mut wins = Vec::new();
+    if hardened_report.avg_wait < clean_report.avg_wait {
+        wins.push(format!(
+            "avg wait {:.3} h < {:.3} h",
+            hardened_report.avg_wait_hours(),
+            clean_report.avg_wait_hours()
+        ));
+    }
+    if hardened_report.avg_slowdown < clean_report.avg_slowdown {
+        wins.push(format!(
+            "avg slowdown {:.3} < {:.3}",
+            hardened_report.avg_slowdown, clean_report.avg_slowdown
+        ));
+    }
+    if hardened_report.makespan < clean_report.makespan {
+        wins.push(format!(
+            "makespan {} s < {} s",
+            hardened_report.makespan, clean_report.makespan
+        ));
+    }
+    if hardened_report.max_wait < clean_report.max_wait {
+        wins.push(format!(
+            "max wait {} s < {} s",
+            hardened_report.max_wait, clean_report.max_wait
+        ));
+    }
+    if hardened_report.resource_utilization[0] > clean_report.resource_utilization[0] {
+        wins.push(format!(
+            "node util {:.4} > {:.4}",
+            hardened_report.resource_utilization[0], clean_report.resource_utilization[0]
+        ));
+    }
+    assert!(
+        !wins.is_empty(),
+        "the disruption-hardened agent must beat the clean-trained one on >= 1 metric"
+    );
+    println!("\nhardened agent wins on {} metric(s):", wins.len());
+    for w in &wins {
+        println!("  {w}");
+    }
+}

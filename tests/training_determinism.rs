@@ -1,0 +1,89 @@
+//! Integration test: training itself is deterministic and
+//! worker-count-invariant — the same master seed produces bit-identical
+//! trained network parameters and identical per-episode `SimReport`
+//! counters whether episodes roll out on 1 thread or 4.
+//!
+//! This extends the `tests/determinism.rs` discipline (bit-identical
+//! replay under serial vs parallel GEMM) up through the training loop:
+//! rollout workers decide *where* an episode runs, never *what* it
+//! computes, and per-worker buffers merge into replay in episode order.
+
+use mrsch::prelude::*;
+
+fn tiny_curriculum(seed: u64) -> Curriculum {
+    let clean = Scenario::new(
+        "clean",
+        JobSource::Theta(ThetaConfig {
+            machine_nodes: 16,
+            mean_interarrival: 120.0,
+            ..ThetaConfig::scaled(24)
+        }),
+        WorkloadSpec::s1(),
+        SimParams::new(4, true),
+    )
+    .with_seed(seed);
+    Curriculum::disruption_hardening(
+        clean,
+        DisruptionConfig {
+            cancel_fraction: 0.25,
+            overrun_fraction: 0.15,
+            overrun_factor: 1.5,
+            drains: Vec::new(),
+        },
+        DisruptionConfig::node_drain(0.25, 600, 2400),
+        2,
+    )
+}
+
+fn train(workers: usize, seed: u64) -> (EngineOutcome, bytes::Bytes, u64) {
+    let mut cfg = DfpConfig::scaled(1, 2, 4);
+    cfg.state_hidden = vec![32];
+    cfg.state_embed = 16;
+    cfg.io_hidden = 16;
+    cfg.io_embed = 8;
+    cfg.stream_hidden = 32;
+    cfg.batch_size = 8;
+    let trainer = TrainerConfig::default()
+        .workers(workers)
+        .round_size(3)
+        .batches_per_episode(4);
+    let mut mrsch = MrschBuilder::new(SystemConfig::two_resource(16, 8), SimParams::new(4, true))
+        .seed(seed)
+        .trainer(trainer)
+        .dfp_config(cfg)
+        .build();
+    let outcome = mrsch.train_with_curriculum(&tiny_curriculum(seed ^ 0x11));
+    let ckpt = mrsch.agent_mut().network_mut().save_checkpoint();
+    let steps = mrsch.agent().train_steps();
+    (outcome, ckpt, steps)
+}
+
+#[test]
+fn one_and_four_workers_train_bit_identically() {
+    let (o1, c1, s1) = train(1, 77);
+    let (o4, c4, s4) = train(4, 77);
+    assert_eq!(c1, c4, "network parameters must be bit-identical");
+    assert_eq!(s1, s4, "gradient-step counts must match");
+    assert_eq!(o1.total_episodes(), o4.total_episodes());
+    let (r1, r4): (Vec<_>, Vec<_>) = (o1.reports().collect(), o4.reports().collect());
+    assert_eq!(r1.len(), r4.len());
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(a, b, "per-episode SimReports (incl. disruption counters) must match");
+    }
+    // The curriculum actually exercised disruptions.
+    assert!(
+        o1.phases[1].reports.iter().any(|r| r.jobs_cancelled + r.jobs_killed > 0),
+        "cancel-heavy phase landed disruptions"
+    );
+    assert!(
+        o1.phases[2].reports.iter().any(|r| r.capacity_lost_unit_seconds[0] > 0.0),
+        "drain-heavy phase lost capacity"
+    );
+}
+
+#[test]
+fn different_master_seeds_diverge() {
+    let (_, c1, _) = train(2, 1);
+    let (_, c2, _) = train(2, 2);
+    assert_ne!(c1, c2, "different seeds must train different weights");
+}
