@@ -53,6 +53,7 @@ impl Default for GaConfig {
 #[derive(Debug)]
 pub struct GaPolicy {
     cfg: GaConfig,
+    seed: u64,
     rng: StdRng,
     plan: VecDeque<JobId>,
     plan_instance: Option<u64>,
@@ -62,7 +63,13 @@ impl GaPolicy {
     /// Build with the given hyper-parameters and seed.
     pub fn new(cfg: GaConfig, seed: u64) -> Self {
         assert!(cfg.population >= 2 && cfg.tournament >= 1);
-        Self { cfg, rng: StdRng::seed_from_u64(seed), plan: VecDeque::new(), plan_instance: None }
+        Self {
+            cfg,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            plan: VecDeque::new(),
+            plan_instance: None,
+        }
     }
 
     /// Default-configured policy.
@@ -148,6 +155,15 @@ impl Policy for GaPolicy {
             }
         }
         None
+    }
+
+    /// Re-seed the RNG and drop the cached plan: after a reset the next
+    /// episode is bit-identical to one run on a freshly built policy
+    /// (the GA is stochastic *within* an episode but seeded at birth).
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.plan.clear();
+        self.plan_instance = None;
     }
 
     fn name(&self) -> &'static str {

@@ -26,4 +26,4 @@ pub mod scalar_rl;
 pub use fcfs::FcfsPolicy;
 pub use heuristics::{ListOrder, ListPolicy};
 pub use ga::{GaConfig, GaPolicy};
-pub use scalar_rl::{ScalarRlAgent, ScalarRlConfig, ScalarRlPolicy};
+pub use scalar_rl::{ScalarRlAgent, ScalarRlConfig, ScalarRlPolicy, TrainedScalarRlPolicy};

@@ -142,12 +142,20 @@ impl ScalarRlAgent {
             }
         }
         // Argmax fallback (and evaluation path).
-        probs
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| valid[i])
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
+        greedy_pick(&probs, valid)
+    }
+
+    /// Greedy action through a shared reference (cache-free forward):
+    /// the evaluation path of [`TrainedScalarRlPolicy`], bit-identical
+    /// to [`ScalarRlAgent::act`] with `explore = false`.
+    pub fn act_greedy(&self, state: &[f32], valid: &[bool]) -> Option<usize> {
+        if !valid.iter().any(|&v| v) {
+            return None;
+        }
+        let x = Matrix::row_vector(state.to_vec());
+        let logits = self.policy_net.forward_inference(&x);
+        let probs = masked_softmax(logits.row(0), valid, self.cfg.temperature);
+        greedy_pick(&probs, valid)
     }
 
     /// REINFORCE-with-baseline update over one finished trajectory.
@@ -200,6 +208,18 @@ impl ScalarRlAgent {
         self.opt_policy.step(&mut self.policy_net);
         self.episodes += 1;
     }
+}
+
+/// Deterministic argmax over valid actions (the shared evaluation rule:
+/// `max_by` keeps the *last* maximum, so both acting paths tie-break
+/// identically).
+fn greedy_pick(probs: &[f32], valid: &[bool]) -> Option<usize> {
+    probs
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| valid[i])
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
 }
 
 /// Numerically stable masked softmax with temperature.
@@ -280,6 +300,45 @@ impl Policy for ScalarRlPolicy<'_> {
             let traj = std::mem::take(&mut self.traj);
             self.agent.update(&traj);
         }
+    }
+
+    fn name(&self) -> &'static str {
+        "scalar_rl"
+    }
+}
+
+/// Owned, evaluation-only wrapper around a trained [`ScalarRlAgent`]:
+/// the boxed-`Policy` form the `mrsch_eval` registry hands to the
+/// evaluation harness. Acts greedily through the cache-free forward
+/// pass; it carries no per-episode state, so [`Policy::reset`] is the
+/// default no-op and one instance can be reused across episodes.
+pub struct TrainedScalarRlPolicy {
+    agent: ScalarRlAgent,
+    encoder: StateEncoder,
+}
+
+impl TrainedScalarRlPolicy {
+    /// Take ownership of a trained agent for evaluation runs.
+    pub fn new(agent: ScalarRlAgent, encoder: StateEncoder) -> Self {
+        assert_eq!(agent.cfg.state_dim, encoder.state_dim());
+        assert_eq!(agent.cfg.num_actions, encoder.window());
+        Self { agent, encoder }
+    }
+
+    /// The wrapped agent.
+    pub fn agent(&self) -> &ScalarRlAgent {
+        &self.agent
+    }
+}
+
+impl Policy for TrainedScalarRlPolicy {
+    fn select(&mut self, view: &SchedulerView<'_>) -> Option<usize> {
+        if view.window.is_empty() {
+            return None;
+        }
+        let state = self.encoder.encode(view);
+        let valid = self.encoder.valid_actions(view);
+        self.agent.act_greedy(&state, &valid)
     }
 
     fn name(&self) -> &'static str {
@@ -388,6 +447,22 @@ mod tests {
             probs[0] > 0.7,
             "policy should prefer the rewarded action: {probs:?}"
         );
+    }
+
+    #[test]
+    fn owned_eval_policy_matches_borrowed_eval_policy() {
+        let (system, encoder, mut agent) = setup();
+        let borrowed = {
+            let mut policy = ScalarRlPolicy::new(&mut agent, encoder.clone(), RlMode::Evaluate);
+            Simulator::new(system.clone(), jobs(20), SimParams::new(4, true))
+                .unwrap()
+                .run(&mut policy)
+        };
+        let mut owned = TrainedScalarRlPolicy::new(agent, encoder);
+        let owned_report = Simulator::new(system, jobs(20), SimParams::new(4, true))
+            .unwrap()
+            .run(&mut owned);
+        assert_eq!(borrowed.records, owned_report.records, "acting paths must agree");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use mrsim::SimReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Training-loop knobs, split out of `MrschBuilder` so the same agent
 /// definition can be trained serially, in parallel, or under different
@@ -167,7 +168,11 @@ impl TrainingEngine {
                 let count = self.cfg.round_size.max(1).min(phase.episodes - done);
                 let base_eps = mrsch.agent().episodes();
                 let dfp_cfg = mrsch.agent().config().clone();
-                let snapshot = mrsch.agent().snapshot();
+                // One frozen snapshot per round, shared by every worker
+                // via `Arc` — workers read the same weights through the
+                // cache-free inference forward pass, so no per-worker
+                // network clone exists.
+                let snapshot = Arc::new(mrsch.agent().snapshot());
                 // Materialize the round: specs from the scenario (keyed
                 // by within-phase index, so a phase's episode stream is
                 // independent of what preceded it), ε and RNG seeds from
@@ -192,7 +197,12 @@ impl TrainingEngine {
                     .round_losses
                     .push(mrsch.agent_mut().eval_loss(256).unwrap_or(f32::NAN));
                 done += count;
+                if phase.plateau_reached(&phase_out.round_losses) {
+                    break;
+                }
             }
+            // Plateau advancement may end a phase early; report what ran.
+            phase_out.episodes = done;
             outcome.phases.push(phase_out);
         }
         outcome
@@ -207,10 +217,12 @@ pub(crate) struct RolloutTask {
 }
 
 /// Roll out a round of episodes across `workers` threads and return the
-/// results **in episode order** regardless of scheduling.
+/// results **in episode order** regardless of scheduling. All workers
+/// read the *same* frozen snapshot through the `Arc` — the per-worker
+/// state is just a reusable simulator and a per-episode RNG.
 fn run_rollouts(
     workers: usize,
-    snapshot: &PolicySnapshot,
+    snapshot: &Arc<PolicySnapshot>,
     encoder: &StateEncoder,
     goal_mode: &GoalMode,
     system: &SystemConfig,
@@ -219,11 +231,10 @@ fn run_rollouts(
     let n = episodes.len();
     let workers = workers.clamp(1, n.max(1));
     if workers == 1 {
-        let mut snap = snapshot.clone();
         let mut sim: Option<Simulator> = None;
         return episodes
             .iter()
-            .map(|t| rollout_episode(&mut snap, encoder, goal_mode, system, &mut sim, t))
+            .map(|t| rollout_episode(snapshot, encoder, goal_mode, system, &mut sim, t))
             .collect();
     }
     let mut results: Vec<Option<(Vec<Experience>, SimReport)>> =
@@ -231,7 +242,7 @@ fn run_rollouts(
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let mut snap = snapshot.clone();
+                let snap = Arc::clone(snapshot);
                 scope.spawn(move || {
                     let mut sim: Option<Simulator> = None;
                     let mut out = Vec::new();
@@ -240,7 +251,7 @@ fn run_rollouts(
                         out.push((
                             k,
                             rollout_episode(
-                                &mut snap,
+                                &snap,
                                 encoder,
                                 goal_mode,
                                 system,
@@ -263,17 +274,16 @@ fn run_rollouts(
     results.into_iter().map(|r| r.expect("every episode rolled out")).collect()
 }
 
-/// Roll out one episode under a frozen snapshot, reusing the worker's
-/// simulator when one exists. Pure in `(snapshot weights, task)`.
+/// Roll out one episode under a shared frozen snapshot, reusing the
+/// worker's simulator when one exists. Pure in `(snapshot weights, task)`.
 pub(crate) fn rollout_episode(
-    snap: &mut PolicySnapshot,
+    snap: &PolicySnapshot,
     encoder: &StateEncoder,
     goal_mode: &GoalMode,
     system: &SystemConfig,
     sim: &mut Option<Simulator>,
     task: &RolloutTask,
 ) -> (Vec<Experience>, SimReport) {
-    snap.set_epsilon(task.epsilon);
     match sim {
         Some(s) => s
             .load(task.spec.jobs.clone(), task.spec.params)
@@ -289,6 +299,7 @@ pub(crate) fn rollout_episode(
     s.inject_all(&task.spec.events).expect("scenario events reference this job set");
     let mut policy = RolloutPolicy {
         snap,
+        epsilon: task.epsilon,
         encoder,
         goal_mode,
         recorder: EpisodeRecorder::new(),
@@ -302,11 +313,13 @@ pub(crate) fn rollout_episode(
     (exps, report)
 }
 
-/// The worker-side policy: acts ε-greedily through a frozen snapshot
-/// with a private RNG and records the episode for later absorption —
-/// the detached sibling of `MrschPolicy` in training mode.
+/// The worker-side policy: acts ε-greedily through a *shared* frozen
+/// snapshot with a private RNG and per-episode ε, and records the
+/// episode for later absorption — the detached sibling of `MrschPolicy`
+/// in training mode.
 struct RolloutPolicy<'a> {
-    snap: &'a mut PolicySnapshot,
+    snap: &'a PolicySnapshot,
+    epsilon: f32,
     encoder: &'a StateEncoder,
     goal_mode: &'a GoalMode,
     recorder: EpisodeRecorder,
@@ -323,7 +336,15 @@ impl Policy for RolloutPolicy<'_> {
         let meas: Vec<f32> = view.measurement().iter().map(|&x| x as f32).collect();
         let goal = self.goal_mode.goal_for(view);
         let valid = self.encoder.valid_actions(view);
-        let action = self.snap.act(&state, &meas, &goal, &valid, true, &mut self.rng)?;
+        let action = self.snap.act_with_epsilon(
+            self.epsilon,
+            &state,
+            &meas,
+            &goal,
+            &valid,
+            true,
+            &mut self.rng,
+        )?;
         self.recorder.record_step(&state, &meas, &goal, action);
         self.awaiting = true;
         Some(action)
@@ -439,6 +460,32 @@ mod tests {
             o1.phases.iter().map(|p| &p.round_losses).collect::<Vec<_>>(),
             o3.phases.iter().map(|p| &p.round_losses).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn plateau_rule_can_end_a_phase_early() {
+        // An enormous tolerance turns "plateau" into "first moment the
+        // window is full of finite losses", so the phase must stop at
+        // exactly `round_size * window` episodes instead of its budget.
+        let trainer = TrainerConfig::default().round_size(1).batches_per_episode(4);
+        let budget = 6;
+        let phase = CurriculumPhase::new(tiny_scenario(12, 5), budget)
+            .advance_on_plateau(2, f32::INFINITY);
+        let curriculum = Curriculum::new().phase(phase.clone());
+        let mut mrsch = tiny_mrsch(7, trainer.clone());
+        let outcome = TrainingEngine::new(trainer.clone()).train(&mut mrsch, &curriculum);
+        assert!(
+            outcome.phases[0].episodes < budget,
+            "phase must end early, ran {}",
+            outcome.phases[0].episodes
+        );
+        assert_eq!(outcome.phases[0].reports.len(), outcome.phases[0].episodes);
+        assert_eq!(mrsch.agent().episodes() as usize, outcome.phases[0].episodes);
+        // Without the rule the same setup runs the full budget.
+        let full = Curriculum::new().phase(CurriculumPhase::new(tiny_scenario(12, 5), budget));
+        let mut mrsch2 = tiny_mrsch(7, trainer.clone());
+        let out2 = TrainingEngine::new(trainer).train(&mut mrsch2, &full);
+        assert_eq!(out2.phases[0].episodes, budget);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod explain;
 pub mod goal;
 pub mod training;
 
-pub use agent::{Mode, MrschPolicy};
+pub use agent::{Mode, MrschPolicy, TrainedMrschPolicy};
 pub use engine::{EngineOutcome, PhaseOutcome, TrainerConfig, TrainingEngine};
 pub use explain::{Explainer, Explanation};
 pub use encoder::StateEncoder;
@@ -61,7 +61,7 @@ pub use training::{Mrsch, MrschBuilder, TrainOutcome, ValidatedOutcome};
 
 /// Convenient re-exports for downstream users and examples.
 pub mod prelude {
-    pub use crate::agent::{Mode, MrschPolicy};
+    pub use crate::agent::{Mode, MrschPolicy, TrainedMrschPolicy};
     pub use crate::encoder::StateEncoder;
     pub use crate::engine::{EngineOutcome, PhaseOutcome, TrainerConfig, TrainingEngine};
     pub use crate::goal::GoalMode;
@@ -69,7 +69,8 @@ pub mod prelude {
     pub use mrsch_dfp::{DfpAgent, DfpConfig, StateModuleKind};
     pub use mrsch_workload::disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
     pub use mrsch_workload::scenario::{
-        Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, Scenario,
+        Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, PlateauRule,
+        Scenario,
     };
     pub use mrsch_workload::suite::WorkloadSpec;
     pub use mrsch_workload::theta::ThetaConfig;

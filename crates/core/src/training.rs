@@ -207,9 +207,9 @@ impl Mrsch {
             epsilon: self.agent.epsilon(),
             seed: mix_seed(mix_seed(self.seed, 0x5ce7a710), episode),
         };
-        let mut snap = self.agent.snapshot();
+        let snap = self.agent.snapshot();
         let (exps, _report) = crate::engine::rollout_episode(
-            &mut snap,
+            &snap,
             &self.encoder,
             &self.goal_mode,
             &self.system,
@@ -283,6 +283,16 @@ impl Mrsch {
                 .expect("own checkpoint must load");
         }
         outcome
+    }
+
+    /// Consume the handle into an owned, evaluation-only
+    /// [`crate::agent::TrainedMrschPolicy`] — the boxed-`Policy` form
+    /// used by the `mrsch_eval` registry. The policy acts exactly like
+    /// [`Mrsch::evaluate`] does (greedy, same encoder and goal mode) but
+    /// is self-contained and reusable across episodes via
+    /// [`mrsim::Policy::reset`].
+    pub fn into_eval_policy(self) -> crate::agent::TrainedMrschPolicy {
+        crate::agent::TrainedMrschPolicy::new(self.agent, self.encoder, self.goal_mode)
     }
 
     /// Evaluate greedily on a job list, returning the simulator report.

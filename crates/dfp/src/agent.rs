@@ -111,7 +111,7 @@ impl DfpAgent {
         explore: bool,
     ) -> Option<usize> {
         crate::rollout::act_epsilon_greedy(
-            &mut self.net,
+            &self.net,
             self.epsilon,
             state,
             meas,
@@ -145,7 +145,8 @@ impl DfpAgent {
     }
 
     /// Freeze the acting parts of this agent into a [`PolicySnapshot`]
-    /// that rollout workers can clone and drive with their own RNGs.
+    /// that rollout workers share (one `Arc`, no per-worker clone) and
+    /// drive with their own RNGs.
     pub fn snapshot(&self) -> PolicySnapshot {
         PolicySnapshot::new(self.net.clone(), self.epsilon)
     }

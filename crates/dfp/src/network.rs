@@ -119,6 +119,20 @@ impl DfpNetwork {
         combine(&e, &a, self.cfg.num_actions)
     }
 
+    /// Forward pass without caching backward state: bit-identical to
+    /// [`DfpNetwork::forward`] but usable through `&self`, so a frozen
+    /// network can score actions from many rollout threads at once
+    /// (shared behind an `Arc`) without per-thread copies.
+    pub fn forward_inference(&self, state: &Matrix, meas: &Matrix, goal: &Matrix) -> Matrix {
+        let se = self.state_net.forward_inference(state);
+        let me = self.meas_net.forward_inference(meas);
+        let ge = self.goal_net.forward_inference(goal);
+        let joint = Matrix::hcat(&[&se, &me, &ge]);
+        let e = self.expectation.forward_inference(&joint);
+        let a = self.action.forward_inference(&joint);
+        combine(&e, &a, self.cfg.num_actions)
+    }
+
     /// Backward pass from the gradient w.r.t. the combined predictions.
     /// Accumulates parameter gradients in every subnet.
     pub fn backward(&mut self, grad_combined: &Matrix) {
@@ -237,10 +251,19 @@ impl DfpNetwork {
     /// where `w` extends the goal over offsets with the configured offset
     /// weights. Returns a vector of `num_actions` scores.
     pub fn action_scores(&mut self, state: &[f32], meas: &[f32], goal: &[f32]) -> Vec<f32> {
+        // The cache-free path is numerically identical; routing the
+        // cached entry point through it keeps the live agent and shared
+        // snapshots on one decision rule.
+        self.action_scores_shared(state, meas, goal)
+    }
+
+    /// [`DfpNetwork::action_scores`] through a shared reference (no
+    /// backward caches touched) — the acting path of frozen snapshots.
+    pub fn action_scores_shared(&self, state: &[f32], meas: &[f32], goal: &[f32]) -> Vec<f32> {
         let s = Matrix::row_vector(state.to_vec());
         let m = Matrix::row_vector(meas.to_vec());
         let g = Matrix::row_vector(goal.to_vec());
-        let pred = self.forward(&s, &m, &g);
+        let pred = self.forward_inference(&s, &m, &g);
         let w = self.extended_goal(goal);
         let mt = self.cfg.pred_width();
         (0..self.cfg.num_actions)
@@ -515,6 +538,23 @@ mod tests {
         let mut norm = 0.0;
         net.visit_params(&mut |_, g| norm += g.norm_sq());
         assert!(norm > 0.0, "CNN path must be trainable");
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        for kind in [StateModuleKind::Mlp, StateModuleKind::Cnn] {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut cfg = tiny_cfg();
+            cfg.state_dim = 64;
+            cfg.state_module = kind;
+            let mut net = DfpNetwork::new(cfg.clone(), &mut rng);
+            let s = rand_input(&mut rng, 3, cfg.state_dim);
+            let m = rand_input(&mut rng, 3, cfg.measurement_dim);
+            let g = rand_input(&mut rng, 3, cfg.measurement_dim);
+            let cached = net.forward(&s, &m, &g);
+            let shared = net.forward_inference(&s, &m, &g);
+            assert_eq!(cached, shared, "{kind:?}: shared path must be bit-identical");
+        }
     }
 
     #[test]

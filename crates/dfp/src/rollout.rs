@@ -119,10 +119,13 @@ impl EpisodeRecorder {
 /// A frozen copy of an agent's acting parts: network weights, config,
 /// and the exploration rate at snapshot time.
 ///
-/// Snapshots are cheap to clone (one per rollout worker) and act with an
-/// *external* RNG, so concurrent rollouts never contend on shared state
-/// and an episode's action stream is a pure function of
-/// `(snapshot, inputs, rng seed, ε)`.
+/// Acting goes through the cache-free inference forward pass and an
+/// *external* RNG, so a **single** snapshot can be shared (`&self` /
+/// `Arc`) by every rollout worker of a round — no per-worker network
+/// clone, no contention — and an episode's action stream stays a pure
+/// function of `(snapshot, inputs, rng seed, ε)`. Per-episode ε
+/// schedules pass the rate per call ([`PolicySnapshot::act_with_epsilon`])
+/// instead of mutating the shared snapshot.
 #[derive(Clone, Debug)]
 pub struct PolicySnapshot {
     cfg: DfpConfig,
@@ -159,7 +162,7 @@ impl PolicySnapshot {
     /// [`act_epsilon_greedy`]). Pass `explore = false` for greedy
     /// evaluation. Returns `None` when no action is valid.
     pub fn act<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         state: &[f32],
         meas: &[f32],
         goal: &[f32],
@@ -167,7 +170,26 @@ impl PolicySnapshot {
         explore: bool,
         rng: &mut R,
     ) -> Option<usize> {
-        act_epsilon_greedy(&mut self.net, self.epsilon, state, meas, goal, valid, explore, rng)
+        self.act_with_epsilon(self.epsilon, state, meas, goal, valid, explore, rng)
+    }
+
+    /// [`PolicySnapshot::act`] with an explicit exploration rate,
+    /// leaving the (possibly shared) snapshot untouched: episode `k` of
+    /// a round rolls out at the rate the agent *will* have after
+    /// absorbing the preceding `k` episodes, while every worker reads
+    /// the same frozen weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn act_with_epsilon<R: Rng + ?Sized>(
+        &self,
+        epsilon: f32,
+        state: &[f32],
+        meas: &[f32],
+        goal: &[f32],
+        valid: &[bool],
+        explore: bool,
+        rng: &mut R,
+    ) -> Option<usize> {
+        act_epsilon_greedy(&self.net, epsilon, state, meas, goal, valid, explore, rng)
     }
 }
 
@@ -175,10 +197,12 @@ impl PolicySnapshot {
 /// snapshots so the two can never drift: under the ε coin (`explore`
 /// only) a uniformly random valid action, otherwise the greedy argmax
 /// of `goal · predicted-changes` with a deterministic lowest-index
-/// tie-break. Returns `None` when no action is valid.
+/// tie-break. Returns `None` when no action is valid. Takes the network
+/// by shared reference (cache-free inference forward), so callers can
+/// act through an `Arc`-shared frozen network.
 #[allow(clippy::too_many_arguments)]
 pub fn act_epsilon_greedy<R: Rng + ?Sized>(
-    net: &mut DfpNetwork,
+    net: &DfpNetwork,
     epsilon: f32,
     state: &[f32],
     meas: &[f32],
@@ -197,7 +221,7 @@ pub fn act_epsilon_greedy<R: Rng + ?Sized>(
         let pick = valid_indices[rng.gen_range(0..valid_indices.len())];
         return Some(pick);
     }
-    let scores = net.action_scores(state, meas, goal);
+    let scores = net.action_scores_shared(state, meas, goal);
     let best = valid_indices
         .into_iter()
         .max_by(|&a, &b| {
@@ -266,7 +290,7 @@ mod tests {
     #[test]
     fn snapshot_greedy_matches_agent_greedy() {
         let mut agent = DfpAgent::new(tiny_cfg(), 9);
-        let mut snap = agent.snapshot();
+        let snap = agent.snapshot();
         let mut rng = StdRng::seed_from_u64(1);
         let state = vec![0.3; 12];
         let meas = vec![0.4, 0.6];

@@ -1,0 +1,677 @@
+//! The scenario evaluation harness: a declarative [`EvalPlan`]
+//! (`policies × scenarios × seeds`) executed as a worker-threaded grid
+//! with a deterministic merge, yielding an [`EvalGrid`] of per-cell
+//! [`SimReport`]s plus multi-seed [`Aggregate`]s and one shared
+//! CSV/table emitter.
+//!
+//! # Determinism
+//!
+//! Every cell is a pure function of `(policy spec, scenario, seed)`:
+//! evaluation episodes are materialized through
+//! [`Scenario::materialize`] with a seed-derived episode index,
+//! learnable policies are trained from a seed-derived context, and
+//! stateless/seeded policies are reused across cells only through
+//! [`mrsim::Policy::reset`] (which restores their initial state
+//! bit-exactly). Worker count is therefore a wall-clock knob, never a
+//! semantics knob — the same guarantee the training engine makes for
+//! rollout workers.
+
+use crate::registry::{BuildContext, PolicySpec};
+use crate::table;
+use mrsch::prelude::*;
+use mrsch_workload::scenario::mix_seed;
+use std::collections::HashMap;
+
+/// Salt decorrelating a grid cell's *evaluation* episode from the
+/// training episodes (`0..n`) materialized from the same scenario.
+const EVAL_EPISODE_SALT: u64 = 0xE7A1_0001;
+
+/// Salt decorrelating the default training stream from the evaluation
+/// stream of the same scenario.
+const TRAIN_SCENARIO_SALT: u64 = 0x7121_0002;
+
+/// Salt deriving the (grid-seed-independent) build seed of reusable
+/// non-learnable policies.
+const POLICY_BUILD_SALT: u64 = 0xB01D_0003;
+
+/// The default training curriculum of a scenario: one phase of the
+/// scenario itself (seed-shifted so training episodes never coincide
+/// with evaluation episodes), for `episodes` episodes. Plans use this
+/// for learnable policies when no explicit curriculum is attached.
+pub fn default_training_curriculum(scenario: &Scenario, episodes: usize) -> Curriculum {
+    let mut train = scenario.clone();
+    train.name = format!("{}-train", scenario.name);
+    train.seed = mix_seed(scenario.seed, TRAIN_SCENARIO_SALT);
+    Curriculum::new().phase(CurriculumPhase::new(train, episodes.max(1)))
+}
+
+/// Parse a seed specification: either a half-open range `a..b` or a
+/// comma-separated list (`0..4` → `[0, 1, 2, 3]`; `1,5,9` → `[1, 5, 9]`).
+pub fn parse_seed_spec(s: &str) -> Result<Vec<u64>, String> {
+    let s = s.trim();
+    if let Some((a, b)) = s.split_once("..") {
+        let lo: u64 = a.trim().parse().map_err(|_| format!("bad seed range start '{a}'"))?;
+        let hi: u64 = b.trim().parse().map_err(|_| format!("bad seed range end '{b}'"))?;
+        if hi <= lo {
+            return Err(format!("empty seed range '{s}'"));
+        }
+        return Ok((lo..hi).collect());
+    }
+    let seeds: Result<Vec<u64>, _> = s
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| p.trim().parse::<u64>().map_err(|_| format!("bad seed '{p}'")))
+        .collect();
+    let seeds = seeds?;
+    if seeds.is_empty() {
+        return Err("no seeds given".into());
+    }
+    Ok(seeds)
+}
+
+/// A declarative evaluation grid: run every policy on every scenario
+/// under every seed.
+#[derive(Clone, Debug)]
+pub struct EvalPlan {
+    /// Base (unextended) system; each scenario's workload spec resolves
+    /// its own system from this (e.g. adding a third resource).
+    pub base_system: SystemConfig,
+    /// The policies to evaluate (names must be unique).
+    pub policies: Vec<PolicySpec>,
+    /// The scenarios to evaluate on (names must be unique).
+    pub scenarios: Vec<Scenario>,
+    /// The seeds of the replication axis.
+    pub seeds: Vec<u64>,
+    trainer: TrainerConfig,
+    train_episodes: usize,
+    scenario_train: Vec<Option<Curriculum>>,
+    policy_train: Vec<Option<Curriculum>>,
+    workers: usize,
+    dfp_config: Option<DfpConfig>,
+}
+
+impl EvalPlan {
+    /// A plan over the full grid `policies × scenarios × seeds`.
+    ///
+    /// # Panics
+    /// Panics on an empty axis or duplicate policy/scenario names —
+    /// names are the grid's coordinates. Duplicate *seeds* are allowed
+    /// on purpose: running the same seed twice is the harness-level
+    /// determinism probe (`multi_seed` pins std == 0 this way); user
+    /// entry points like the CLI reject them instead, where they would
+    /// silently double-count a replication.
+    pub fn new(
+        base_system: SystemConfig,
+        policies: Vec<PolicySpec>,
+        scenarios: Vec<Scenario>,
+        seeds: Vec<u64>,
+    ) -> Self {
+        assert!(!policies.is_empty(), "EvalPlan needs at least one policy");
+        assert!(!scenarios.is_empty(), "EvalPlan needs at least one scenario");
+        assert!(!seeds.is_empty(), "EvalPlan needs at least one seed");
+        let mut names: Vec<String> = policies.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), policies.len(), "duplicate policy names in plan");
+        let mut snames: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        snames.sort();
+        snames.dedup();
+        assert_eq!(snames.len(), scenarios.len(), "duplicate scenario names in plan");
+        let ns = scenarios.len();
+        let np = policies.len();
+        Self {
+            base_system,
+            policies,
+            scenarios,
+            seeds,
+            trainer: TrainerConfig::default(),
+            train_episodes: 4,
+            scenario_train: vec![None; ns],
+            policy_train: vec![None; np],
+            workers: 0,
+            dfp_config: None,
+        }
+    }
+
+    /// Engine knobs for learnable-policy training (rollout workers,
+    /// round size, gradient steps per episode).
+    pub fn trainer(mut self, cfg: TrainerConfig) -> Self {
+        self.trainer = cfg;
+        self
+    }
+
+    /// Episodes of the default (scenario-derived) training curriculum.
+    pub fn train_episodes(mut self, n: usize) -> Self {
+        self.train_episodes = n.max(1);
+        self
+    }
+
+    /// Attach an explicit training curriculum to scenario `idx`
+    /// (learnable policies evaluated on that scenario train on it
+    /// instead of the scenario's own default stream).
+    pub fn scenario_training(mut self, idx: usize, curriculum: Curriculum) -> Self {
+        self.scenario_train[idx] = Some(curriculum);
+        self
+    }
+
+    /// Attach an explicit training curriculum to policy `idx` — the
+    /// strongest override (e.g. a clean-trained vs a hardened MRSch in
+    /// one plan).
+    pub fn policy_training(mut self, idx: usize, curriculum: Curriculum) -> Self {
+        self.policy_train[idx] = Some(curriculum);
+        self
+    }
+
+    /// Grid worker threads (`0` = auto: one per cell up to the
+    /// available parallelism). Never changes results, only wall-clock.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Architecture override for MRSch policies (tiny networks in
+    /// tests).
+    pub fn dfp_config(mut self, cfg: DfpConfig) -> Self {
+        self.dfp_config = Some(cfg);
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.policies.len() * self.scenarios.len() * self.seeds.len()
+    }
+
+    /// Execute the full grid and collect every cell, in
+    /// `(policy, scenario, seed)`-major order regardless of scheduling.
+    pub fn run(&self) -> EvalGrid {
+        let np = self.policies.len();
+        let ns = self.scenarios.len();
+        let nk = self.seeds.len();
+        let n = np * ns * nk;
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.workers
+        }
+        .clamp(1, n);
+        let mut slots: Vec<Option<EvalCell>> = (0..n).map(|_| None).collect();
+        if workers == 1 {
+            let mut cache = HashMap::new();
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.run_cell(idx, ns, nk, &mut cache));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut cache = HashMap::new();
+                            let mut out = Vec::new();
+                            let mut idx = w;
+                            while idx < n {
+                                out.push((idx, self.run_cell(idx, ns, nk, &mut cache)));
+                                idx += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (idx, cell) in h.join().expect("grid worker panicked") {
+                        slots[idx] = Some(cell);
+                    }
+                }
+            });
+        }
+        EvalGrid { cells: slots.into_iter().map(|c| c.expect("every cell ran")).collect() }
+    }
+
+    /// Run one grid cell. `cache` holds this worker's reusable
+    /// non-learnable policy instances keyed by `(policy, scenario)`;
+    /// [`mrsim::Policy::reset`] guarantees a cached instance behaves
+    /// exactly like a fresh one, so which worker owns which cell never
+    /// shows in the results.
+    fn run_cell(
+        &self,
+        idx: usize,
+        ns: usize,
+        nk: usize,
+        cache: &mut HashMap<(usize, usize), Box<dyn Policy + Send>>,
+    ) -> EvalCell {
+        let pi = idx / (ns * nk);
+        let si = (idx / nk) % ns;
+        let seed = self.seeds[idx % nk];
+        let scenario = &self.scenarios[si];
+        let spec = &self.policies[pi];
+        let system = scenario.spec.system_for(&self.base_system);
+        let episode = scenario.materialize(&system, mix_seed(seed, EVAL_EPISODE_SALT));
+        let report = if spec.is_learnable() {
+            let fallback;
+            let curriculum = match self.policy_train[pi]
+                .as_ref()
+                .or(self.scenario_train[si].as_ref())
+            {
+                Some(c) => c,
+                None => {
+                    fallback = default_training_curriculum(scenario, self.train_episodes);
+                    &fallback
+                }
+            };
+            for phase in curriculum.phases() {
+                assert_eq!(
+                    phase.scenario.params.window, scenario.params.window,
+                    "training and evaluation windows must match (policy '{}', scenario '{}')",
+                    spec.name(), scenario.name
+                );
+            }
+            let ctx = BuildContext {
+                system: &system,
+                params: scenario.params,
+                seed,
+                train: Some(curriculum),
+                trainer: self.trainer.clone(),
+                dfp_config: self.dfp_config.as_ref(),
+            };
+            let mut policy = spec.build(&ctx);
+            run_episode(&system, &episode, policy.as_mut())
+        } else {
+            // Reusable policies are built with a grid-seed-independent
+            // seed so a cached instance (reset between cells) and a
+            // fresh one are interchangeable.
+            let ctx = BuildContext::new(
+                &system,
+                scenario.params,
+                mix_seed(scenario.seed, POLICY_BUILD_SALT ^ pi as u64),
+            );
+            let policy = cache.entry((pi, si)).or_insert_with(|| spec.build(&ctx));
+            policy.reset();
+            run_episode(&system, &episode, policy.as_mut())
+        };
+        EvalCell { policy: spec.name(), scenario: scenario.name.clone(), seed, report }
+    }
+}
+
+/// Run one materialized episode under a policy.
+fn run_episode(system: &SystemConfig, episode: &EpisodeSpec, policy: &mut dyn Policy) -> SimReport {
+    let mut sim = Simulator::new(system.clone(), episode.jobs.clone(), episode.params)
+        .expect("scenario jobs must fit the system");
+    sim.inject_all(&episode.events).expect("scenario events reference this job set");
+    sim.run(policy)
+}
+
+/// One `(policy, scenario, seed)` result.
+#[derive(Clone, Debug)]
+pub struct EvalCell {
+    /// Policy name ([`PolicySpec::name`]).
+    pub policy: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Grid seed.
+    pub seed: u64,
+    /// The full simulator report (disruption counters included).
+    pub report: SimReport,
+}
+
+/// Aggregated metric: mean ± population standard deviation over seeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregate {
+    /// Mean over seeds.
+    pub mean: f64,
+    /// Population standard deviation over seeds.
+    pub std: f64,
+}
+
+impl Aggregate {
+    /// Aggregate a sample.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+/// Seed-aggregated metrics of one `(policy, scenario)` pair.
+#[derive(Clone, Debug)]
+pub struct AggregateRow {
+    /// Policy name.
+    pub policy: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Utilization of resource 0 (nodes).
+    pub node_util: Aggregate,
+    /// Utilization of resource 1 (burst buffer; 0 when absent).
+    pub bb_util: Aggregate,
+    /// Average job wait, hours.
+    pub avg_wait_h: Aggregate,
+    /// Average bounded slowdown.
+    pub avg_slowdown: Aggregate,
+    /// Makespan, seconds.
+    pub makespan_s: Aggregate,
+    /// Jobs cancelled (disruptions).
+    pub cancelled: Aggregate,
+    /// Jobs killed at their walltime (disruptions).
+    pub killed: Aggregate,
+}
+
+/// Every cell of an executed [`EvalPlan`], with aggregation and CSV
+/// emission — the single result type all retrofitted drivers share.
+#[derive(Clone, Debug, Default)]
+pub struct EvalGrid {
+    /// All cells in `(policy, scenario, seed)`-major plan order.
+    pub cells: Vec<EvalCell>,
+}
+
+impl EvalGrid {
+    /// Merge several grids (e.g. per-seed plans run separately) into
+    /// one, concatenating cells in order.
+    pub fn merge(grids: impl IntoIterator<Item = EvalGrid>) -> EvalGrid {
+        EvalGrid { cells: grids.into_iter().flat_map(|g| g.cells).collect() }
+    }
+
+    /// Policy names in first-appearance order.
+    pub fn policies(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.policy) {
+                out.push(c.policy.clone());
+            }
+        }
+        out
+    }
+
+    /// Scenario names in first-appearance order.
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.scenario) {
+                out.push(c.scenario.clone());
+            }
+        }
+        out
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, policy: &str, scenario: &str, seed: u64) -> Option<&EvalCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.scenario == scenario && c.seed == seed)
+    }
+
+    /// Seed-aggregate one `(policy, scenario)` pair (`None` when no
+    /// cell matches).
+    pub fn aggregate(&self, policy: &str, scenario: &str) -> Option<AggregateRow> {
+        let reports: Vec<&SimReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.policy == policy && c.scenario == scenario)
+            .map(|c| &c.report)
+            .collect();
+        if reports.is_empty() {
+            return None;
+        }
+        let pick = |f: &dyn Fn(&SimReport) -> f64| -> Aggregate {
+            Aggregate::of(&reports.iter().map(|r| f(r)).collect::<Vec<f64>>())
+        };
+        Some(AggregateRow {
+            policy: policy.to_string(),
+            scenario: scenario.to_string(),
+            seeds: reports.len(),
+            node_util: pick(&|r| r.resource_utilization[0]),
+            bb_util: pick(&|r| r.resource_utilization.get(1).copied().unwrap_or(0.0)),
+            avg_wait_h: pick(&|r| r.avg_wait_hours()),
+            avg_slowdown: pick(&|r| r.avg_slowdown),
+            makespan_s: pick(&|r| r.makespan as f64),
+            cancelled: pick(&|r| r.jobs_cancelled as f64),
+            killed: pick(&|r| r.jobs_killed as f64),
+        })
+    }
+
+    /// Seed-aggregated rows for every `(policy, scenario)` pair, in
+    /// first-appearance order.
+    pub fn aggregate_rows(&self) -> Vec<AggregateRow> {
+        let mut out = Vec::new();
+        for scenario in self.scenarios() {
+            for policy in self.policies() {
+                if let Some(row) = self.aggregate(&policy, &scenario) {
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-cell CSV (one row per grid cell).
+    pub fn cell_csv(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
+        let header = vec![
+            "policy",
+            "scenario",
+            "seed",
+            "node_util",
+            "bb_util",
+            "avg_wait_h",
+            "avg_slowdown",
+            "makespan_s",
+            "completed",
+            "cancelled",
+            "killed",
+            "unfinished",
+        ];
+        let rows = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.policy.clone(),
+                    c.scenario.clone(),
+                    c.seed.to_string(),
+                    table::f(c.report.resource_utilization[0]),
+                    table::f(c.report.resource_utilization.get(1).copied().unwrap_or(0.0)),
+                    table::f(c.report.avg_wait_hours()),
+                    table::f(c.report.avg_slowdown),
+                    c.report.makespan.to_string(),
+                    c.report.jobs_completed.to_string(),
+                    c.report.jobs_cancelled.to_string(),
+                    c.report.jobs_killed.to_string(),
+                    c.report.jobs_unfinished.to_string(),
+                ]
+            })
+            .collect();
+        (header, rows)
+    }
+
+    /// Seed-aggregated CSV (one row per `(policy, scenario)` with
+    /// mean ± std columns).
+    pub fn aggregate_csv(&self) -> (Vec<&'static str>, Vec<Vec<String>>) {
+        let header = vec![
+            "policy",
+            "scenario",
+            "seeds",
+            "node_util_mean",
+            "node_util_std",
+            "bb_util_mean",
+            "bb_util_std",
+            "avg_wait_h_mean",
+            "avg_wait_h_std",
+            "avg_slowdown_mean",
+            "avg_slowdown_std",
+            "makespan_s_mean",
+            "makespan_s_std",
+        ];
+        let rows = self
+            .aggregate_rows()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.clone(),
+                    r.scenario.clone(),
+                    r.seeds.to_string(),
+                    table::f(r.node_util.mean),
+                    table::f(r.node_util.std),
+                    table::f(r.bb_util.mean),
+                    table::f(r.bb_util.std),
+                    table::f(r.avg_wait_h.mean),
+                    table::f(r.avg_wait_h.std),
+                    table::f(r.avg_slowdown.mean),
+                    table::f(r.avg_slowdown.std),
+                    table::f(r.makespan_s.mean),
+                    table::f(r.makespan_s.std),
+                ]
+            })
+            .collect();
+        (header, rows)
+    }
+
+    /// Human-readable aggregate table.
+    pub fn render_aggregate_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<16} {:>5} {:>16} {:>16} {:>16} {:>16}\n",
+            "policy", "scenario", "seeds", "node util", "bb util", "wait (h)", "slowdown"
+        ));
+        for r in self.aggregate_rows() {
+            let fmt = |a: &Aggregate| format!("{:.3} ± {:.3}", a.mean, a.std);
+            out.push_str(&format!(
+                "{:<16} {:<16} {:>5} {:>16} {:>16} {:>16} {:>16}\n",
+                r.policy,
+                r.scenario,
+                r.seeds,
+                fmt(&r.node_util),
+                fmt(&r.bb_util),
+                fmt(&r.avg_wait_h),
+                fmt(&r.avg_slowdown),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario(name: &str, jobs: usize, seed: u64) -> Scenario {
+        Scenario::new(
+            name,
+            JobSource::Theta(ThetaConfig {
+                machine_nodes: 16,
+                mean_interarrival: 120.0,
+                ..ThetaConfig::scaled(jobs)
+            }),
+            WorkloadSpec::s1(),
+            SimParams::new(4, true),
+        )
+        .with_seed(seed)
+    }
+
+    fn tiny_plan(policies: Vec<PolicySpec>, seeds: Vec<u64>) -> EvalPlan {
+        EvalPlan::new(
+            SystemConfig::two_resource(16, 8),
+            policies,
+            vec![tiny_scenario("clean", 18, 5)],
+            seeds,
+        )
+    }
+
+    #[test]
+    fn grid_covers_every_cell_in_plan_order() {
+        let plan = tiny_plan(
+            vec![PolicySpec::Fcfs, PolicySpec::parse("list:lpt").unwrap()],
+            vec![1, 2],
+        );
+        assert_eq!(plan.cell_count(), 4);
+        let grid = plan.run();
+        assert_eq!(grid.cells.len(), 4);
+        let coords: Vec<(String, u64)> =
+            grid.cells.iter().map(|c| (c.policy.clone(), c.seed)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                ("fcfs".into(), 1),
+                ("fcfs".into(), 2),
+                ("list:lpt".into(), 1),
+                ("list:lpt".into(), 2)
+            ]
+        );
+        for c in &grid.cells {
+            assert!(c.report.jobs_completed > 0, "{}/{}", c.policy, c.seed);
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        let mk = || {
+            tiny_plan(
+                vec![PolicySpec::Fcfs, PolicySpec::Ga, PolicySpec::parse("list:sjf").unwrap()],
+                vec![3, 4],
+            )
+        };
+        let serial = mk().workers(1).run();
+        let parallel = mk().workers(4).run();
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.report, b.report, "{} seed {} drifted", a.policy, a.seed);
+        }
+    }
+
+    #[test]
+    fn cached_instances_match_fresh_instances() {
+        // Two seeds share one cached GA instance per worker; serially
+        // the second cell runs on a reset instance. Rerunning the plan
+        // (fresh instances) must reproduce both cells bit-identically.
+        let plan = tiny_plan(vec![PolicySpec::Ga], vec![9, 10]);
+        let once = plan.clone().workers(1).run();
+        let twice = plan.workers(1).run();
+        for (a, b) in once.cells.iter().zip(&twice.cells) {
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn aggregates_and_csv_cover_the_grid() {
+        let grid = tiny_plan(vec![PolicySpec::Fcfs], vec![1, 2, 3]).run();
+        let row = grid.aggregate("fcfs", "clean").expect("aggregate exists");
+        assert_eq!(row.seeds, 3);
+        assert!(row.node_util.mean > 0.0);
+        assert!(row.node_util.std >= 0.0);
+        let (header, rows) = grid.cell_csv();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), header.len());
+        let (aheader, arows) = grid.aggregate_csv();
+        assert_eq!(arows.len(), 1);
+        assert_eq!(arows[0].len(), aheader.len());
+        assert!(grid.render_aggregate_table().contains("fcfs"));
+    }
+
+    #[test]
+    fn seed_specs_parse() {
+        assert_eq!(parse_seed_spec("0..4").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_seed_spec("1,5, 9").unwrap(), vec![1, 5, 9]);
+        assert_eq!(parse_seed_spec("7").unwrap(), vec![7]);
+        assert!(parse_seed_spec("4..4").is_err());
+        assert!(parse_seed_spec("x").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate policy names")]
+    fn duplicate_policies_rejected() {
+        let _ = tiny_plan(vec![PolicySpec::Fcfs, PolicySpec::Fcfs], vec![1]);
+    }
+
+    #[test]
+    fn default_training_curriculum_decorrelates_from_eval() {
+        let scenario = tiny_scenario("clean", 12, 3);
+        let cur = default_training_curriculum(&scenario, 3);
+        assert_eq!(cur.total_episodes(), 3);
+        let system = SystemConfig::two_resource(16, 8);
+        let train_ep = cur.phases()[0].scenario.materialize(&system, 0);
+        let eval_ep = scenario.materialize(&system, mix_seed(0, EVAL_EPISODE_SALT));
+        assert_ne!(train_ep.jobs, eval_ep.jobs, "train and eval streams must differ");
+    }
+}

@@ -1,0 +1,56 @@
+//! **mrsch-eval** — the unified policy registry and scenario evaluation
+//! harness: "run policy P on scenario S" as a first-class, one-call
+//! operation.
+//!
+//! The MRSch paper's headline results are cross-policy comparisons
+//! (MRSch vs FCFS vs GA vs scalar-RL across workloads, seeds and
+//! disruptions). This crate gives that comparison a single API instead
+//! of per-driver plumbing:
+//!
+//! * [`registry::PolicySpec`] — a string-addressable policy
+//!   (`"fcfs"`, `"list:lpt"`, `"ga"`, `"scalar-rl"`, `"mrsch"`, ...)
+//!   that knows how to build, optionally **train** (through the
+//!   `mrsch::engine` curriculum machinery) and instantiate a boxed
+//!   [`mrsim::Policy`] for evaluation;
+//! * [`harness::EvalPlan`] — `policies × scenarios × seeds`, executed
+//!   as a worker-threaded grid with a deterministic merge (worker count
+//!   never changes results);
+//! * [`harness::EvalGrid`] — per-cell `SimReport`s, multi-seed
+//!   [`harness::Aggregate`]s, and one shared CSV/table emitter
+//!   ([`table`]);
+//! * [`scenarios`] — named disruption presets (`clean`,
+//!   `cancel-heavy`, `overrun-heavy`, `drain`, `mixed`).
+//!
+//! ```
+//! use mrsch_eval::{EvalPlan, PolicySpec};
+//! use mrsch::prelude::*;
+//!
+//! let scenario = Scenario::new(
+//!     "clean",
+//!     JobSource::Theta(ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(15) }),
+//!     WorkloadSpec::s1(),
+//!     SimParams::new(4, true),
+//! );
+//! let grid = EvalPlan::new(
+//!     SystemConfig::two_resource(16, 8),
+//!     vec![PolicySpec::Fcfs, PolicySpec::Ga],
+//!     vec![scenario],
+//!     vec![1, 2],
+//! )
+//! .run();
+//! assert_eq!(grid.cells.len(), 4);
+//! let fcfs = grid.aggregate("fcfs", "clean").unwrap();
+//! assert_eq!(fcfs.seeds, 2);
+//! ```
+
+pub mod harness;
+pub mod registry;
+pub mod scenarios;
+pub mod table;
+
+pub use harness::{
+    default_training_curriculum, parse_seed_spec, Aggregate, AggregateRow, EvalCell, EvalGrid,
+    EvalPlan,
+};
+pub use registry::{trained_mrsch, BuildContext, MrschSpec, PolicySpec};
+pub use scenarios::{named_scenario, named_scenarios, scenario_names};

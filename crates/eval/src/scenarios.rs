@@ -1,0 +1,189 @@
+//! Named scenario presets: the disruption families every driver and the
+//! CLI `evaluate` subcommand can request by name (`clean`,
+//! `cancel-heavy`, `overrun-heavy`, `drain`, `mixed`).
+//!
+//! A preset is just a [`Scenario`] recipe: the caller supplies *where
+//! jobs come from* and the preset layers the disruption family on top,
+//! deriving drain timing from the source's submit horizon (a drain a
+//! third of the way into the trace, paper-style).
+
+use mrsch::prelude::*;
+use mrsch_workload::scenario::mix_seed;
+
+/// The registered scenario names, in canonical order.
+pub fn scenario_names() -> [&'static str; 5] {
+    ["clean", "cancel-heavy", "overrun-heavy", "drain", "mixed"]
+}
+
+/// Max submit time of a probe trace of the source — the horizon used to
+/// place drains proportionally.
+fn submit_horizon(source: &JobSource, seed: u64) -> u64 {
+    source
+        .trace(mix_seed(seed, 1))
+        .iter()
+        .map(|t| t.submit)
+        .max()
+        .unwrap_or(0)
+}
+
+/// A 25 % node drain a third of the way into the horizon, lasting a
+/// third of the horizon (at least one simulated hour).
+fn drain_spec(horizon: u64) -> DrainSpec {
+    DrainSpec {
+        resource: 0,
+        fraction: 0.25,
+        at: horizon / 3,
+        duration: (horizon / 3).max(3600),
+    }
+}
+
+/// Build a named scenario over the given job source and workload spec.
+///
+/// Accepted names (underscores and hyphens are interchangeable):
+/// * `clean` — no disruptions,
+/// * `cancel-heavy` — 20 % user cancellations + 10 % walltime overruns,
+/// * `overrun-heavy` — 25 % overruns at 2× the estimate + 5 % cancels,
+/// * `drain` — a 25 % node drain a third of the way into the trace,
+/// * `mixed` — cancels + overruns + the drain together.
+pub fn named_scenario(
+    name: &str,
+    source: JobSource,
+    spec: WorkloadSpec,
+    params: SimParams,
+    seed: u64,
+) -> Result<Scenario, String> {
+    let norm = name.trim().to_lowercase().replace('_', "-");
+    let clean = Scenario::new("clean", source, spec, params).with_seed(seed);
+    let scenario = match norm.as_str() {
+        "clean" => clean,
+        "cancel-heavy" => clean.with_disruption(
+            "cancel-heavy",
+            DisruptionConfig {
+                cancel_fraction: 0.2,
+                overrun_fraction: 0.1,
+                overrun_factor: 1.5,
+                drains: Vec::new(),
+            },
+        ),
+        "overrun-heavy" => clean.with_disruption(
+            "overrun-heavy",
+            DisruptionConfig {
+                cancel_fraction: 0.05,
+                overrun_fraction: 0.25,
+                overrun_factor: 2.0,
+                drains: Vec::new(),
+            },
+        ),
+        "drain" => {
+            let horizon = submit_horizon(&clean.source, seed);
+            clean.with_disruption(
+                "drain",
+                DisruptionConfig { drains: vec![drain_spec(horizon)], ..Default::default() },
+            )
+        }
+        "mixed" => {
+            let horizon = submit_horizon(&clean.source, seed);
+            clean.with_disruption(
+                "mixed",
+                DisruptionConfig {
+                    cancel_fraction: 0.15,
+                    overrun_fraction: 0.1,
+                    overrun_factor: 1.5,
+                    drains: vec![drain_spec(horizon)],
+                },
+            )
+        }
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (expected one of: {})",
+                scenario_names().join(", ")
+            ))
+        }
+    };
+    Ok(scenario)
+}
+
+/// Parse a comma-separated scenario-name list over one shared source;
+/// `all` expands to every registered name.
+pub fn named_scenarios(
+    names: &str,
+    source: &JobSource,
+    spec: &WorkloadSpec,
+    params: SimParams,
+    seed: u64,
+) -> Result<Vec<Scenario>, String> {
+    let expanded: Vec<String> = if names.trim().eq_ignore_ascii_case("all") {
+        scenario_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        names
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().to_string())
+            .collect()
+    };
+    if expanded.is_empty() {
+        return Err("no scenarios given".into());
+    }
+    expanded
+        .iter()
+        .map(|n| named_scenario(n, source.clone(), spec.clone(), params, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::event::EventKind;
+
+    fn source() -> JobSource {
+        JobSource::Theta(ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(30) })
+    }
+
+    #[test]
+    fn every_registered_name_builds() {
+        for name in scenario_names() {
+            let s = named_scenario(name, source(), WorkloadSpec::s1(), SimParams::new(4, true), 7)
+                .unwrap();
+            assert_eq!(s.name, name);
+        }
+        assert!(named_scenario("bogus", source(), WorkloadSpec::s1(), SimParams::new(4, true), 7)
+            .is_err());
+    }
+
+    #[test]
+    fn drain_scenario_emits_capacity_events() {
+        let s = named_scenario("drain", source(), WorkloadSpec::s1(), SimParams::new(4, true), 7)
+            .unwrap();
+        let ep = s.materialize(&SystemConfig::two_resource(32, 12), 0);
+        assert!(ep
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CapacityChange { .. })));
+    }
+
+    #[test]
+    fn overruns_switch_on_walltime_enforcement() {
+        let s = named_scenario(
+            "overrun_heavy",
+            source(),
+            WorkloadSpec::s1(),
+            SimParams::new(4, true),
+            7,
+        )
+        .unwrap();
+        assert!(s.params.enforce_walltime);
+        assert_eq!(s.name, "overrun-heavy", "underscores normalize to hyphens");
+    }
+
+    #[test]
+    fn all_expands_to_every_name() {
+        let list =
+            named_scenarios("all", &source(), &WorkloadSpec::s1(), SimParams::new(4, true), 3)
+                .unwrap();
+        assert_eq!(list.len(), scenario_names().len());
+        let two =
+            named_scenarios("clean,drain", &source(), &WorkloadSpec::s1(), SimParams::new(4, true), 3)
+                .unwrap();
+        assert_eq!(two.len(), 2);
+    }
+}

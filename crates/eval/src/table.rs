@@ -1,0 +1,85 @@
+//! Shared CSV/table emission helpers (no external dependency).
+//!
+//! Every experiment binary and the evaluation harness emit tables
+//! through these helpers so the quoting rules live in one place
+//! (`mrsch_experiments::csv` re-exports this module for the figure
+//! drivers).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render rows as CSV. Fields containing commas/quotes/newlines are
+/// quoted with doubled inner quotes.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    writeln_row(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        writeln_row(&mut out, row);
+    }
+    out
+}
+
+fn writeln_row(out: &mut String, row: &[String]) {
+    let line = row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",");
+    let _ = writeln!(out, "{line}");
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write CSV to `results/<name>.csv` relative to the workspace root
+/// (creating the directory), returning the path written.
+pub fn write_results(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, to_csv(header, rows))?;
+    Ok(path.display().to_string())
+}
+
+/// Write CSV to an explicit path (creating parent directories),
+/// returning the path written.
+pub fn write_csv_to(path: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<String> {
+    let p = Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(p, to_csv(header, rows))?;
+    Ok(p.display().to_string())
+}
+
+/// Format a float with 4 decimal places (the precision used in reports).
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        let csv = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn commas_and_quotes_escaped() {
+        let csv = to_csv(&["x"], &[vec!["a,b".into()], vec!["say \"hi\"".into()]]);
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f(2.0), "2.0000");
+    }
+}

@@ -1,21 +1,36 @@
-//! `mrsch_cli` — run MRSch and the baseline schedulers on SWF traces.
+//! `mrsch_cli` — run MRSch and the baseline schedulers on SWF traces,
+//! or evaluate whole policy × scenario × seed grids.
 //!
 //! ```text
-//! mrsch_cli --swf trace.swf --workload S4 --nodes 256 --bb 75 --policy mrsch
+//! mrsch_cli simulate --swf trace.swf --workload S4 --nodes 256 --bb 75 --policy mrsch
+//! mrsch_cli evaluate --policy fcfs,mrsch --scenario drain --seeds 0..4
 //! ```
 use mrsch_experiments::cli;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: mrsch_cli [simulate] --swf FILE [--workload S1..S10] [--nodes N] [--bb B] \
+         [--policy fcfs|sjf|ljf|ga|mrsch] [--window W] [--seed S] \
+         [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt]\n\
+         \n\
+         mrsch_cli evaluate --policy P1,P2|all --scenario clean,cancel-heavy,overrun-heavy,\
+         drain,mixed|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
+         [--jobs N | --swf FILE] [--train-episodes K] [--workers N] [--csv GRID.csv]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!(
-            "usage: mrsch_cli --swf FILE [--workload S1..S10] [--nodes N] [--bb B] \
-             [--policy fcfs|sjf|ljf|ga|mrsch] [--window W] [--seed S] \
-             [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt]"
-        );
-        std::process::exit(2);
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
     }
-    match cli::main_with_args(&args) {
+    let result = match args[0].as_str() {
+        "evaluate" => cli::evaluate_main(&args[1..]),
+        "simulate" => cli::main_with_args(&args[1..]),
+        _ => cli::main_with_args(&args),
+    };
+    match result {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -8,12 +8,22 @@
 //!           [--curriculum clean|harden] [--workers N] \
 //!           [--cancel-frac F] [--overrun-frac F] [--drain-frac F] \
 //!           [--replay-swf-cancels | --replay-swf-cancels-faithful]
+//!
+//! mrsch_cli evaluate --policy fcfs,mrsch[,all,...] \
+//!           --scenario clean|cancel-heavy|overrun-heavy|drain|mixed[,...] \
+//!           --seeds 0..4 [--workload S1] [--nodes N] [--bb B] [--window W] \
+//!           [--jobs N | --swf FILE] [--train-episodes K] [--workers N] \
+//!           [--csv grid.csv]
 //! ```
 //!
-//! `--curriculum harden` trains MRSch through the clean → cancel-heavy
-//! → drain-heavy scenario curriculum (episodes per phase =
-//! `--train-episodes`) with `--workers` parallel rollout threads;
-//! worker count never changes the result, only the wall-clock.
+//! `evaluate` runs the full registry-driven evaluation grid
+//! (`policies × scenarios × seeds`) through `mrsch_eval::EvalPlan` and
+//! prints the **seed-aggregated CSV** to stdout (`--csv` additionally
+//! writes the per-cell grid). `--curriculum harden` trains MRSch
+//! through the clean → cancel-heavy → drain-heavy scenario curriculum
+//! (episodes per phase = `--train-episodes`) with `--workers` parallel
+//! rollout threads; worker count never changes the result, only the
+//! wall-clock.
 //!
 //! Argument parsing is hand-rolled (the offline dependency policy has no
 //! clap) and lives here, separately from the thin binary, so it is unit
@@ -23,6 +33,7 @@ use crate::csv;
 use mrsch::prelude::*;
 use mrsch_baselines::heuristics::{ListOrder, ListPolicy};
 use mrsch_baselines::{FcfsPolicy, GaPolicy};
+use mrsch_eval::{EvalPlan, PolicySpec};
 use mrsch_workload::disruption::{
     swf_cancel_events, swf_relative_cancels, DisruptionConfig, DrainSpec,
 };
@@ -453,6 +464,177 @@ pub fn render_report(args: &CliArgs, report: &SimReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// The `evaluate` subcommand: registry-driven policy × scenario × seed grids.
+// ---------------------------------------------------------------------------
+
+/// Parsed `evaluate` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalCliArgs {
+    /// Policies to evaluate (from [`PolicySpec::parse_list`]).
+    pub policies: Vec<PolicySpec>,
+    /// Scenario names (comma list or `all`), raw.
+    pub scenarios: String,
+    /// Grid seeds.
+    pub seeds: Vec<u64>,
+    /// Workload spec name ("S1"…"S10").
+    pub workload: String,
+    /// Machine nodes.
+    pub nodes: u64,
+    /// Burst-buffer units.
+    pub bb: u64,
+    /// Window size.
+    pub window: usize,
+    /// Synthetic trace length (ignored with `--swf`).
+    pub jobs: usize,
+    /// Scenario-level seed (job synthesis / disruption placement).
+    pub seed: u64,
+    /// Training episodes for learnable policies.
+    pub train_episodes: usize,
+    /// Rollout worker threads for MRSch training.
+    pub workers: usize,
+    /// Optional SWF trace as the shared job source.
+    pub swf: Option<String>,
+    /// Optional path for the per-cell grid CSV.
+    pub csv_out: Option<String>,
+}
+
+/// Parse `evaluate`-style arguments (everything after the subcommand).
+pub fn parse_eval_args(args: &[String]) -> Result<EvalCliArgs, String> {
+    let mut out = EvalCliArgs {
+        policies: vec![PolicySpec::Fcfs],
+        scenarios: "clean".into(),
+        seeds: vec![1],
+        workload: "S1".into(),
+        nodes: 64,
+        bb: 20,
+        window: 5,
+        jobs: 80,
+        seed: 1,
+        train_episodes: 3,
+        workers: 1,
+        swf: None,
+        csv_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--policy" => out.policies = PolicySpec::parse_list(&value("--policy")?)?,
+            "--scenario" => out.scenarios = value("--scenario")?,
+            "--seeds" => out.seeds = mrsch_eval::parse_seed_spec(&value("--seeds")?)?,
+            "--workload" => out.workload = value("--workload")?.to_uppercase(),
+            "--nodes" => {
+                out.nodes = value("--nodes")?.parse().map_err(|_| "--nodes: not a number")?
+            }
+            "--bb" => out.bb = value("--bb")?.parse().map_err(|_| "--bb: not a number")?,
+            "--window" => {
+                out.window = value("--window")?.parse().map_err(|_| "--window: not a number")?
+            }
+            "--jobs" => {
+                out.jobs = value("--jobs")?.parse().map_err(|_| "--jobs: not a number")?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?.parse().map_err(|_| "--seed: not a number")?
+            }
+            "--train-episodes" => {
+                out.train_episodes = value("--train-episodes")?
+                    .parse()
+                    .map_err(|_| "--train-episodes: not a number")?
+            }
+            "--workers" => {
+                out.workers =
+                    value("--workers")?.parse().map_err(|_| "--workers: not a number")?
+            }
+            "--swf" => out.swf = Some(value("--swf")?),
+            "--csv" => out.csv_out = Some(value("--csv")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if out.policies.is_empty() {
+        return Err("--policy needs at least one policy".into());
+    }
+    if out.window == 0 {
+        return Err("--window must be positive".into());
+    }
+    if out.jobs == 0 {
+        return Err("--jobs must be positive".into());
+    }
+    if out.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    find_spec(&out.workload)?;
+    Ok(out)
+}
+
+/// Build the [`EvalPlan`] of a parsed `evaluate` invocation over an
+/// explicit job source (separated from I/O for testability).
+pub fn build_eval_plan(args: &EvalCliArgs, source: JobSource) -> Result<EvalPlan, String> {
+    let spec = find_spec(&args.workload)?;
+    let params = SimParams::new(args.window, true);
+    let scenarios =
+        mrsch_eval::named_scenarios(&args.scenarios, &source, &spec, params, args.seed)?;
+    // Names are the grid's coordinates; report duplicates (easy to hit
+    // through aliases like `fcfs,heuristic`) as clean CLI errors rather
+    // than tripping the plan's assertion.
+    reject_duplicates("--policy", args.policies.iter().map(|p| p.name()))?;
+    reject_duplicates("--scenario", scenarios.iter().map(|s| s.name.clone()))?;
+    reject_duplicates("--seeds", args.seeds.iter().map(|s| s.to_string()))?;
+    Ok(EvalPlan::new(
+        SystemConfig::two_resource(args.nodes, args.bb),
+        args.policies.clone(),
+        scenarios,
+        args.seeds.clone(),
+    )
+    .train_episodes(args.train_episodes)
+    .trainer(TrainerConfig::default().workers(args.workers)))
+}
+
+/// Error when a name appears more than once (after alias resolution).
+fn reject_duplicates(flag: &str, names: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut seen = Vec::new();
+    for name in names {
+        if seen.contains(&name) {
+            return Err(format!("{flag}: '{name}' given more than once"));
+        }
+        seen.push(name);
+    }
+    Ok(())
+}
+
+/// Full `evaluate` entry point: build the grid, run it, emit CSV.
+/// Returns the seed-aggregated CSV (stdout); `--csv` additionally
+/// writes the per-cell grid to disk.
+pub fn evaluate_main(args: &[String]) -> Result<String, String> {
+    let parsed = parse_eval_args(args)?;
+    let source = match &parsed.swf {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let trace = parse_swf(&text).map_err(|e| e.to_string())?;
+            if trace.is_empty() {
+                return Err("trace contains no usable jobs".into());
+            }
+            JobSource::Trace(trace)
+        }
+        None => JobSource::Theta(ThetaConfig {
+            machine_nodes: parsed.nodes,
+            ..ThetaConfig::scaled(parsed.jobs)
+        }),
+    };
+    let plan = build_eval_plan(&parsed, source)?;
+    let grid = plan.run();
+    if let Some(path) = &parsed.csv_out {
+        let (header, rows) = grid.cell_csv();
+        csv::write_csv_to(path, &header, &rows).map_err(|e| format!("--csv {path}: {e}"))?;
+        eprintln!("wrote per-cell grid ({} cells) to {path}", grid.cells.len());
+    }
+    let (header, rows) = grid.aggregate_csv();
+    Ok(csv::to_csv(&header, &rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +804,71 @@ mod tests {
             assert_eq!(r.end, r.start + trace[r.id].runtime);
         }
         assert!(report.all_jobs_accounted(30));
+    }
+
+    #[test]
+    fn parses_evaluate_args() {
+        let a = parse_eval_args(&args(&[
+            "--policy", "fcfs,mrsch", "--scenario", "clean,drain", "--seeds", "0..4",
+            "--nodes", "16", "--bb", "8", "--window", "4", "--jobs", "30",
+            "--train-episodes", "2", "--workers", "2", "--csv", "grid.csv",
+        ]))
+        .unwrap();
+        assert_eq!(a.policies.len(), 2);
+        assert_eq!(a.policies[1].name(), "mrsch");
+        assert_eq!(a.seeds, vec![0, 1, 2, 3]);
+        assert_eq!(a.csv_out.as_deref(), Some("grid.csv"));
+        assert!(parse_eval_args(&args(&["--policy", "bogus"])).is_err());
+        assert!(parse_eval_args(&args(&["--seeds", "9..3"])).is_err());
+        assert!(parse_eval_args(&args(&["--frobnicate", "1"])).is_err());
+    }
+
+    #[test]
+    fn evaluate_rejects_alias_duplicates_cleanly() {
+        // `fcfs` and `heuristic` are the same registry entry; the CLI
+        // must return an error, not trip the plan's internal assertion.
+        let source =
+            JobSource::Theta(ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(10) });
+        let dup_policy =
+            parse_eval_args(&args(&["--policy", "fcfs,heuristic"])).unwrap();
+        let err = build_eval_plan(&dup_policy, source.clone()).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let dup_scenario = parse_eval_args(&args(&["--scenario", "clean,clean"])).unwrap();
+        let err = build_eval_plan(&dup_scenario, source.clone()).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        // Duplicate seeds would silently double-count a replication.
+        let dup_seed = parse_eval_args(&args(&["--seeds", "3,3"])).unwrap();
+        let err = build_eval_plan(&dup_seed, source).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn evaluate_plan_covers_the_full_grid() {
+        let a = parse_eval_args(&args(&[
+            "--policy", "fcfs,list:lpt,ga", "--scenario", "clean,drain", "--seeds", "0..2",
+            "--nodes", "16", "--bb", "8", "--window", "4", "--jobs", "20",
+        ]))
+        .unwrap();
+        let source = JobSource::Theta(ThetaConfig {
+            machine_nodes: 16,
+            ..ThetaConfig::scaled(20)
+        });
+        let plan = build_eval_plan(&a, source).unwrap();
+        assert_eq!(plan.cell_count(), 3 * 2 * 2);
+        let grid = plan.run();
+        assert_eq!(grid.cells.len(), 12, "every cell of the grid ran");
+        let (header, rows) = grid.cell_csv();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0].len(), header.len());
+        // The drain scenario actually drained capacity for some cell.
+        assert!(grid
+            .cells
+            .iter()
+            .filter(|c| c.scenario == "drain")
+            .any(|c| c.report.capacity_lost_unit_seconds[0] > 0.0));
+        let agg = grid.aggregate_csv();
+        assert_eq!(agg.1.len(), 3 * 2, "one aggregate row per (policy, scenario)");
+        assert!(agg.1.iter().all(|r| r[2] == "2"), "each aggregates two seeds");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The four-method comparison engine behind Figs. 5, 6, 7 and 10.
+//! The four-method comparison engine behind Figs. 5, 6, 7 and 10 —
+//! retrofitted onto the `mrsch_eval` registry + harness.
 //!
 //! For every workload of a suite this runs, under identical simulator
 //! mechanics (same window, same reservation + EASY backfilling):
@@ -10,17 +11,19 @@
 //!   curriculum with the fixed-weight scalar reward,
 //! * **Heuristic** — multi-resource FCFS.
 //!
+//! Policy construction and training go through [`PolicySpec`] — this
+//! module contains **no** policy constructors of its own; it only maps
+//! the paper's experimental design (train/test splits, the recommended
+//! job-set curriculum, the S1–S10 suites) onto [`EvalPlan`]s.
 //! Workloads are evaluated on the chronological *test* split, never on
-//! training data (§IV-A). The five workloads run on scoped threads —
-//! they are fully independent — and results are returned in suite order.
+//! training data (§IV-A). The whole suite runs as one parallel
+//! evaluation grid and results are returned in suite order.
 
 use crate::scale::ExpScale;
 use mrsch::prelude::*;
-use mrsch_baselines::scalar_rl::{RlMode, ScalarRlAgent, ScalarRlConfig, ScalarRlPolicy};
-use mrsch_baselines::{FcfsPolicy, GaPolicy};
-use mrsch_workload::jobset::{curriculum, CurriculumOrder, JobSetKind};
+use mrsch_eval::{BuildContext, EvalGrid, EvalPlan, PolicySpec};
+use mrsch_workload::jobset::{curriculum, CurriculumOrder};
 use mrsch_workload::split::paper_split;
-use mrsch_workload::theta::TraceJob;
 use serde::{Deserialize, Serialize};
 
 /// The four compared methods, in the paper's legend order.
@@ -51,6 +54,17 @@ impl MethodName {
             MethodName::Heuristic => "Heuristic",
         }
     }
+
+    /// The registry entry implementing this method — the single mapping
+    /// from the paper's legend to runnable policies.
+    pub fn spec(self) -> PolicySpec {
+        match self {
+            MethodName::Mrsch => PolicySpec::mrsch(),
+            MethodName::Optimization => PolicySpec::Ga,
+            MethodName::ScalarRl => PolicySpec::ScalarRl,
+            MethodName::Heuristic => PolicySpec::Fcfs,
+        }
+    }
 }
 
 /// One method × workload result.
@@ -64,42 +78,119 @@ pub struct Comparison {
     pub report: SimReport,
 }
 
-/// Evaluation jobs for a spec: the chronological test split, truncated to
-/// the scale's evaluation size and materialized through the spec.
-fn eval_jobs(
-    spec: &WorkloadSpec,
-    trace: &[TraceJob],
-    system: &SystemConfig,
-    scale: &ExpScale,
-    seed: u64,
-) -> Vec<Job> {
-    let split = paper_split(trace);
-    let mut test = split.test;
-    test.truncate(scale.eval_jobs);
-    spec.build(&test, system, seed)
+/// The evaluation scenario of a workload spec: the chronological test
+/// split of the base trace, truncated to the scale's evaluation size.
+/// Named after the workload so grid cells read naturally.
+pub fn eval_scenario(spec: &WorkloadSpec, scale: &ExpScale, seed: u64) -> Scenario {
+    let trace = scale.base_trace(seed);
+    eval_scenario_from_split(spec, scale, seed, &paper_split(&trace))
 }
 
-/// Training curriculum (recommended order) from the train split.
-fn train_sets(
-    trace: &[TraceJob],
+fn eval_scenario_from_split(
+    spec: &WorkloadSpec,
     scale: &ExpScale,
     seed: u64,
-) -> Vec<(JobSetKind, Vec<TraceJob>)> {
-    let split = paper_split(trace);
-    curriculum(
+    split: &mrsch_workload::split::Split,
+) -> Scenario {
+    let mut test = split.test.clone();
+    test.truncate(scale.eval_jobs);
+    Scenario::new(spec.name.clone(), JobSource::Trace(test), spec.clone(), scale.sim_params())
+        .with_seed(seed ^ 0xEA1)
+}
+
+/// The paper's recommended training curriculum (§III-D: sampled → real
+/// → synthetic job sets from the chronological *train* split, repeated
+/// `train_rounds` times) expressed as a scenario [`Curriculum`]: one
+/// single-episode phase per job set, in training order.
+pub fn paper_curriculum(spec: &WorkloadSpec, scale: &ExpScale, seed: u64) -> Curriculum {
+    let trace = scale.base_trace(seed);
+    paper_curriculum_from_split(spec, scale, seed, &paper_split(&trace))
+}
+
+fn paper_curriculum_from_split(
+    spec: &WorkloadSpec,
+    scale: &ExpScale,
+    seed: u64,
+    split: &mrsch_workload::split::Split,
+) -> Curriculum {
+    let sets = curriculum(
         CurriculumOrder::recommended(),
         &split.train,
         &scale.trace_config(),
         scale.sets_per_phase,
         scale.jobs_per_set,
-        seed,
-    )
+        seed ^ 0x5EED,
+    );
+    let mut cur = Curriculum::new();
+    for round in 0..scale.train_rounds.max(1) {
+        for (i, (kind, set)) in sets.iter().enumerate() {
+            let scenario = Scenario::new(
+                format!("train-r{round}-{i}-{kind:?}"),
+                JobSource::Trace(set.clone()),
+                spec.clone(),
+                scale.sim_params(),
+            )
+            .with_seed(seed.wrapping_add(round as u64 * 101 + i as u64));
+            cur = cur.phase(CurriculumPhase::new(scenario, 1));
+        }
+    }
+    cur
 }
 
-/// Train an MRSch agent for a workload spec at the given scale.
+/// The four-method [`EvalPlan`] for a set of workload specs at one
+/// seed: one scenario per workload (test split), the paper curriculum
+/// attached to each, every learnable method trained per cell.
+pub fn suite_plan(specs: &[WorkloadSpec], scale: &ExpScale, seed: u64) -> EvalPlan {
+    // The base trace and its chronological split are workload-spec
+    // independent; synthesize and split once for the whole plan.
+    let trace = scale.base_trace(seed);
+    let split = paper_split(&trace);
+    let scenarios: Vec<Scenario> = specs
+        .iter()
+        .map(|spec| eval_scenario_from_split(spec, scale, seed, &split))
+        .collect();
+    let mut plan = EvalPlan::new(
+        scale.base_system(),
+        MethodName::all().iter().map(|m| m.spec()).collect(),
+        scenarios,
+        vec![seed],
+    )
+    .trainer(TrainerConfig::default().batches_per_episode(scale.batches_per_episode));
+    for (i, spec) in specs.iter().enumerate() {
+        plan = plan.scenario_training(i, paper_curriculum_from_split(spec, scale, seed, &split));
+    }
+    plan
+}
+
+/// Map an executed grid back to `Comparison` rows in
+/// `(workload, method)` order.
+fn grid_to_comparisons(
+    grid: &EvalGrid,
+    specs: &[WorkloadSpec],
+    seed: u64,
+) -> Vec<Comparison> {
+    let mut out = Vec::with_capacity(specs.len() * 4);
+    for spec in specs {
+        for method in MethodName::all() {
+            let cell = grid
+                .cell(&method.spec().name(), &spec.name, seed)
+                .expect("plan covers every (method, workload) cell");
+            out.push(Comparison {
+                method,
+                workload: spec.name.clone(),
+                report: cell.report.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Train an MRSch agent for a workload spec at the given scale, through
+/// the registry's canonical recipe (ε schedule sized to the curriculum,
+/// short prediction horizons).
 ///
-/// Exposed because Figs. 8 and 9 reuse the trained agent to log goal
-/// vectors.
+/// Exposed because Figs. 3, 8 and 9 and the ablations reuse the live
+/// agent to log goal vectors and swap goal modes.
 pub fn train_mrsch(
     spec: &WorkloadSpec,
     scale: &ExpScale,
@@ -107,132 +198,34 @@ pub fn train_mrsch(
     state_module: StateModuleKind,
 ) -> Mrsch {
     let system = spec.system_for(&scale.base_system());
-    let trace = scale.base_trace(seed);
-    let sets = train_sets(&trace, scale, seed ^ 0x5EED);
-    // The paper decays ε by 0.995 per episode over 40 job sets; at this
-    // reproduction's scale the curriculum spans an order of magnitude
-    // fewer episodes, so the decay is proportionally faster — otherwise
-    // the agent would still be acting almost uniformly at random when
-    // training ends.
-    let episodes = (sets.len() * scale.train_rounds).max(1) as f32;
-    let mut cfg = mrsch_dfp::DfpConfig::scaled(1, system.num_resources(), scale.window);
-    cfg.epsilon_min = 0.05;
-    cfg.epsilon_decay = (cfg.epsilon_min as f64).powf(1.0 / episodes as f64) as f32;
-    // Shorter prediction horizons than DFP's gaming defaults: scheduling
-    // instances are minutes apart, so a 32-decision horizon spans hours
-    // and its measurement changes are dominated by arrival noise. The
-    // nearer offsets carry the learnable signal at this trace scale.
-    cfg.offsets = vec![1, 2, 4, 8];
-    cfg.offset_weights = vec![0.25, 0.25, 0.5, 1.0];
-    let mut mrsch = MrschBuilder::new(system, scale.sim_params())
-        .seed(seed)
-        .state_module(state_module)
-        .batches_per_episode(scale.batches_per_episode)
-        .dfp_config(cfg)
-        .build();
-    for round in 0..scale.train_rounds {
-        mrsch.train_curriculum(&sets, spec, seed.wrapping_add(round as u64 * 101));
-    }
-    mrsch
+    let curriculum = paper_curriculum(spec, scale, seed);
+    let ctx = BuildContext {
+        system: &system,
+        params: scale.sim_params(),
+        seed,
+        train: Some(&curriculum),
+        trainer: TrainerConfig::default().batches_per_episode(scale.batches_per_episode),
+        dfp_config: None,
+    };
+    mrsch_eval::trained_mrsch(&ctx, state_module)
 }
 
-/// Train the scalar-RL baseline for a workload spec.
-pub fn train_scalar_rl(
-    spec: &WorkloadSpec,
-    scale: &ExpScale,
-    seed: u64,
-) -> (ScalarRlAgent, StateEncoder, SystemConfig) {
-    let system = spec.system_for(&scale.base_system());
-    let encoder = StateEncoder::with_hour_scale(system.clone(), scale.window);
-    let cfg = ScalarRlConfig::scaled(
-        encoder.state_dim(),
-        scale.window,
-        system.num_resources(),
-    );
-    let mut agent = ScalarRlAgent::new(cfg, seed);
-    let trace = scale.base_trace(seed);
-    let sets = train_sets(&trace, scale, seed ^ 0x5EED);
-    for round in 0..scale.train_rounds {
-        for (i, (_, set)) in sets.iter().enumerate() {
-            let jobs = spec.build(
-                set,
-                &system,
-                seed.wrapping_add(round as u64 * 101 + i as u64),
-            );
-            let mut policy = ScalarRlPolicy::new(&mut agent, encoder.clone(), RlMode::Train);
-            Simulator::new(system.clone(), jobs, scale.sim_params())
-                .expect("valid jobs")
-                .run(&mut policy);
-        }
-    }
-    (agent, encoder, system)
-}
-
-/// Run all four methods on one workload spec.
+/// Run all four methods on one workload spec (a 4 × 1 × 1 grid).
 pub fn run_workload(spec: &WorkloadSpec, scale: &ExpScale, seed: u64) -> Vec<Comparison> {
-    let system = spec.system_for(&scale.base_system());
-    let trace = scale.base_trace(seed);
-    let jobs = eval_jobs(spec, &trace, &system, scale, seed ^ 0xEA1);
-    let mut out = Vec::with_capacity(4);
-
-    // MRSch.
-    let mut mrsch = train_mrsch(spec, scale, seed, StateModuleKind::Mlp);
-    out.push(Comparison {
-        method: MethodName::Mrsch,
-        workload: spec.name.clone(),
-        report: mrsch.evaluate(&jobs),
-    });
-
-    // Optimization (GA).
-    let mut ga = GaPolicy::with_seed(seed);
-    let report = Simulator::new(system.clone(), jobs.clone(), scale.sim_params())
-        .expect("valid jobs")
-        .run(&mut ga);
-    out.push(Comparison {
-        method: MethodName::Optimization,
-        workload: spec.name.clone(),
-        report,
-    });
-
-    // Scalar RL.
-    let (mut agent, encoder, system_rl) = train_scalar_rl(spec, scale, seed);
-    let mut policy = ScalarRlPolicy::new(&mut agent, encoder, RlMode::Evaluate);
-    let report = Simulator::new(system_rl, jobs.clone(), scale.sim_params())
-        .expect("valid jobs")
-        .run(&mut policy);
-    out.push(Comparison {
-        method: MethodName::ScalarRl,
-        workload: spec.name.clone(),
-        report,
-    });
-
-    // Heuristic (FCFS).
-    let report = Simulator::new(system, jobs, scale.sim_params())
-        .expect("valid jobs")
-        .run(&mut FcfsPolicy::default());
-    out.push(Comparison {
-        method: MethodName::Heuristic,
-        workload: spec.name.clone(),
-        report,
-    });
-
-    out
+    let specs = std::slice::from_ref(spec);
+    grid_to_comparisons(&suite_plan(specs, scale, seed).run(), specs, seed)
 }
 
-/// Run a whole suite (S1–S5 or S6–S10), one scoped thread per
-/// workload, returning results in `(workload, method)` order.
+/// The [`EvalGrid`] of one workload — multi-seed replication merges
+/// these and reuses the grid's shared aggregation.
+pub fn run_workload_grid(spec: &WorkloadSpec, scale: &ExpScale, seed: u64) -> EvalGrid {
+    suite_plan(std::slice::from_ref(spec), scale, seed).run()
+}
+
+/// Run a whole suite (S1–S5 or S6–S10) as **one** parallel evaluation
+/// grid, returning results in `(workload, method)` order.
 pub fn run_suite(specs: &[WorkloadSpec], scale: &ExpScale, seed: u64) -> Vec<Comparison> {
-    let mut slots: Vec<Option<Vec<Comparison>>> = vec![None; specs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, spec) in specs.iter().enumerate() {
-            handles.push((i, scope.spawn(move || run_workload(spec, scale, seed))));
-        }
-        for (i, h) in handles {
-            slots[i] = Some(h.join().expect("workload thread panicked"));
-        }
-    });
-    slots.into_iter().flatten().flatten().collect()
+    grid_to_comparisons(&suite_plan(specs, scale, seed).run(), specs, seed)
 }
 
 #[cfg(test)]
@@ -244,6 +237,21 @@ mod tests {
         let all = MethodName::all();
         assert_eq!(all[0].label(), "MRSch");
         assert_eq!(all[3].label(), "Heuristic");
+    }
+
+    #[test]
+    fn methods_map_to_unique_registry_specs() {
+        let names: Vec<String> = MethodName::all().iter().map(|m| m.spec().name()).collect();
+        assert_eq!(names, vec!["mrsch", "ga", "scalar-rl", "fcfs"]);
+    }
+
+    #[test]
+    fn paper_curriculum_covers_rounds_and_sets() {
+        let scale = ExpScale::quick();
+        let cur = paper_curriculum(&WorkloadSpec::s1(), &scale, 3);
+        // sets_per_phase per kind × 3 kinds × train_rounds single-episode phases.
+        assert_eq!(cur.total_episodes(), 3 * scale.sets_per_phase * scale.train_rounds);
+        assert!(cur.phases().iter().all(|p| p.episodes == 1));
     }
 
     #[test]
@@ -263,8 +271,8 @@ mod tests {
 
     #[test]
     fn all_methods_see_identical_workload() {
-        // Same eval job list: all methods complete the same job count and
-        // their reports span the same submit horizon.
+        // Same eval scenario cell: all methods complete the same job
+        // count and their reports span the same submit horizon.
         let mut scale = ExpScale::quick();
         scale.eval_jobs = 25;
         scale.jobs_per_set = 15;

@@ -2,24 +2,28 @@
 //! drain-heavy training phases pay off when the evaluation trace is
 //! itself disrupted?
 //!
-//! Two MRSch agents are trained from the same seed through the engine
-//! (same total episode budget, same rollout-worker machinery):
+//! One [`EvalPlan`] evaluates three registry policies on the identical
+//! disrupted held-out scenario (a mid-trace node drain plus user
+//! cancellations and walltime overruns — the PR-2 `node_drain_recovery`
+//! setting):
 //!
-//! * **clean** — every episode disruption-free,
-//! * **hardened** — the [`Curriculum::disruption_hardening`] phases:
-//!   clean → cancel/overrun-heavy → drain-heavy.
+//! * **fcfs** — the untrained heuristic baseline,
+//! * **mrsch-clean** — MRSch trained on disruption-free episodes,
+//! * **mrsch-hardened** — MRSch trained through
+//!   [`Curriculum::disruption_hardening`] (clean → cancel/overrun-heavy
+//!   → drain-heavy), same total episode budget and seed.
 //!
-//! Both are then evaluated greedily on the identical held-out trace
-//! under a mid-trace node drain plus user cancellations and walltime
-//! overruns (the PR-2 `node_drain_recovery` setting), alongside the
-//! FCFS baseline. Rows report user- and system-level metrics with full
-//! disruption accounting.
+//! The two MRSch entries are the *same* [`PolicySpec`] with different
+//! per-policy training curricula — exactly the kind of variant
+//! comparison the registry's tags exist for. No policy constructors
+//! live here.
 
 use crate::csv;
 use crate::scale::ExpScale;
 use mrsch::prelude::*;
-use mrsch_baselines::FcfsPolicy;
+use mrsch_eval::{EvalPlan, PolicySpec};
 use mrsch_workload::split::paper_split;
+use mrsim::SimTime;
 
 /// One evaluated scheduler's metrics on the disrupted trace.
 #[derive(Clone, Debug)]
@@ -37,18 +41,12 @@ fn episodes_per_phase(scale: &ExpScale) -> usize {
 
 /// The disrupted evaluation setting: 25 % node drain a third of the way
 /// in (one simulated hour), 15 % cancels, 10 % overruns.
-fn eval_disruption(eval_jobs: &[Job]) -> DisruptionConfig {
-    let last_submit = eval_jobs.iter().map(|j| j.submit).max().unwrap_or(0);
+fn eval_disruption(horizon: SimTime) -> DisruptionConfig {
     DisruptionConfig {
         cancel_fraction: 0.15,
         overrun_fraction: 0.10,
         overrun_factor: 1.5,
-        drains: vec![DrainSpec {
-            resource: 0,
-            fraction: 0.25,
-            at: last_submit / 3,
-            duration: 3600,
-        }],
+        drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: horizon / 3, duration: 3600 }],
     }
 }
 
@@ -59,17 +57,25 @@ pub fn run(scale: &ExpScale, seed: u64, workers: usize) -> Vec<CurriculumRow> {
     let trace = scale.base_trace(seed);
     let split = paper_split(&trace);
     let train_slice = &split.train[..(scale.jobs_per_set * 2).min(split.train.len())];
-    let eval_jobs = spec.build(
-        &split.test[..scale.eval_jobs.min(split.test.len())],
-        &system,
-        seed ^ 0xeea1,
-    );
-    let disrupted = eval_disruption(&eval_jobs).synthesize(&eval_jobs, &system, seed ^ 0xd15);
+    let test_slice = &split.test[..scale.eval_jobs.min(split.test.len())];
+    let horizon = test_slice.iter().map(|t| t.submit).max().unwrap_or(0);
     let eval_params = SimParams {
         enforce_walltime: true,
         ..SimParams::new(scale.window, true)
     };
 
+    // The held-out evaluation scenario: test split + the disruption set.
+    let eval_scenario = Scenario::new(
+        "disrupted-test",
+        JobSource::Trace(test_slice.to_vec()),
+        spec.clone(),
+        eval_params,
+    )
+    .with_disruption("disrupted-test", eval_disruption(horizon))
+    .with_seed(seed ^ 0xd15);
+
+    // Both agents train from the same seed and episode budget; only the
+    // curricula differ.
     let clean_scenario = Scenario::new(
         "clean",
         JobSource::Trace(train_slice.to_vec()),
@@ -78,9 +84,8 @@ pub fn run(scale: &ExpScale, seed: u64, workers: usize) -> Vec<CurriculumRow> {
     )
     .with_seed(seed ^ 0x5c);
     let per_phase = episodes_per_phase(scale);
-    // Same episode budget for both agents: 3 phases × per_phase each.
-    let clean_curriculum = Curriculum::new()
-        .phase(CurriculumPhase::new(clean_scenario.clone(), 3 * per_phase));
+    let clean_curriculum =
+        Curriculum::new().phase(CurriculumPhase::new(clean_scenario.clone(), 3 * per_phase));
     let hardened_curriculum = Curriculum::disruption_hardening(
         clean_scenario,
         DisruptionConfig {
@@ -89,36 +94,34 @@ pub fn run(scale: &ExpScale, seed: u64, workers: usize) -> Vec<CurriculumRow> {
             overrun_factor: 1.5,
             drains: Vec::new(),
         },
-        eval_disruption(&eval_jobs),
+        eval_disruption(horizon),
         per_phase,
     );
 
-    let trainer = TrainerConfig::default()
-        .workers(workers)
-        .batches_per_episode(scale.batches_per_episode);
-    let train_and_eval = |name: &str, curriculum: &Curriculum| -> CurriculumRow {
-        let mut agent = MrschBuilder::new(system.clone(), eval_params)
-            .seed(seed)
-            .trainer(trainer.clone())
-            .build();
-        agent.train_with_curriculum(curriculum);
-        let report = agent
-            .evaluate_disrupted(&disrupted.jobs, &disrupted.events)
-            .expect("evaluation disruptions reference this job set");
-        CurriculumRow { method: name.to_string(), report }
-    };
+    let grid = EvalPlan::new(
+        system,
+        vec![
+            PolicySpec::Fcfs,
+            PolicySpec::mrsch_tagged("mrsch-clean"),
+            PolicySpec::mrsch_tagged("mrsch-hardened"),
+        ],
+        vec![eval_scenario],
+        vec![seed],
+    )
+    .trainer(
+        TrainerConfig::default()
+            .workers(workers)
+            .batches_per_episode(scale.batches_per_episode),
+    )
+    .policy_training(1, clean_curriculum)
+    .policy_training(2, hardened_curriculum)
+    .run();
 
-    let mut rows = Vec::new();
-    let mut fcfs_sim = Simulator::new(system.clone(), disrupted.jobs.clone(), eval_params)
-        .expect("eval jobs fit the system");
-    fcfs_sim.inject_all(&disrupted.events).expect("valid disruption trace");
-    rows.push(CurriculumRow {
-        method: "fcfs".into(),
-        report: fcfs_sim.run(&mut FcfsPolicy::default()),
-    });
-    rows.push(train_and_eval("mrsch-clean", &clean_curriculum));
-    rows.push(train_and_eval("mrsch-hardened", &hardened_curriculum));
-    rows
+    // One scenario, one seed: cells are already in policy order.
+    grid.cells
+        .into_iter()
+        .map(|c| CurriculumRow { method: c.policy, report: c.report })
+        .collect()
 }
 
 /// Print the comparison table.

@@ -22,6 +22,12 @@
 //! The [`scale`] module defines the experiment sizes: `quick()` for tests
 //! and benches, `full()` for the standalone binaries. All runs are
 //! deterministic in the provided seed.
+//!
+//! Policy construction and training are **not** done here: the
+//! comparison drivers map the paper's experimental design onto
+//! `mrsch_eval::EvalPlan`s and let the registry
+//! (`mrsch_eval::PolicySpec`) build every scheduler. The CLI ([`cli`])
+//! exposes the same grid as the `mrsch_cli evaluate` subcommand.
 
 pub mod ablation;
 pub mod cli;

@@ -1,32 +1,20 @@
-//! Multi-seed replication: run a comparison across several seeds and
-//! report mean ± standard deviation per method and metric.
+//! Multi-seed replication: run the method comparison across several
+//! seeds and report mean ± standard deviation per method and metric.
 //!
 //! Single-seed RL comparisons are noisy; the paper reports single runs,
 //! but a reproduction should quantify run-to-run spread. Each seed
 //! re-synthesizes the trace, re-trains the learning methods, and
 //! re-evaluates — so the spread includes workload, initialization and
-//! exploration variance.
+//! exploration variance. The per-seed grids come from the shared
+//! evaluation harness (`comparison::run_workload_grid`) and the
+//! aggregation is the harness's own [`EvalGrid::aggregate`] — this
+//! module holds no policy plumbing of its own.
 
-use crate::comparison::{run_workload, Comparison, MethodName};
+use crate::comparison::{run_workload_grid, MethodName};
 use crate::csv;
 use crate::scale::ExpScale;
-use mrsch_linalg::stats::{mean, std_dev};
+use mrsch_eval::{Aggregate, EvalGrid};
 use mrsch_workload::suite::WorkloadSpec;
-
-/// Aggregated metric: mean ± std over seeds.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Aggregate {
-    /// Mean over seeds.
-    pub mean: f64,
-    /// Population standard deviation over seeds.
-    pub std: f64,
-}
-
-impl Aggregate {
-    fn of(xs: &[f64]) -> Self {
-        Self { mean: mean(xs), std: std_dev(xs) }
-    }
-}
 
 /// Aggregated results for one method on one workload.
 #[derive(Clone, Debug)]
@@ -47,48 +35,41 @@ pub struct MultiSeedRow {
     pub avg_slowdown: Aggregate,
 }
 
-/// Run one workload across `seeds`, one scoped thread per seed, and
-/// aggregate per method.
+/// Run one workload across `seeds` (one scoped thread per seed — each
+/// seed re-synthesizes its trace, so the seeds are separate plans),
+/// merge the grids, and aggregate per method.
 pub fn run_workload_multi_seed(
     spec: &WorkloadSpec,
     scale: &ExpScale,
     seeds: &[u64],
 ) -> Vec<MultiSeedRow> {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let mut per_seed: Vec<Option<Vec<Comparison>>> = vec![None; seeds.len()];
+    let mut per_seed: Vec<Option<EvalGrid>> = (0..seeds.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &seed) in seeds.iter().enumerate() {
-            handles.push((i, scope.spawn(move || run_workload(spec, scale, seed))));
+            handles.push((i, scope.spawn(move || run_workload_grid(spec, scale, seed))));
         }
         for (i, h) in handles {
             per_seed[i] = Some(h.join().expect("seed thread panicked"));
         }
     });
-    let runs: Vec<Vec<Comparison>> = per_seed.into_iter().flatten().collect();
+    let grid = EvalGrid::merge(per_seed.into_iter().flatten());
 
     MethodName::all()
         .into_iter()
         .map(|method| {
-            let pick = |f: &dyn Fn(&Comparison) -> f64| -> Vec<f64> {
-                runs.iter()
-                    .map(|r| {
-                        let c = r
-                            .iter()
-                            .find(|c| c.method == method)
-                            .expect("method present in every run");
-                        f(c)
-                    })
-                    .collect()
-            };
+            let agg = grid
+                .aggregate(&method.spec().name(), &spec.name)
+                .expect("method present in every run");
             MultiSeedRow {
                 method,
                 workload: spec.name.clone(),
-                seeds: seeds.len(),
-                node_util: Aggregate::of(&pick(&|c| c.report.resource_utilization[0])),
-                bb_util: Aggregate::of(&pick(&|c| c.report.resource_utilization[1])),
-                avg_wait_h: Aggregate::of(&pick(&|c| c.report.avg_wait_hours())),
-                avg_slowdown: Aggregate::of(&pick(&|c| c.report.avg_slowdown)),
+                seeds: agg.seeds,
+                node_util: agg.node_util,
+                bb_util: agg.bb_util,
+                avg_wait_h: agg.avg_wait_h,
+                avg_slowdown: agg.avg_slowdown,
             }
         })
         .collect()

@@ -106,9 +106,16 @@ impl Dense {
     }
 
     fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.forward_inference(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching: usable through a shared reference,
+    /// bit-identical to [`Dense::forward`] (same operations, same order).
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
         let mut y = matmul(x, &self.w);
         y.add_row_broadcast(&self.b);
-        self.cached_input = Some(x.clone());
         y
     }
 
@@ -200,6 +207,14 @@ impl Conv1d {
     }
 
     fn forward(&mut self, x: &Matrix) -> Matrix {
+        let y = self.forward_inference(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching: usable through a shared reference,
+    /// bit-identical to [`Conv1d::forward`] (same operations, same order).
+    fn forward_inference(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             x.cols(),
             self.in_width(),
@@ -229,7 +244,6 @@ impl Conv1d {
                 }
             }
         }
-        self.cached_input = Some(x.clone());
         y
     }
 
@@ -307,6 +321,18 @@ impl Layer {
                 y
             }
             Layer::Conv1d(c) => c.forward(x),
+        }
+    }
+
+    /// Run the layer forward without caching backward state. Numerically
+    /// identical to [`Layer::forward`]; usable through `&self`, so frozen
+    /// networks can be shared across threads (e.g. one rollout snapshot
+    /// behind an `Arc` instead of a clone per worker).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        match self {
+            Layer::Dense(d) => d.forward_inference(x),
+            Layer::Activation { func, .. } => x.map(|v| func.apply(v)),
+            Layer::Conv1d(c) => c.forward_inference(x),
         }
     }
 

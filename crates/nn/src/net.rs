@@ -83,6 +83,18 @@ impl Sequential {
         cur
     }
 
+    /// Forward pass without caching backward state: usable through a
+    /// shared reference and bit-identical to [`Sequential::forward`].
+    /// This is what lets a frozen policy network act from many threads
+    /// at once without per-thread copies.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward_inference(&cur);
+        }
+        cur
+    }
+
     /// Backward pass. `grad_out` is dLoss/dOutput; returns dLoss/dInput.
     ///
     /// Parameter gradients accumulate (are *not* zeroed first), enabling
@@ -254,6 +266,21 @@ mod tests {
             (analytic - numeric).abs() < 1e-2,
             "analytic {analytic} vs numeric {numeric}"
         );
+    }
+
+    #[test]
+    fn forward_inference_is_bit_identical_to_forward() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Sequential::new()
+            .dense(6, 9, &mut rng)
+            .activation(Activation::LeakyRelu(0.01))
+            .conv1d(1, 2, 3, 2, 9, &mut rng)
+            .activation(Activation::Tanh)
+            .dense(8, 3, &mut rng);
+        let x = mrsch_linalg::init::gaussian_matrix(&mut rng, 4, 6, 1.0);
+        let cached = net.forward(&x);
+        let shared = net.forward_inference(&x);
+        assert_eq!(cached, shared, "inference path must not drift from training path");
     }
 
     #[test]

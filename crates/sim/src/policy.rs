@@ -147,6 +147,15 @@ pub trait Policy {
     /// Called once when the trace is exhausted and the simulation ends.
     fn episode_end(&mut self, _report: &SimReport) {}
 
+    /// Restore the policy to its initial (post-construction) state so
+    /// one instance can be reused across episodes, the way the
+    /// simulator itself is reused via `Simulator::load`. After `reset`,
+    /// running an episode must be **bit-identical** to running it on a
+    /// freshly built instance — stateful policies (internal RNGs,
+    /// cached plans, logs) must restore their seeds and clear their
+    /// caches. Stateless policies keep the default no-op.
+    fn reset(&mut self) {}
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &'static str {
         "policy"

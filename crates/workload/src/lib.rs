@@ -42,6 +42,8 @@ pub mod swf;
 pub mod theta;
 
 pub use disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
-pub use scenario::{Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, Scenario};
+pub use scenario::{
+    Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, PlateauRule, Scenario,
+};
 pub use suite::{WorkloadSpec, PowerSpec};
 pub use theta::{SwfStatus, ThetaConfig, TraceJob};

@@ -142,29 +142,73 @@ pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Early phase advancement on a training-loss plateau: once the last
+/// `window` round losses are all finite and span at most `tol`, the
+/// phase ends even if its episode budget is not exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlateauRule {
+    /// Consecutive round losses inspected (at least 2 to be meaningful).
+    pub window: usize,
+    /// Maximum spread (`max − min`) across the window that still counts
+    /// as a plateau.
+    pub tol: f32,
+}
+
 /// One phase of a curriculum: a scenario trained for a number of
 /// episodes, optionally under a fixed goal vector.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CurriculumPhase {
     /// The episode recipe.
     pub scenario: Scenario,
-    /// How many episodes this phase trains.
+    /// How many episodes this phase trains (an upper bound when a
+    /// [`PlateauRule`] is attached).
     pub episodes: usize,
     /// Fixed goal vector forced during this phase (`None` keeps the
     /// agent's configured goal mode — MRSch's dynamic Eq. 1 weights).
     pub goal_override: Option<Vec<f64>>,
+    /// Optional loss-plateau early advancement (off by default: a phase
+    /// runs its full episode budget).
+    pub plateau: Option<PlateauRule>,
 }
 
 impl CurriculumPhase {
     /// Phase with the agent's own goal mode.
     pub fn new(scenario: Scenario, episodes: usize) -> Self {
-        Self { scenario, episodes, goal_override: None }
+        Self { scenario, episodes, goal_override: None, plateau: None }
     }
 
     /// Force a fixed goal vector for the phase.
     pub fn with_goal(mut self, goal: Vec<f64>) -> Self {
         self.goal_override = Some(goal);
         self
+    }
+
+    /// Advance to the next phase early once the round loss plateaus:
+    /// the last `window` round losses must all be finite and differ by
+    /// at most `tol`. `episodes` becomes an upper bound.
+    pub fn advance_on_plateau(mut self, window: usize, tol: f32) -> Self {
+        assert!(window >= 2, "a plateau needs at least two rounds");
+        assert!(tol >= 0.0, "plateau tolerance must be non-negative");
+        self.plateau = Some(PlateauRule { window, tol });
+        self
+    }
+
+    /// Has this phase's plateau rule fired for the given per-round loss
+    /// history? Always `false` without a rule, with fewer than `window`
+    /// rounds, or while any inspected loss is non-finite (replay still
+    /// warming up).
+    pub fn plateau_reached(&self, round_losses: &[f32]) -> bool {
+        let Some(rule) = self.plateau else { return false };
+        if round_losses.len() < rule.window {
+            return false;
+        }
+        let tail = &round_losses[round_losses.len() - rule.window..];
+        if tail.iter().any(|l| !l.is_finite()) {
+            return false;
+        }
+        let max = tail.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let min = tail.iter().cloned().fold(f32::INFINITY, f32::min);
+        max - min <= rule.tol
     }
 }
 
@@ -348,6 +392,24 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::CapacityChange { .. })));
+    }
+
+    #[test]
+    fn plateau_rule_fires_only_on_flat_finite_tails() {
+        let phase = CurriculumPhase::new(clean_scenario(), 10).advance_on_plateau(3, 0.05);
+        assert!(!phase.plateau_reached(&[]), "no history");
+        assert!(!phase.plateau_reached(&[0.5, 0.5]), "window not filled");
+        assert!(!phase.plateau_reached(&[f32::NAN, 0.5, 0.5]), "warm-up NaN blocks");
+        assert!(!phase.plateau_reached(&[0.9, 0.5, 0.3]), "still descending");
+        assert!(phase.plateau_reached(&[0.9, 0.31, 0.30, 0.28]), "flat tail fires");
+        let off = CurriculumPhase::new(clean_scenario(), 10);
+        assert!(!off.plateau_reached(&[0.3, 0.3, 0.3]), "off by default");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rounds")]
+    fn plateau_window_of_one_rejected() {
+        let _ = CurriculumPhase::new(clean_scenario(), 4).advance_on_plateau(1, 0.1);
     }
 
     #[test]
