@@ -9,10 +9,20 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mrsch::prelude::*;
 use mrsch_experiments::overhead;
 
+/// CI runs this bench on every PR with `MRSCH_BENCH_QUICK=1`: skip the
+/// slow one-time table regeneration and the Theta-sized agent build,
+/// keeping only the scaled-network decision latency as the tracked
+/// number.
+fn quick() -> bool {
+    std::env::var_os("MRSCH_BENCH_QUICK").is_some()
+}
+
 fn bench(c: &mut Criterion) {
-    // Regenerate the §V-F table once.
-    let results = overhead::run(3);
-    overhead::print(&results);
+    // Regenerate the §V-F table once (full mode only).
+    if !quick() {
+        let results = overhead::run(3);
+        overhead::print(&results);
+    }
 
     // Criterion measurement at scaled + Theta sizes.
     let mut group = c.benchmark_group("overhead");
@@ -39,13 +49,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| scaled.act(&state, &meas, &goal, &valid, false))
     });
 
-    let (mut theta, dim, m) = mk_agent(SystemConfig::theta(), true);
-    let state = vec![0.5f32; dim];
-    let meas = vec![0.5f32; m];
-    let goal = vec![0.5f32; m];
-    group.bench_function("decision_theta_2res", |b| {
-        b.iter(|| theta.act(&state, &meas, &goal, &valid, false))
-    });
+    if !quick() {
+        let (mut theta, dim, m) = mk_agent(SystemConfig::theta(), true);
+        let state = vec![0.5f32; dim];
+        let meas = vec![0.5f32; m];
+        let goal = vec![0.5f32; m];
+        group.bench_function("decision_theta_2res", |b| {
+            b.iter(|| theta.act(&state, &meas, &goal, &valid, false))
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,166 @@
+//! CI perf regression gate for the GEMM micro-kernel.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json> [--tolerance 0.20]
+//! ```
+//!
+//! Both files are `mrsch-bench-gemm/v1` reports ([`gemm_report`]). The
+//! gate compares the *speedup-over-legacy-blocked-loop* ratio of every
+//! tracked shape — a host-speed-independent metric, measured in the
+//! same run as the kernel itself — and fails (exit 1) when any tracked
+//! shape falls more than `tolerance` below the committed baseline, or
+//! when the canonical serial shape drops under the absolute 2.5×
+//! acceptance floor.
+
+use mrsch_bench::gemm_report::{self, GemmReport};
+
+fn load(path: &str) -> GemmReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    GemmReport::parse(&text).unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let v = it.next().expect("--tolerance needs a value");
+            tolerance = v.parse().expect("--tolerance must be a number");
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [current_path, baseline_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <current.json> <baseline.json> [--tolerance 0.20]");
+        std::process::exit(2);
+    };
+
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+    println!(
+        "bench_gate: current isa '{}' (quick={}), baseline isa '{}', tolerance {:.0}%",
+        current.kernel_isa,
+        current.quick,
+        baseline.kernel_isa,
+        tolerance * 100.0
+    );
+    let outcome = gemm_report::gate(&current, &baseline, tolerance);
+    for line in &outcome.checked {
+        println!("  {line}");
+    }
+    if outcome.failures.is_empty() {
+        println!("bench_gate: PASS");
+        return;
+    }
+    for failure in &outcome.failures {
+        eprintln!("bench_gate: FAIL {failure}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use mrsch_bench::gemm_report::{gate, GemmRecord, GemmReport, CANONICAL_BENCH};
+
+    fn record(bench: &str, speedup: Option<f64>) -> GemmRecord {
+        GemmRecord {
+            bench: bench.to_string(),
+            m: 256,
+            k: 512,
+            n: 256,
+            op: "a_b".to_string(),
+            policy: "serial".to_string(),
+            ns_per_iter: 1_000_000.0,
+            gflops: 67.1,
+            speedup_vs_blocked: speedup,
+        }
+    }
+
+    fn report(cells: Vec<GemmRecord>) -> GemmReport {
+        GemmReport { quick: true, kernel_isa: "test".to_string(), results: cells }
+    }
+
+    #[test]
+    fn json_roundtrips_bitwise() {
+        let original = report(vec![
+            record(CANONICAL_BENCH, Some(4.25)),
+            record("gemm_infer/1x256x128/serial", None),
+        ]);
+        let parsed = GemmReport::parse(&original.to_json()).expect("own output must parse");
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.results[0].bench, CANONICAL_BENCH);
+        assert_eq!(parsed.results[0].speedup_vs_blocked, Some(4.25));
+        assert_eq!(parsed.results[1].speedup_vs_blocked, None);
+        assert!(parsed.quick);
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_wrong_schema() {
+        assert!(GemmReport::parse("not json").is_err());
+        assert!(GemmReport::parse("{\"schema\": \"other/v9\", \"results\": []}").is_err());
+        assert!(GemmReport::parse("{\"schema\": \"mrsch-bench-gemm/v1\"}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let baseline = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
+        // 15% down on a 20% tolerance: fine, and above the 2.5 floor.
+        let current = report(vec![record(CANONICAL_BENCH, Some(3.4))]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(!outcome.checked.is_empty());
+    }
+
+    #[test]
+    fn gate_fails_past_tolerance() {
+        let baseline = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
+        let current = report(vec![record(CANONICAL_BENCH, Some(3.0))]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert_eq!(outcome.failures.len(), 1, "{:?}", outcome.failures);
+        assert!(outcome.failures[0].contains("fell below"));
+    }
+
+    #[test]
+    fn gate_enforces_absolute_floor_even_with_weak_baseline() {
+        // A baseline that itself sits near the floor cannot ratchet the
+        // acceptance bar away: 2.4x fails the absolute 2.5x check.
+        let baseline = report(vec![record(CANONICAL_BENCH, Some(2.6))]);
+        let current = report(vec![record(CANONICAL_BENCH, Some(2.4))]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("absolute")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_missing_tracked_shape() {
+        let baseline = report(vec![
+            record(CANONICAL_BENCH, Some(4.0)),
+            record("gemm/256x512x256/auto", Some(4.0)),
+        ]);
+        let current = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("missing")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn untracked_records_are_ignored_by_the_gate() {
+        let baseline = report(vec![
+            record(CANONICAL_BENCH, Some(4.0)),
+            record("gemm_infer/1x256x128/serial", None),
+        ]);
+        // The untracked inference record may vanish freely.
+        let current = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    }
+}

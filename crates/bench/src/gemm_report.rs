@@ -1,0 +1,441 @@
+//! Machine-readable GEMM benchmark reports and the CI regression gate.
+//!
+//! `cargo bench --bench substrate_gemm` emits `results/BENCH_gemm.json`
+//! (schema `mrsch-bench-gemm/v1`): one record per measured
+//! (shape, operation, policy) with ns/iter and GFLOP/s, plus — for the
+//! tracked canonical shapes — the speedup over the pre-micro-kernel
+//! blocked loop measured *in the same run*. The gate compares that
+//! in-run speedup ratio against the committed baseline
+//! (`results/BENCH_gemm_baseline.json`) rather than raw nanoseconds, so
+//! a slower CI runner doesn't trip it but a regressed kernel does.
+//!
+//! The vendored `serde` is a no-op facade, so the JSON here is written
+//! by hand and read back by a deliberately small parser that accepts
+//! exactly the subset this schema uses (objects, arrays, strings,
+//! numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every report.
+pub const SCHEMA: &str = "mrsch-bench-gemm/v1";
+
+/// One measured (shape, operation, policy) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GemmRecord {
+    /// Stable benchmark id (`gemm/256x512x256/serial`, ...): the gate's
+    /// join key.
+    pub bench: String,
+    /// Output rows.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Contraction: `a_b`, `a_bt`, or `at_b`.
+    pub op: String,
+    /// Parallel policy the cell ran under (`serial`, `auto`, ...).
+    pub policy: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Throughput at `2·m·n·k` flops per iteration.
+    pub gflops: f64,
+    /// Speedup over the legacy blocked loop on the same shape, measured
+    /// in the same run (only for tracked shapes). This ratio is what
+    /// the regression gate compares — it is host-speed independent.
+    pub speedup_vs_blocked: Option<f64>,
+}
+
+/// A full bench run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GemmReport {
+    /// True when the run used the reduced quick-mode budget.
+    pub quick: bool,
+    /// Which kernel instantiation the host dispatched
+    /// ([`mrsch_linalg::kernel_isa`]).
+    pub kernel_isa: String,
+    /// All measured cells.
+    pub results: Vec<GemmRecord>,
+}
+
+impl GemmReport {
+    /// Look up a record by its stable bench id.
+    pub fn record(&self, bench: &str) -> Option<&GemmRecord> {
+        self.results.iter().find(|r| r.bench == bench)
+    }
+
+    /// Serialize to the `mrsch-bench-gemm/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"kernel_isa\": \"{}\",", escape(&self.kernel_isa));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"bench\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"op\": \"{}\", \
+                 \"policy\": \"{}\", \"ns_per_iter\": {:.1}, \"gflops\": {:.3}",
+                escape(&r.bench),
+                r.m,
+                r.k,
+                r.n,
+                escape(&r.op),
+                escape(&r.policy),
+                r.ns_per_iter,
+                r.gflops,
+            );
+            match r.speedup_vs_blocked {
+                Some(s) => {
+                    let _ = write!(out, ", \"speedup_vs_blocked\": {s:.3}}}");
+                }
+                None => out.push('}'),
+            }
+            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a `mrsch-bench-gemm/v1` document.
+    pub fn parse(text: &str) -> Result<GemmReport, String> {
+        let root = json::parse(text)?;
+        let schema = root.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let results = root
+            .get("results")
+            .and_then(json::Value::as_array)
+            .ok_or("missing results array")?
+            .iter()
+            .map(|v| {
+                let field_str = |key: &str| {
+                    v.get(key)
+                        .and_then(json::Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("record missing string field '{key}'"))
+                };
+                let field_num = |key: &str| {
+                    v.get(key)
+                        .and_then(json::Value::as_f64)
+                        .ok_or_else(|| format!("record missing numeric field '{key}'"))
+                };
+                Ok(GemmRecord {
+                    bench: field_str("bench")?,
+                    m: field_num("m")? as usize,
+                    k: field_num("k")? as usize,
+                    n: field_num("n")? as usize,
+                    op: field_str("op")?,
+                    policy: field_str("policy")?,
+                    ns_per_iter: field_num("ns_per_iter")?,
+                    gflops: field_num("gflops")?,
+                    speedup_vs_blocked: v.get("speedup_vs_blocked").and_then(json::Value::as_f64),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(GemmReport {
+            quick: root.get("quick").and_then(json::Value::as_bool).unwrap_or(false),
+            kernel_isa: root
+                .get("kernel_isa")
+                .and_then(json::Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            results,
+        })
+    }
+}
+
+/// Outcome of gating a current report against the committed baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateOutcome {
+    /// One line per tracked comparison (for the job log).
+    pub checked: Vec<String>,
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+/// Absolute floor on the canonical-shape serial speedup — the
+/// acceptance bar of the micro-kernel PR, enforced forever after.
+pub const CANONICAL_BENCH: &str = "gemm/256x512x256/serial";
+/// Minimum `speedup_vs_blocked` for [`CANONICAL_BENCH`].
+pub const CANONICAL_MIN_SPEEDUP: f64 = 2.5;
+
+/// Compare `current` against `baseline`: every baseline record carrying
+/// `speedup_vs_blocked` is tracked, and the current run must reach at
+/// least `(1 - tolerance)` of the baseline's speedup ratio. The
+/// canonical serial shape must additionally clear the absolute
+/// [`CANONICAL_MIN_SPEEDUP`] floor.
+pub fn gate(current: &GemmReport, baseline: &GemmReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.results {
+        let Some(base_speedup) = base.speedup_vs_blocked else {
+            continue;
+        };
+        let Some(cur) = current.record(&base.bench) else {
+            out.failures
+                .push(format!("{}: tracked shape missing from current run", base.bench));
+            continue;
+        };
+        let Some(cur_speedup) = cur.speedup_vs_blocked else {
+            out.failures
+                .push(format!("{}: current run lost the speedup measurement", base.bench));
+            continue;
+        };
+        let floor = base_speedup * (1.0 - tolerance);
+        let verdict = if cur_speedup >= floor { "ok" } else { "REGRESSED" };
+        out.checked.push(format!(
+            "{}: speedup_vs_blocked {:.2}x (baseline {:.2}x, floor {:.2}x) {}",
+            base.bench, cur_speedup, base_speedup, floor, verdict
+        ));
+        if cur_speedup < floor {
+            out.failures.push(format!(
+                "{}: speedup_vs_blocked {:.2}x fell below {:.2}x ({}% of baseline {:.2}x)",
+                base.bench,
+                cur_speedup,
+                floor,
+                ((1.0 - tolerance) * 100.0).round(),
+                base_speedup
+            ));
+        }
+    }
+    if let Some(canonical) = current.record(CANONICAL_BENCH) {
+        match canonical.speedup_vs_blocked {
+            Some(s) if s >= CANONICAL_MIN_SPEEDUP => out.checked.push(format!(
+                "{CANONICAL_BENCH}: absolute floor {CANONICAL_MIN_SPEEDUP:.1}x ok ({s:.2}x)"
+            )),
+            Some(s) => out.failures.push(format!(
+                "{CANONICAL_BENCH}: {s:.2}x below the absolute {CANONICAL_MIN_SPEEDUP:.1}x floor"
+            )),
+            None => out
+                .failures
+                .push(format!("{CANONICAL_BENCH}: no speedup measurement in current run")),
+        }
+    } else {
+        out.failures
+            .push(format!("{CANONICAL_BENCH}: missing from current run"));
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Minimal JSON reader for the report schema.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (always carried as f64).
+        Num(f64),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, insertion-ordered.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The string payload, if any.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if any.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if any.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The array payload, if any.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", ch as char))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_obj(bytes, pos),
+            Some(b'[') => parse_arr(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(_) => parse_num(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let ch_len = utf8_len(c);
+                    let chunk = bytes
+                        .get(*pos..*pos + ch_len)
+                        .and_then(|raw| std::str::from_utf8(raw).ok())
+                        .ok_or_else(|| format!("bad utf8 at byte {pos}"))?;
+                    out.push_str(chunk);
+                    *pos += ch_len;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            fields.push((key, parse_value(bytes, pos)?));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+}

@@ -10,6 +10,8 @@ use mrsch::prelude::*;
 use mrsch_experiments::ExpScale;
 use mrsch_workload::split::paper_split;
 
+pub mod gemm_report;
+
 /// The scale benches run at: the quick experiment scale with slightly
 /// smaller training so one-time setup stays in seconds.
 pub fn bench_scale() -> ExpScale {

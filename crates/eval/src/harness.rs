@@ -197,8 +197,9 @@ impl EvalPlan {
         let mut slots: Vec<Option<EvalCell>> = (0..n).map(|_| None).collect();
         if workers == 1 {
             let mut cache = HashMap::new();
+            let mut sims = HashMap::new();
             for (idx, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(self.run_cell(idx, ns, nk, &mut cache));
+                *slot = Some(self.run_cell(idx, ns, nk, &mut cache, &mut sims));
             }
         } else {
             std::thread::scope(|scope| {
@@ -206,10 +207,11 @@ impl EvalPlan {
                     .map(|w| {
                         scope.spawn(move || {
                             let mut cache = HashMap::new();
+                            let mut sims = HashMap::new();
                             let mut out = Vec::new();
                             let mut idx = w;
                             while idx < n {
-                                out.push((idx, self.run_cell(idx, ns, nk, &mut cache)));
+                                out.push((idx, self.run_cell(idx, ns, nk, &mut cache, &mut sims)));
                                 idx += workers;
                             }
                             out
@@ -230,13 +232,19 @@ impl EvalPlan {
     /// non-learnable policy instances keyed by `(policy, scenario)`;
     /// [`mrsim::Policy::reset`] guarantees a cached instance behaves
     /// exactly like a fresh one, so which worker owns which cell never
-    /// shows in the results.
+    /// shows in the results. `sims` holds this worker's simulators, one
+    /// per scenario (scenarios fix the resolved system, so the pools
+    /// match): later cells swap their episode in via
+    /// [`Simulator::load`] instead of rebuilding the simulator — the
+    /// same reuse the training engine's rollout workers do, with the
+    /// same bit-identical-to-fresh guarantee.
     fn run_cell(
         &self,
         idx: usize,
         ns: usize,
         nk: usize,
         cache: &mut HashMap<(usize, usize), Box<dyn Policy + Send>>,
+        sims: &mut HashMap<usize, Simulator>,
     ) -> EvalCell {
         let pi = idx / (ns * nk);
         let si = (idx / nk) % ns;
@@ -273,7 +281,7 @@ impl EvalPlan {
                 dfp_config: self.dfp_config.as_ref(),
             };
             let mut policy = spec.build(&ctx);
-            run_episode(&system, &episode, policy.as_mut())
+            run_episode(sims, si, &system, &episode, policy.as_mut())
         } else {
             // Reusable policies are built with a grid-seed-independent
             // seed so a cached instance (reset between cells) and a
@@ -285,16 +293,37 @@ impl EvalPlan {
             );
             let policy = cache.entry((pi, si)).or_insert_with(|| spec.build(&ctx));
             policy.reset();
-            run_episode(&system, &episode, policy.as_mut())
+            run_episode(sims, si, &system, &episode, policy.as_mut())
         };
         EvalCell { policy: spec.name(), scenario: scenario.name.clone(), seed, report }
     }
 }
 
-/// Run one materialized episode under a policy.
-fn run_episode(system: &SystemConfig, episode: &EpisodeSpec, policy: &mut dyn Policy) -> SimReport {
-    let mut sim = Simulator::new(system.clone(), episode.jobs.clone(), episode.params)
-        .expect("scenario jobs must fit the system");
+/// Run one materialized episode under a policy, reusing the worker's
+/// per-scenario simulator when one exists ([`Simulator::load`] swaps
+/// the trace and parameters and behaves bit-identically to a fresh
+/// construction — the ROADMAP "grid cells rebuild the simulator per
+/// cell" item).
+fn run_episode(
+    sims: &mut HashMap<usize, Simulator>,
+    si: usize,
+    system: &SystemConfig,
+    episode: &EpisodeSpec,
+    policy: &mut dyn Policy,
+) -> SimReport {
+    use std::collections::hash_map::Entry;
+    let sim = match sims.entry(si) {
+        Entry::Occupied(slot) => {
+            let sim = slot.into_mut();
+            sim.load(episode.jobs.clone(), episode.params)
+                .expect("scenario jobs must fit the system");
+            sim
+        }
+        Entry::Vacant(slot) => slot.insert(
+            Simulator::new(system.clone(), episode.jobs.clone(), episode.params)
+                .expect("scenario jobs must fit the system"),
+        ),
+    };
     sim.inject_all(&episode.events).expect("scenario events reference this job set");
     sim.run(policy)
 }
@@ -617,6 +646,24 @@ mod tests {
         for (a, b) in serial.cells.iter().zip(&parallel.cells) {
             assert_eq!(a.policy, b.policy);
             assert_eq!(a.report, b.report, "{} seed {} drifted", a.policy, a.seed);
+        }
+    }
+
+    #[test]
+    fn simulator_reuse_matches_fresh_construction() {
+        // With one worker, seeds 2 and 3 run on a simulator that the
+        // seed-1 cell already used (swapped via `Simulator::load`).
+        // Each single-seed plan builds its simulator fresh — every cell
+        // must agree bit-exactly.
+        let reused = tiny_plan(vec![PolicySpec::Fcfs], vec![1, 2, 3]).workers(1).run();
+        let fresh = EvalGrid::merge(
+            [1u64, 2, 3]
+                .map(|s| tiny_plan(vec![PolicySpec::Fcfs], vec![s]).workers(1).run()),
+        );
+        assert_eq!(reused.cells.len(), fresh.cells.len());
+        for (a, b) in reused.cells.iter().zip(&fresh.cells) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.report, b.report, "seed {} drifted under simulator reuse", a.seed);
         }
     }
 

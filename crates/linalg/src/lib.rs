@@ -5,24 +5,31 @@
 //! stack ([`mrsch-nn`](../mrsch_nn/index.html)) needs:
 //!
 //! * a row-major [`Matrix`] of `f32` with shape-checked arithmetic,
-//! * blocked and (optionally thread-parallel) GEMM in [`gemm`],
+//! * a layered, packed micro-kernel GEMM (optionally thread-parallel)
+//!   in [`gemm`], with panel packing in [`pack`],
 //! * weight initializers (Xavier/He, Box–Muller normal) in [`init`],
 //! * summary statistics helpers in [`stats`].
 //!
 //! The crate is deliberately tiny and dependency-light: everything is
-//! `f32`, row-major, and owned `Vec<f32>` storage. The networks in this
-//! reproduction top out at a 4000-wide hidden layer (the paper's Theta
-//! configuration), for which a cache-blocked scalar GEMM with thread-level
-//! parallelism is entirely adequate and keeps results bit-reproducible for
-//! a fixed seed and thread-count independent (parallelism splits output
-//! rows, never reduction dimensions).
+//! `f32`, row-major, and owned `Vec<f32>` storage. The GEMM is a
+//! BLIS-style layered design — cache-aligned A/B panel packing, an
+//! MR×NR register-tiled FMA micro-kernel, runtime AVX2+FMA dispatch —
+//! and keeps results bit-reproducible: every output element is one
+//! fused-multiply-add chain in increasing-k order, identical across
+//! kernel paths, [`ParallelPolicy`] variants, and thread counts
+//! (parallelism splits output rows, never reduction dimensions). See
+//! the [`gemm`] module docs for the full determinism contract.
 
 pub mod gemm;
 pub mod init;
 pub mod matrix;
+pub mod pack;
 pub mod stats;
 
-pub use gemm::{default_policy, matmul, matmul_a_bt, matmul_at_b, set_default_policy, ParallelPolicy};
+pub use gemm::{
+    default_policy, kernel_isa, matmul, matmul_a_bt, matmul_a_bt_with, matmul_at_b,
+    matmul_at_b_with, matmul_with, set_default_policy, ParallelPolicy,
+};
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the crate's own tests when comparing floats.

@@ -1,0 +1,243 @@
+//! Panel packing for the layered GEMM micro-kernel.
+//!
+//! The packed layouts are the classic BLIS/GotoBLAS ones:
+//!
+//! * **A panels** — `MR` logical rows at a time, k-major: element
+//!   `(i, k)` of panel `p` lives at `p * K * MR + k * MR + i`. The
+//!   micro-kernel broadcasts one contiguous `MR`-chunk per `k` step.
+//! * **B panels** — `NR` logical columns at a time, k-major: element
+//!   `(k, j)` of panel `p` lives at `p * K * NR + k * NR + j`. The
+//!   micro-kernel loads one contiguous `NR`-chunk per `k` step.
+//!
+//! Short edge panels are zero-padded to the full `MR`/`NR` width so the
+//! micro-kernel never branches on tile size; the padded lanes compute
+//! throwaway zeros that the caller simply does not copy out. Padding
+//! lives in the `M`/`N` dimensions only — the `k` extent is always
+//! exact — so every *valid* output element sees exactly the operands
+//! the unpacked operation would, in the same order, which is what keeps
+//! the packed path bit-identical to the naive reference.
+//!
+//! Both packers take a `trans` flag so the transpose entry points
+//! (`C = A · Bᵀ`, `C = Aᵀ · B`) pack their logical operand directly
+//! from the untransposed storage — the transpose is absorbed into the
+//! (amortized) packing pass instead of being paid as strided access in
+//! the O(m·n·k) inner loop.
+
+use crate::matrix::Matrix;
+
+/// One 64-byte cache line of `f32` slots. The field is only ever
+/// reached through the pointer cast in [`AlignedBuf::slots`]; it exists
+/// for layout, not for access.
+#[repr(align(64))]
+#[derive(Clone, Copy)]
+struct CacheLine(#[allow(dead_code)] [f32; 16]);
+
+/// A reusable, 64-byte-aligned `f32` scratch buffer.
+///
+/// GEMM keeps one per thread (see the `thread_local!`s in
+/// [`crate::gemm`]) so steady-state training packs into warm, already
+/// allocated memory instead of touching the allocator every call.
+pub struct AlignedBuf {
+    lines: Vec<CacheLine>,
+}
+
+impl AlignedBuf {
+    /// An empty buffer. `const` so it can seed a `thread_local!`.
+    pub const fn new() -> Self {
+        Self { lines: Vec::new() }
+    }
+
+    /// Grow to at least `len` `f32` slots and expose exactly `len` of
+    /// them. Contents are unspecified — packing overwrites every slot
+    /// it hands to the kernel, padding included.
+    pub fn slots(&mut self, len: usize) -> &mut [f32] {
+        let lines = len.div_ceil(16);
+        if self.lines.len() < lines {
+            self.lines.resize(lines, CacheLine([0.0; 16]));
+        }
+        // SAFETY: `CacheLine` is `repr(align(64))` over `[f32; 16]`,
+        // so `lines` owns at least `lines * 16 >= len` contiguous,
+        // initialized f32 slots starting at a 64-byte boundary.
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<f32>(), len) }
+    }
+}
+
+impl Default for AlignedBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Packed length of `rows` logical A rows over reduction depth `k`.
+pub fn a_len<const MR: usize>(k: usize, rows: usize) -> usize {
+    rows.div_ceil(MR) * k * MR
+}
+
+/// Packed length of `cols` logical B columns over reduction depth `k`.
+pub fn b_len<const NR: usize>(k: usize, cols: usize) -> usize {
+    cols.div_ceil(NR) * k * NR
+}
+
+/// Pack `rows` logical rows of the A operand (rows `row0..row0 + rows`
+/// of `a`, or of `aᵀ` when `trans`) into k-major `MR` panels.
+///
+/// `dst` must hold exactly [`a_len`] slots.
+pub fn pack_a<const MR: usize>(
+    dst: &mut [f32],
+    a: &Matrix,
+    trans: bool,
+    row0: usize,
+    rows: usize,
+    k: usize,
+) {
+    debug_assert_eq!(dst.len(), a_len::<MR>(k, rows));
+    for (p, panel) in dst.chunks_exact_mut(k * MR).enumerate() {
+        let base = row0 + p * MR;
+        let valid = MR.min(rows - p * MR);
+        if trans {
+            // Logical row i is column `base + i` of `a`: each k step
+            // reads a contiguous `valid`-chunk of a's row k.
+            for (kk, chunk) in panel.chunks_exact_mut(MR).enumerate() {
+                let src = &a.row(kk)[base..base + valid];
+                chunk[..valid].copy_from_slice(src);
+                chunk[valid..].fill(0.0);
+            }
+        } else {
+            // Logical row i is row `base + i` of `a`: read each source
+            // row once, scattering with stride MR into the panel.
+            for i in 0..valid {
+                for (kk, &v) in a.row(base + i).iter().enumerate() {
+                    panel[kk * MR + i] = v;
+                }
+            }
+            for i in valid..MR {
+                for kk in 0..k {
+                    panel[kk * MR + i] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Pack `cols` logical columns of the B operand (columns
+/// `col0..col0 + cols` of `b`, or of `bᵀ` when `trans`) into k-major
+/// `NR` panels.
+///
+/// `dst` must hold exactly [`b_len`] slots.
+pub fn pack_b<const NR: usize>(
+    dst: &mut [f32],
+    b: &Matrix,
+    trans: bool,
+    col0: usize,
+    cols: usize,
+    k: usize,
+) {
+    debug_assert_eq!(dst.len(), b_len::<NR>(k, cols));
+    for (p, panel) in dst.chunks_exact_mut(k * NR).enumerate() {
+        let base = col0 + p * NR;
+        let valid = NR.min(cols - p * NR);
+        if trans {
+            // Logical column j is row `base + j` of `b`: read each
+            // source row once (contiguous over k), scatter with stride
+            // NR into the panel.
+            for j in 0..valid {
+                for (kk, &v) in b.row(base + j).iter().enumerate() {
+                    panel[kk * NR + j] = v;
+                }
+            }
+            for j in valid..NR {
+                for kk in 0..k {
+                    panel[kk * NR + j] = 0.0;
+                }
+            }
+        } else {
+            // Logical column j is column `base + j` of `b`: each k
+            // step reads a contiguous `valid`-chunk of b's row k.
+            for (kk, chunk) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &b.row(kk)[base..base + valid];
+                chunk[..valid].copy_from_slice(src);
+                chunk[valid..].fill(0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_matrix(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn aligned_buf_is_cache_aligned_and_reuses() {
+        let mut buf = AlignedBuf::new();
+        let ptr = buf.slots(100).as_ptr() as usize;
+        assert_eq!(ptr % 64, 0, "buffer must start on a cache line");
+        buf.slots(100)[99] = 7.0;
+        // Growing keeps alignment; shrinking hands back a prefix.
+        assert_eq!(buf.slots(200).as_ptr() as usize % 64, 0);
+        assert_eq!(buf.slots(10).len(), 10);
+    }
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 5 rows packed with MR = 4: one full panel + one padded.
+        let a = count_matrix(5, 3);
+        let mut dst = vec![f32::NAN; a_len::<4>(3, 5)];
+        pack_a::<4>(&mut dst, &a, false, 0, 5, 3);
+        // Panel 0, k = 1 holds column 1 of rows 0..4.
+        assert_eq!(&dst[4..8], &[1.0, 4.0, 7.0, 10.0]);
+        // Panel 1 holds row 4 then three zero-padded lanes.
+        assert_eq!(&dst[12..16], &[12.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&dst[16..20], &[13.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_trans_matches_explicit_transpose() {
+        let a = count_matrix(3, 5);
+        let at = a.transpose();
+        let (mut packed_t, mut packed) = (
+            vec![0.0; a_len::<4>(3, 5)],
+            vec![0.0; a_len::<4>(3, 5)],
+        );
+        pack_a::<4>(&mut packed_t, &a, true, 0, 5, 3);
+        pack_a::<4>(&mut packed, &at, false, 0, 5, 3);
+        assert_eq!(packed_t, packed, "trans packing must equal packing the transpose");
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        // 2x5 packed with NR = 4: panel 0 = cols 0..4, panel 1 = col 4 padded.
+        let b = count_matrix(2, 5);
+        let mut dst = vec![f32::NAN; b_len::<4>(2, 5)];
+        pack_b::<4>(&mut dst, &b, false, 0, 5, 2);
+        assert_eq!(&dst[0..4], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&dst[4..8], &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(&dst[8..12], &[4.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&dst[12..16], &[9.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_trans_matches_explicit_transpose() {
+        let b = count_matrix(6, 3);
+        let bt = b.transpose();
+        let (mut packed_t, mut packed) = (
+            vec![0.0; b_len::<4>(3, 6)],
+            vec![0.0; b_len::<4>(3, 6)],
+        );
+        pack_b::<4>(&mut packed_t, &b, true, 0, 6, 3);
+        pack_b::<4>(&mut packed, &bt, false, 0, 6, 3);
+        assert_eq!(packed_t, packed, "trans packing must equal packing the transpose");
+    }
+
+    #[test]
+    fn pack_offsets_select_subblocks() {
+        let a = count_matrix(8, 2);
+        let mut dst = vec![0.0; a_len::<4>(2, 3)];
+        pack_a::<4>(&mut dst, &a, false, 5, 3, 2);
+        // Rows 5..8, k = 0 lane, one zero-padded slot.
+        assert_eq!(&dst[0..4], &[10.0, 12.0, 14.0, 0.0]);
+    }
+}

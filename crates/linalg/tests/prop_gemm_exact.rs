@@ -1,0 +1,141 @@
+//! Property test: the packed/tiled GEMM is **bit-identical** to the
+//! naive triple-loop reference — not approximately equal — across
+//! random shapes (including the `K = 0`, `1 × N`, `M × 1` edges), all
+//! three entry points, and every [`ParallelPolicy`] variant.
+//!
+//! This is the determinism contract of `mrsch_linalg::gemm` stated as
+//! an executable spec: each output element is one fused-multiply-add
+//! chain in increasing-k order, no matter which kernel path (direct vs
+//! packed), tile edge, or thread count computed it.
+
+use mrsch_linalg::{gemm, Matrix, ParallelPolicy};
+use proptest::prelude::*;
+
+/// Deterministic matrix fill from a seed, so shapes and content shrink
+/// independently (dims and seed halve; the data follows).
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Roughly uniform in [-8, 8) with exact zeros sprinkled in so
+        // the old zero-skip shortcut could never hide behind the data.
+        let v = ((state >> 33) as f32 / (1u64 << 28) as f32) - 16.0;
+        if (state >> 21) & 0xF == 0 {
+            0.0
+        } else {
+            v
+        }
+    };
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+}
+
+const POLICIES: [ParallelPolicy; 4] = [
+    ParallelPolicy::Serial,
+    ParallelPolicy::Threads { max_threads: 2 },
+    ParallelPolicy::Threads { max_threads: 5 },
+    ParallelPolicy::Auto,
+];
+
+/// Assert bitwise equality with a readable failure location.
+fn assert_bit_identical(got: &Matrix, want: &Matrix, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape(), "{}: shape", what);
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{}: element {} differs: {} vs {}",
+            what,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+/// Exercise all three entry points under every policy for one (m, k, n).
+fn check_all_ops(m: usize, k: usize, n: usize, seed: u64) -> Result<(), TestCaseError> {
+    // C = A · B
+    let a = lcg_matrix(m, k, seed);
+    let b = lcg_matrix(k, n, seed ^ 0x9E37);
+    let want = gemm::reference::matmul(&a, &b);
+    for policy in POLICIES {
+        let got = gemm::matmul_with(&a, &b, policy);
+        assert_bit_identical(&got, &want, &format!("matmul {m}x{k}x{n} {policy:?}"))?;
+    }
+    // C = A · Bᵀ (B stored (n, k))
+    let bt = lcg_matrix(n, k, seed ^ 0x51DE);
+    let want = gemm::reference::matmul_a_bt(&a, &bt);
+    for policy in POLICIES {
+        let got = gemm::matmul_a_bt_with(&a, &bt, policy);
+        assert_bit_identical(&got, &want, &format!("matmul_a_bt {m}x{k}x{n} {policy:?}"))?;
+    }
+    // C = Aᵀ · B (A stored (k, m))
+    let at = lcg_matrix(k, m, seed ^ 0xA77A);
+    let want = gemm::reference::matmul_at_b(&at, &b);
+    for policy in POLICIES {
+        let got = gemm::matmul_at_b_with(&at, &b, policy);
+        assert_bit_identical(&got, &want, &format!("matmul_at_b {m}x{k}x{n} {policy:?}"))?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes around the dispatch and tile boundaries: `m`
+    /// straddles `MR` (direct vs packed), `n` straddles `NR` panels,
+    /// and `m·n·k` straddles the direct-path flop threshold.
+    #[test]
+    fn random_shapes_bit_identical(
+        m in 1usize..40,
+        k in 0usize..48,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        check_all_ops(m, k, n, seed)?;
+    }
+
+    /// Shapes big enough to guarantee the packed micro-kernel path
+    /// (several MR×NR tiles plus edge tiles) under every policy.
+    #[test]
+    fn packed_path_bit_identical(
+        dm in 0usize..13,
+        dn in 0usize..17,
+        seed in 0u64..1_000_000,
+    ) {
+        check_all_ops(24 + dm, 33, 32 + dn, seed)?;
+    }
+
+    /// Degenerate extents: empty reduction (`K = 0` must yield exact
+    /// +0.0 everywhere), single-row, and single-column outputs.
+    #[test]
+    fn edge_shapes_bit_identical(
+        m in 1usize..20,
+        k in 0usize..24,
+        n in 1usize..20,
+        seed in 0u64..1_000_000,
+    ) {
+        check_all_ops(1, k, n, seed)?;      // 1 × N
+        check_all_ops(m, k, 1, seed)?;      // M × 1
+        check_all_ops(m, 0, n, seed)?;      // K = 0
+        check_all_ops(1, 1, 1, seed)?;      // scalar
+    }
+}
+
+#[test]
+fn k_zero_is_exact_positive_zero() {
+    let a = Matrix::zeros(3, 0);
+    let b = Matrix::zeros(0, 4);
+    for policy in POLICIES {
+        let c = gemm::matmul_with(&a, &b, policy);
+        assert_eq!(c.shape(), (3, 4));
+        for &v in c.as_slice() {
+            assert_eq!(v.to_bits(), 0.0f32.to_bits(), "K=0 must give +0.0, got {v}");
+        }
+    }
+}

@@ -4,6 +4,13 @@
 //! pre-activations) so that `backward` can be called immediately after.
 //! Parameter gradients accumulate into `grad_*` buffers and are consumed by
 //! the optimizers in [`crate::opt`].
+//!
+//! Every contraction routes through the packed GEMM micro-kernel in
+//! `mrsch_linalg`: `Dense` calls the fused entry points directly
+//! (`matmul` forward, `matmul_at_b`/`matmul_a_bt` backward — no
+//! transpose is ever materialized), and `Conv1d` lowers to im2col +
+//! GEMM. Results stay bit-reproducible across thread counts; see the
+//! `mrsch_linalg::gemm` determinism contract.
 
 use mrsch_linalg::{init, matmul, matmul_a_bt, matmul_at_b, Matrix};
 use rand::Rng;
@@ -212,8 +219,36 @@ impl Conv1d {
         y
     }
 
+    /// Gather the convolution windows into an im2col patch matrix:
+    /// row `s * out_len + t` holds the `(ic, k)`-ordered window of
+    /// sample `s` at output position `t`, matching the filter-bank
+    /// layout so the convolution becomes one GEMM.
+    fn im2col(&self, x: &Matrix) -> Matrix {
+        let batch = x.rows();
+        let out_len = self.out_len();
+        let mut patches = Matrix::zeros(batch * out_len, self.in_channels * self.kernel);
+        for s in 0..batch {
+            let row = x.row(s);
+            for t in 0..out_len {
+                let start = t * self.stride;
+                let dst = patches.row_mut(s * out_len + t);
+                for ic in 0..self.in_channels {
+                    let sig = &row[ic * self.length..(ic + 1) * self.length];
+                    dst[ic * self.kernel..(ic + 1) * self.kernel]
+                        .copy_from_slice(&sig[start..start + self.kernel]);
+                }
+            }
+        }
+        patches
+    }
+
     /// Forward pass without caching: usable through a shared reference,
     /// bit-identical to [`Conv1d::forward`] (same operations, same order).
+    ///
+    /// Runs as im2col + `patches · Wᵀ` so the convolution rides the
+    /// packed GEMM micro-kernel instead of a scalar quadruple loop; the
+    /// per-element reduction order (`ic`-major, `k`-minor) is exactly
+    /// the one the filter loop used.
     fn forward_inference(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             x.cols(),
@@ -224,23 +259,19 @@ impl Conv1d {
         );
         let batch = x.rows();
         let out_len = self.out_len();
+        let patches = self.im2col(x);
+        // (batch·out_len, fan_in) x (out_channels, fan_in)ᵀ
+        let scores = matmul_a_bt(&patches, &self.w);
+        // Scatter position-major GEMM rows into the channel-major
+        // output layout, adding the per-filter bias.
         let mut y = Matrix::zeros(batch, self.out_width());
+        let bias = self.b.as_slice();
         for s in 0..batch {
-            let row = x.row(s);
-            for oc in 0..self.out_channels {
-                let filter = self.w.row(oc);
-                let bias = self.b.as_slice()[oc];
-                for t in 0..out_len {
-                    let start = t * self.stride;
-                    let mut acc = bias;
-                    for ic in 0..self.in_channels {
-                        let sig = &row[ic * self.length..(ic + 1) * self.length];
-                        let f = &filter[ic * self.kernel..(ic + 1) * self.kernel];
-                        for k in 0..self.kernel {
-                            acc += f[k] * sig[start + k];
-                        }
-                    }
-                    y.set(s, oc * out_len + t, acc);
+            let dst = y.row_mut(s);
+            for t in 0..out_len {
+                let src = scores.row(s * out_len + t);
+                for (oc, &v) in src.iter().enumerate() {
+                    dst[oc * out_len + t] = bias[oc] + v;
                 }
             }
         }

@@ -9,7 +9,10 @@
 //!
 //! Statistical machinery (outlier analysis, HTML reports, comparison to
 //! saved baselines) is out of scope; the numbers printed are honest wall
-//! times suitable for spotting order-of-magnitude regressions.
+//! times suitable for spotting order-of-magnitude regressions. Every
+//! measurement is also recorded on the `Criterion` instance
+//! ([`Criterion::results`]) so bench mains can emit machine-readable
+//! reports (the CI perf gate consumes one).
 
 use std::time::{Duration, Instant};
 
@@ -38,12 +41,32 @@ impl Default for Settings {
     }
 }
 
+/// One completed measurement, kept so callers (e.g. benches that emit
+/// machine-readable reports) can read back what was printed.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` for grouped benches).
+    pub id: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed batch, per iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observed batch, per iteration, nanoseconds.
+    pub max_ns: f64,
+    /// Timed batches taken.
+    pub samples: u64,
+    /// Iterations per batch.
+    pub iters: u64,
+}
+
 /// Entry point handed to each bench function by `criterion_group!`.
 #[derive(Default)]
 pub struct Criterion {
     settings: Settings,
     /// Substring filters from the CLI; empty means "run everything".
     filters: Vec<String>,
+    /// Every measurement taken through this instance, in run order.
+    results: Vec<BenchResult>,
 }
 
 /// Does `id` pass the substring filters? Empty filter set accepts all;
@@ -73,12 +96,19 @@ impl Criterion {
         self
     }
 
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.settings.measure_budget = budget;
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         if matches_filters(&self.filters, id) {
-            run_one(id, &self.settings, &mut f);
+            let settings = self.settings.clone();
+            let result = run_one(id, &settings, &mut f);
+            self.results.push(result);
         }
         self
     }
@@ -89,6 +119,13 @@ impl Criterion {
             name: name.to_string(),
             settings: Settings::default(),
         }
+    }
+
+    /// Every measurement taken so far (skipped-by-filter benches do not
+    /// appear). Lets bench mains emit machine-readable reports on top
+    /// of the printed table.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 }
 
@@ -116,7 +153,8 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id);
         if matches_filters(&self.parent.filters, &full) {
-            run_one(&full, &self.settings, &mut f);
+            let result = run_one(&full, &self.settings, &mut f);
+            self.parent.results.push(result);
         }
         self
     }
@@ -157,7 +195,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) -> BenchResult {
     // Calibration pass: one iteration, to size batches.
     let mut b = Bencher {
         iters: 1,
@@ -192,6 +230,14 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, f: &mut F) {
     println!(
         "bench: {id:<48} mean {mean:>12?}  min {best:>12?}  max {worst:>12?}  ({samples} x {iters} iters)"
     );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns: mean.as_nanos() as f64,
+        min_ns: best.as_nanos() as f64,
+        max_ns: worst.as_nanos() as f64,
+        samples,
+        iters,
+    }
 }
 
 /// Build one `fn $group()` running each listed benchmark function.
