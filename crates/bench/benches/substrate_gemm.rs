@@ -9,13 +9,18 @@
 //! shape as the in-run speedup baseline.
 //!
 //! On top of the printed table the run emits a machine-readable report
-//! (`results/BENCH_gemm.json`, schema `mrsch-bench-gemm/v1`) that the
-//! CI perf gate (`bench_gate`) compares against the committed baseline.
+//! (`results/BENCH_gemm.json`, schema `mrsch-bench/v2`) that the CI
+//! perf gate (`bench_gate`) compares against the committed baseline —
+//! which may still be the legacy `mrsch-bench-gemm/v1` document (the
+//! gate sniffs and up-converts). The canonical auto/threads2 cells
+//! additionally carry a `speedup_vs_serial` extra — the in-run thread
+//! scaling CI asserts on multi-core runners.
 //! Env knobs: `MRSCH_BENCH_QUICK=1` shrinks the measurement budget for
 //! CI; `MRSCH_BENCH_JSON=path` redirects the report.
 
 use criterion::Criterion;
 use mrsch_bench::gemm_report::{GemmRecord, GemmReport};
+use mrsch_bench::report::BenchReport;
 use mrsch_linalg::{gemm, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -193,11 +198,23 @@ fn main() {
         })
         .collect();
 
-    let report = GemmReport {
+    let v1 = GemmReport {
         quick,
         kernel_isa: mrsch_linalg::kernel_isa().to_string(),
         results,
     };
+
+    // Emit as v2, with in-run thread scaling on the parallel canonical
+    // cells (`speedup_vs_serial` = serial ns / this cell's ns).
+    let mut report = BenchReport::from_v1(&v1);
+    let serial_ns = mean_of("gemm/256x512x256/serial");
+    for id in ["gemm/256x512x256/auto", "gemm/256x512x256/threads2"] {
+        if let (Some(serial), Some(ns)) = (serial_ns, mean_of(id)) {
+            if let Some(r) = report.results.iter_mut().find(|r| r.bench == id) {
+                r.extras.push(("speedup_vs_serial".to_string(), serial / ns));
+            }
+        }
+    }
 
     // A bare `cargo bench -- <filter>` run that skipped the sweep still
     // writes whatever it measured; the gate catches missing shapes.

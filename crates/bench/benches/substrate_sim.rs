@@ -1,0 +1,214 @@
+//! Substrate bench: event-engine throughput on a million-job trace.
+//!
+//! Simulates seeded [`StressConfig`] traces end to end — a clean
+//! Poisson/exponential trace and a disrupted variant with cancels,
+//! walltime overruns, a node-drain episode, and a tick chain — under
+//! both event-queue implementations, plus the 4-shard fleet runner.
+//! Each measured iteration is the *whole* pipeline a study pays for:
+//! simulator construction (slab + seed events), event injection, and
+//! the run loop to drain.
+//!
+//! The report (`results/BENCH_sim.json`, schema `mrsch-bench/v2`)
+//! records `events_per_sec` for every cell. Host-speed-independent and
+//! gated: the **in-run speedup of the indexed calendar queue over the
+//! binary-heap queue** on the same trace, carried as the `ratio` of the
+//! indexed cells — exactly how the GEMM gate tracks its in-run
+//! speedup-over-blocked-loop.
+//!
+//! Env knobs: `MRSCH_BENCH_QUICK=1` shrinks the measurement budget for
+//! CI; `MRSCH_BENCH_JSON=path` redirects the report (default
+//! `results/BENCH_sim.json`).
+
+use criterion::Criterion;
+use mrsch_bench::report::{BenchRecord, BenchReport, SCHEMA};
+use mrsch_workload::disruption::{DisruptionConfig, DrainSpec};
+use mrsch_workload::StressConfig;
+use mrsim::policy::{HeadOfQueue, Policy};
+use mrsim::{
+    partition_round_robin, BinaryHeapEventQueue, EventQueue, IndexedEventQueue, InjectedEvent, Job,
+    ShardSpec, ShardedSim, SimParams, SimReport, Simulator, SystemConfig,
+};
+use std::time::Duration;
+
+const NODES: u64 = 256;
+const BB: u64 = 32;
+const SEED: u64 = 20_220_517;
+/// The acceptance-scale trace: one million jobs.
+const NUM_JOBS: usize = 1_000_000;
+
+fn system() -> SystemConfig {
+    SystemConfig::two_resource(NODES, BB)
+}
+
+fn params(tick: bool) -> SimParams {
+    SimParams {
+        enforce_walltime: tick,
+        tick: if tick { Some(900) } else { None },
+        ..SimParams::new(10, true)
+    }
+}
+
+/// One full simulation; returns the total number of events processed.
+fn simulate<Q: EventQueue>(
+    jobs: &[Job],
+    events: &[InjectedEvent],
+    params: SimParams,
+) -> u64 {
+    let mut sim = Simulator::<Q>::with_queue(system(), jobs.to_vec(), params)
+        .expect("stress trace is valid");
+    sim.inject_all(events).expect("injected events are valid");
+    sim.run(&mut HeadOfQueue).event_counts.total()
+}
+
+/// One full 4-shard fleet run; returns the total events across shards.
+fn simulate_sharded(shards: &[ShardSpec]) -> u64 {
+    let reports: Vec<SimReport> = ShardedSim::new(shards.to_vec())
+        .workers(4)
+        .run_with(&|_| Box::new(HeadOfQueue) as Box<dyn Policy + Send>)
+        .expect("shard fleet runs");
+    reports.iter().map(|r| r.event_counts.total()).sum()
+}
+
+struct Measured {
+    bench: &'static str,
+    queue: &'static str,
+    trace: &'static str,
+    ns_per_iter: f64,
+    events: u64,
+}
+
+fn main() {
+    let quick = std::env::var_os("MRSCH_BENCH_QUICK").is_some();
+    let mut criterion = Criterion::default().configure_from_args();
+    // Iterations are seconds long; one calibration pass plus a
+    // wall-budget-bounded sample loop keeps the full sweep in minutes.
+    criterion = if quick {
+        criterion.sample_size(2).measurement_time(Duration::from_millis(200))
+    } else {
+        criterion.sample_size(5).measurement_time(Duration::from_secs(10))
+    };
+
+    println!("generating {NUM_JOBS}-job stress traces (seed {SEED})...");
+    let clean = StressConfig::engine(NUM_JOBS, vec![NODES, BB]).generate(SEED);
+    let span = clean.last().expect("nonempty trace").submit;
+    let disruptions = DisruptionConfig {
+        cancel_fraction: 0.05,
+        overrun_fraction: 0.05,
+        overrun_factor: 1.5,
+        drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: span / 4, duration: span / 4 }],
+    };
+    let disrupted = disruptions.synthesize(&clean, &system(), SEED ^ 0xD15);
+    let shards: Vec<ShardSpec> = partition_round_robin(&clean, 4)
+        .into_iter()
+        .map(|jobs| ShardSpec::new(system(), jobs, params(false)))
+        .collect();
+
+    let event_totals = [
+        ("sim/1m_clean/indexed", simulate::<IndexedEventQueue>(&clean, &[], params(false))),
+        ("sim/1m_clean/binheap", simulate::<BinaryHeapEventQueue>(&clean, &[], params(false))),
+        (
+            "sim/1m_disrupted/indexed",
+            simulate::<IndexedEventQueue>(&disrupted.jobs, &disrupted.events, params(true)),
+        ),
+        (
+            "sim/1m_disrupted/binheap",
+            simulate::<BinaryHeapEventQueue>(&disrupted.jobs, &disrupted.events, params(true)),
+        ),
+        ("sim/1m_clean/sharded4", simulate_sharded(&shards)),
+    ];
+    let events_of = |id: &str| {
+        event_totals.iter().find(|(b, _)| *b == id).map(|&(_, e)| e).expect("cell counted")
+    };
+
+    criterion.bench_function("sim/1m_clean/indexed", |b| {
+        b.iter(|| simulate::<IndexedEventQueue>(&clean, &[], params(false)))
+    });
+    criterion.bench_function("sim/1m_clean/binheap", |b| {
+        b.iter(|| simulate::<BinaryHeapEventQueue>(&clean, &[], params(false)))
+    });
+    criterion.bench_function("sim/1m_disrupted/indexed", |b| {
+        b.iter(|| simulate::<IndexedEventQueue>(&disrupted.jobs, &disrupted.events, params(true)))
+    });
+    criterion.bench_function("sim/1m_disrupted/binheap", |b| {
+        b.iter(|| simulate::<BinaryHeapEventQueue>(&disrupted.jobs, &disrupted.events, params(true)))
+    });
+    criterion.bench_function("sim/1m_clean/sharded4", |b| b.iter(|| simulate_sharded(&shards)));
+
+    let mean_of = |id: &str| criterion.results().iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    let measured: Vec<Measured> = [
+        ("sim/1m_clean/indexed", "indexed", "clean"),
+        ("sim/1m_clean/binheap", "binheap", "clean"),
+        ("sim/1m_disrupted/indexed", "indexed", "disrupted"),
+        ("sim/1m_disrupted/binheap", "binheap", "disrupted"),
+        ("sim/1m_clean/sharded4", "indexed", "clean"),
+    ]
+    .into_iter()
+    .filter_map(|(bench, queue, trace)| {
+        Some(Measured { bench, queue, trace, ns_per_iter: mean_of(bench)?, events: events_of(bench) })
+    })
+    .collect();
+    let ns_of =
+        |id: &str| measured.iter().find(|m| m.bench == id).map(|m| m.ns_per_iter);
+
+    let results: Vec<BenchRecord> = measured
+        .iter()
+        .map(|m| {
+            // The gated metric: on each trace, the indexed cell carries
+            // its in-run speedup over the heap cell (heap ns / ours).
+            // The sharded cell is recorded but untracked (its worker
+            // parallelism is host-dependent).
+            let ratio = (m.queue == "indexed" && !m.bench.ends_with("sharded4"))
+                .then(|| {
+                    ns_of(&m.bench.replace("indexed", "binheap")).map(|heap| heap / m.ns_per_iter)
+                })
+                .flatten();
+            BenchRecord {
+                bench: m.bench.to_string(),
+                group: "sim".to_string(),
+                unit: "events_per_sec".to_string(),
+                value: m.events as f64 / (m.ns_per_iter * 1e-9),
+                ratio,
+                ratio_kind: if ratio.is_some() {
+                    "speedup_vs_binheap".to_string()
+                } else {
+                    String::new()
+                },
+                extras: vec![
+                    ("events".to_string(), m.events as f64),
+                    ("jobs".to_string(), NUM_JOBS as f64),
+                    ("ns_per_iter".to_string(), m.ns_per_iter),
+                ],
+                tags: vec![
+                    ("queue".to_string(), m.queue.to_string()),
+                    ("trace".to_string(), m.trace.to_string()),
+                ],
+            }
+        })
+        .collect();
+
+    for r in &results {
+        println!(
+            "{}: {:.0} events/sec ({} events{})",
+            r.bench,
+            r.value,
+            r.extra("events").unwrap_or(0.0) as u64,
+            r.ratio.map(|x| format!(", {x:.2}x vs binheap")).unwrap_or_default()
+        );
+    }
+
+    let report = BenchReport {
+        quick,
+        host: format!("{} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get())),
+        results,
+    };
+    let path = std::env::var("MRSCH_BENCH_JSON").unwrap_or_else(|_| {
+        format!("{}/../../results/BENCH_sim.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("sim report ({SCHEMA}): {path} ({} records)", report.results.len()),
+        Err(e) => eprintln!("sim report: failed to write {path}: {e}"),
+    }
+}

@@ -1,53 +1,82 @@
-//! CI perf regression gate for the GEMM micro-kernel.
+//! CI perf regression gate for tracked benchmarks.
 //!
 //! ```text
 //! bench_gate <current.json> <baseline.json> [--tolerance 0.20]
+//!                                           [--require-thread-scaling [floor]]
 //! ```
 //!
-//! Both files are `mrsch-bench-gemm/v1` reports ([`gemm_report`]). The
-//! gate compares the *speedup-over-legacy-blocked-loop* ratio of every
-//! tracked shape — a host-speed-independent metric, measured in the
-//! same run as the kernel itself — and fails (exit 1) when any tracked
-//! shape falls more than `tolerance` below the committed baseline, or
-//! when the canonical serial shape drops under the absolute 2.5×
-//! acceptance floor.
+//! Both files are bench reports — `mrsch-bench/v2` ([`report`]) or the
+//! legacy `mrsch-bench-gemm/v1` ([`gemm_report`]), sniffed by schema tag
+//! and up-converted, so the committed v1 GEMM baseline keeps working.
+//! The gate compares the **in-run ratio** carried by every tracked
+//! record (speedup over the legacy blocked loop for GEMM, indexed-queue
+//! speedup over the binary heap for the event engine) — host-speed
+//! independent, measured in the same process as the candidate — and
+//! fails (exit 1) when any tracked record falls more than `tolerance`
+//! below the committed baseline, or when the canonical serial GEMM shape
+//! drops under the absolute 2.5× acceptance floor (only enforced when
+//! the baseline tracks that shape).
+//!
+//! `--require-thread-scaling` additionally asserts the canonical
+//! threads2 GEMM cell recorded a `speedup_vs_serial` extra of at least
+//! `floor` (default 1.05) — CI enables it only on multi-core runners.
 
-use mrsch_bench::gemm_report::{self, GemmReport};
+use mrsch_bench::report::{self, BenchReport};
 
-fn load(path: &str) -> GemmReport {
+fn load(path: &str) -> BenchReport {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
-    GemmReport::parse(&text).unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"))
+    BenchReport::parse_any(&text)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.20f64;
-    let mut it = args.iter();
+    let mut thread_scaling: Option<f64> = None;
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
             let v = it.next().expect("--tolerance needs a value");
             tolerance = v.parse().expect("--tolerance must be a number");
+        } else if arg == "--require-thread-scaling" {
+            // Optional floor value; defaults to a modest 1.05x.
+            let floor = it
+                .peek()
+                .and_then(|v| v.parse::<f64>().ok())
+                .inspect(|_| {
+                    it.next();
+                })
+                .unwrap_or(1.05);
+            thread_scaling = Some(floor);
         } else {
             paths.push(arg.clone());
         }
     }
     let [current_path, baseline_path] = paths.as_slice() else {
-        eprintln!("usage: bench_gate <current.json> <baseline.json> [--tolerance 0.20]");
+        eprintln!(
+            "usage: bench_gate <current.json> <baseline.json> \
+             [--tolerance 0.20] [--require-thread-scaling [floor]]"
+        );
         std::process::exit(2);
     };
 
     let current = load(current_path);
     let baseline = load(baseline_path);
     println!(
-        "bench_gate: current isa '{}' (quick={}), baseline isa '{}', tolerance {:.0}%",
-        current.kernel_isa,
+        "bench_gate: current host '{}' (quick={}), baseline host '{}', tolerance {:.0}%",
+        current.host,
         current.quick,
-        baseline.kernel_isa,
+        baseline.host,
         tolerance * 100.0
     );
-    let outcome = gemm_report::gate(&current, &baseline, tolerance);
+    let mut outcome = report::gate(&current, &baseline, tolerance);
+    if let Some(floor) = thread_scaling {
+        let scaling = report::check_thread_scaling(&current, floor);
+        outcome.checked.extend(scaling.checked);
+        outcome.failures.extend(scaling.failures);
+    }
     for line in &outcome.checked {
         println!("  {line}");
     }
@@ -64,6 +93,7 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use mrsch_bench::gemm_report::{gate, GemmRecord, GemmReport, CANONICAL_BENCH};
+    use mrsch_bench::report::{self, BenchReport};
 
     fn record(bench: &str, speedup: Option<f64>) -> GemmRecord {
         GemmRecord {
@@ -162,5 +192,20 @@ mod tests {
         let current = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
         let outcome = gate(&current, &baseline, 0.20);
         assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+    }
+
+    #[test]
+    fn v2_gate_accepts_a_v1_baseline_document() {
+        // The exact cross-schema path main() exercises: a v2 current run
+        // gated against the committed v1 baseline file.
+        let v1_baseline = report(vec![record(CANONICAL_BENCH, Some(4.0))]);
+        let baseline = BenchReport::parse_any(&v1_baseline.to_json()).expect("v1 sniffs");
+        let current = BenchReport::from_v1(&report(vec![record(CANONICAL_BENCH, Some(3.6))]));
+        let outcome = report::gate(&current, &baseline, 0.20);
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert!(outcome.checked.iter().any(|c| c.contains("speedup_vs_blocked")));
+
+        let regressed = BenchReport::from_v1(&report(vec![record(CANONICAL_BENCH, Some(3.0))]));
+        assert!(!report::gate(&regressed, &baseline, 0.20).failures.is_empty());
     }
 }

@@ -11,6 +11,7 @@ use mrsch_experiments::ExpScale;
 use mrsch_workload::split::paper_split;
 
 pub mod gemm_report;
+pub mod report;
 
 /// The scale benches run at: the quick experiment scale with slightly
 /// smaller training so one-time setup stays in seconds.

@@ -1,0 +1,475 @@
+//! General machine-readable benchmark reports (`mrsch-bench/v2`) and the
+//! ratio-based CI regression gate.
+//!
+//! The v1 schema (`mrsch-bench-gemm/v1`, [`crate::gemm_report`]) hard-wired
+//! GEMM fields (`m`/`k`/`n`/`gflops`). v2 generalizes to *any* benchmark
+//! family — the GEMM sweep and the event-engine throughput bench both
+//! emit it:
+//!
+//! * `bench` — stable id, the gate's join key,
+//! * `group` — benchmark family (`gemm`, `sim`, ...),
+//! * `unit` + `value` — the raw measurement (`ns_per_iter`,
+//!   `events_per_sec`, ...), host-speed dependent, never gated,
+//! * `ratio` + `ratio_kind` — an **in-run** comparison against a
+//!   reference implementation measured in the same process
+//!   (`speedup_vs_blocked` for GEMM, `speedup_vs_binheap` for the event
+//!   engine). Host-speed independent, and exactly what the gate checks,
+//! * `extras` — free-form numeric facts (`gflops`, `speedup_vs_serial`),
+//! * `tags` — free-form string facts (`op`, `policy`, `queue`).
+//!
+//! [`BenchReport::parse_any`] sniffs the schema tag and transparently
+//! up-converts v1 documents, so the committed v1 GEMM baseline keeps
+//! gating new v2 reports without regeneration.
+
+use std::fmt::Write as _;
+
+use crate::gemm_report::{self, json, GateOutcome, GemmReport};
+
+/// Schema tag stamped into every v2 report.
+pub const SCHEMA: &str = "mrsch-bench/v2";
+
+/// One measured benchmark cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Stable benchmark id (the gate's join key).
+    pub bench: String,
+    /// Benchmark family (`gemm`, `sim`, ...).
+    pub group: String,
+    /// Unit of `value` (`ns_per_iter`, `events_per_sec`, ...).
+    pub unit: String,
+    /// The raw measurement, in `unit`.
+    pub value: f64,
+    /// In-run ratio against a reference implementation; the gate's
+    /// tracked metric (higher is better).
+    pub ratio: Option<f64>,
+    /// What `ratio` compares against (`speedup_vs_blocked`, ...).
+    /// Empty when `ratio` is `None`.
+    pub ratio_kind: String,
+    /// Additional numeric facts, insertion-ordered.
+    pub extras: Vec<(String, f64)>,
+    /// Additional string facts, insertion-ordered.
+    pub tags: Vec<(String, String)>,
+}
+
+impl BenchRecord {
+    /// Look up an extra by key.
+    pub fn extra(&self, key: &str) -> Option<f64> {
+        self.extras.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Look up a tag by key.
+    pub fn tag(&self, key: &str) -> Option<&str> {
+        self.tags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A full v2 bench run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// True when the run used the reduced quick-mode budget.
+    pub quick: bool,
+    /// Host/kernel description (e.g. [`mrsch_linalg::kernel_isa`]).
+    pub host: String,
+    /// All measured cells.
+    pub results: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Look up a record by its stable bench id.
+    pub fn record(&self, bench: &str) -> Option<&BenchRecord> {
+        self.results.iter().find(|r| r.bench == bench)
+    }
+
+    /// Serialize to the `mrsch-bench/v2` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"host\": \"{}\",", escape(&self.host));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"bench\": \"{}\", \"group\": \"{}\", \"unit\": \"{}\", \"value\": {}",
+                escape(&r.bench),
+                escape(&r.group),
+                escape(&r.unit),
+                fmt_num(r.value),
+            );
+            if let Some(ratio) = r.ratio {
+                let _ = write!(
+                    out,
+                    ", \"ratio\": {}, \"ratio_kind\": \"{}\"",
+                    fmt_num(ratio),
+                    escape(&r.ratio_kind)
+                );
+            }
+            if !r.extras.is_empty() {
+                out.push_str(", \"extras\": {");
+                for (j, (k, v)) in r.extras.iter().enumerate() {
+                    let sep = if j == 0 { "" } else { ", " };
+                    let _ = write!(out, "{sep}\"{}\": {}", escape(k), fmt_num(*v));
+                }
+                out.push('}');
+            }
+            if !r.tags.is_empty() {
+                out.push_str(", \"tags\": {");
+                for (j, (k, v)) in r.tags.iter().enumerate() {
+                    let sep = if j == 0 { "" } else { ", " };
+                    let _ = write!(out, "{sep}\"{}\": \"{}\"", escape(k), escape(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a document of *either* schema: `mrsch-bench/v2` natively, or
+    /// `mrsch-bench-gemm/v1` up-converted through [`BenchReport::from_v1`].
+    pub fn parse_any(text: &str) -> Result<BenchReport, String> {
+        let root = json::parse(text)?;
+        match root.get("schema").and_then(json::Value::as_str) {
+            Some(SCHEMA) => Self::from_value(&root),
+            Some(gemm_report::SCHEMA) => Ok(Self::from_v1(&GemmReport::parse(text)?)),
+            other => Err(format!(
+                "unexpected schema {other:?} (want {SCHEMA:?} or {:?})",
+                gemm_report::SCHEMA
+            )),
+        }
+    }
+
+    /// Parse a strict `mrsch-bench/v2` document.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let root = json::parse(text)?;
+        let schema = root.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(format!("unexpected schema {schema:?} (want {SCHEMA:?})"));
+        }
+        Self::from_value(&root)
+    }
+
+    fn from_value(root: &json::Value) -> Result<BenchReport, String> {
+        let results = root
+            .get("results")
+            .and_then(json::Value::as_array)
+            .ok_or("missing results array")?
+            .iter()
+            .map(|v| {
+                let field_str = |key: &str| {
+                    v.get(key)
+                        .and_then(json::Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("record missing string field '{key}'"))
+                };
+                let pairs = |key: &str| -> Vec<(String, &json::Value)> {
+                    match v.get(key) {
+                        Some(json::Value::Obj(fields)) => {
+                            fields.iter().map(|(k, val)| (k.clone(), val)).collect()
+                        }
+                        _ => Vec::new(),
+                    }
+                };
+                Ok(BenchRecord {
+                    bench: field_str("bench")?,
+                    group: field_str("group")?,
+                    unit: field_str("unit")?,
+                    value: v
+                        .get("value")
+                        .and_then(json::Value::as_f64)
+                        .ok_or("record missing numeric field 'value'")?,
+                    ratio: v.get("ratio").and_then(json::Value::as_f64),
+                    ratio_kind: v
+                        .get("ratio_kind")
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    extras: pairs("extras")
+                        .into_iter()
+                        .filter_map(|(k, val)| val.as_f64().map(|x| (k, x)))
+                        .collect(),
+                    tags: pairs("tags")
+                        .into_iter()
+                        .filter_map(|(k, val)| val.as_str().map(|s| (k, s.to_string())))
+                        .collect(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport {
+            quick: root.get("quick").and_then(json::Value::as_bool).unwrap_or(false),
+            host: root
+                .get("host")
+                .and_then(json::Value::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            results,
+        })
+    }
+
+    /// Up-convert a v1 GEMM report: `ns_per_iter` becomes the value,
+    /// `speedup_vs_blocked` the gated ratio, shape and throughput land
+    /// in extras, operation and policy in tags.
+    pub fn from_v1(v1: &GemmReport) -> BenchReport {
+        BenchReport {
+            quick: v1.quick,
+            host: v1.kernel_isa.clone(),
+            results: v1
+                .results
+                .iter()
+                .map(|r| BenchRecord {
+                    bench: r.bench.clone(),
+                    group: "gemm".to_string(),
+                    unit: "ns_per_iter".to_string(),
+                    value: r.ns_per_iter,
+                    ratio: r.speedup_vs_blocked,
+                    ratio_kind: if r.speedup_vs_blocked.is_some() {
+                        "speedup_vs_blocked".to_string()
+                    } else {
+                        String::new()
+                    },
+                    extras: vec![
+                        ("gflops".to_string(), r.gflops),
+                        ("m".to_string(), r.m as f64),
+                        ("k".to_string(), r.k as f64),
+                        ("n".to_string(), r.n as f64),
+                    ],
+                    tags: vec![
+                        ("op".to_string(), r.op.clone()),
+                        ("policy".to_string(), r.policy.clone()),
+                    ],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Gate `current` against `baseline`: every baseline record carrying a
+/// `ratio` is tracked, and the current run must reach at least
+/// `(1 - tolerance)` of the baseline's ratio. When the baseline tracks
+/// the canonical GEMM shape, its absolute
+/// [`gemm_report::CANONICAL_MIN_SPEEDUP`] floor applies too. Works on
+/// reports of either schema (after [`BenchReport::parse_any`]).
+pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.results {
+        let Some(base_ratio) = base.ratio else {
+            continue;
+        };
+        let Some(cur) = current.record(&base.bench) else {
+            out.failures.push(format!("{}: tracked bench missing from current run", base.bench));
+            continue;
+        };
+        let Some(cur_ratio) = cur.ratio else {
+            out.failures.push(format!("{}: current run lost the ratio measurement", base.bench));
+            continue;
+        };
+        let kind = if cur.ratio_kind.is_empty() { "ratio" } else { &cur.ratio_kind };
+        let floor = base_ratio * (1.0 - tolerance);
+        let verdict = if cur_ratio >= floor { "ok" } else { "REGRESSED" };
+        out.checked.push(format!(
+            "{}: {} {:.2}x (baseline {:.2}x, floor {:.2}x) {}",
+            base.bench, kind, cur_ratio, base_ratio, floor, verdict
+        ));
+        if cur_ratio < floor {
+            out.failures.push(format!(
+                "{}: {} {:.2}x fell below {:.2}x ({}% of baseline {:.2}x)",
+                base.bench,
+                kind,
+                cur_ratio,
+                floor,
+                ((1.0 - tolerance) * 100.0).round(),
+                base_ratio
+            ));
+        }
+    }
+    // The micro-kernel PR's absolute acceptance bar: enforced whenever
+    // the baseline tracks the canonical shape (i.e. for GEMM baselines;
+    // a sim-only baseline doesn't drag GEMM cells into its gate).
+    if baseline.record(gemm_report::CANONICAL_BENCH).is_some_and(|b| b.ratio.is_some()) {
+        let floor = gemm_report::CANONICAL_MIN_SPEEDUP;
+        match current.record(gemm_report::CANONICAL_BENCH).and_then(|r| r.ratio) {
+            Some(s) if s >= floor => out.checked.push(format!(
+                "{}: absolute floor {floor:.1}x ok ({s:.2}x)",
+                gemm_report::CANONICAL_BENCH
+            )),
+            Some(s) => out.failures.push(format!(
+                "{}: {s:.2}x below the absolute {floor:.1}x floor",
+                gemm_report::CANONICAL_BENCH
+            )),
+            None => out.failures.push(format!(
+                "{}: no ratio measurement in current run",
+                gemm_report::CANONICAL_BENCH
+            )),
+        }
+    }
+    out
+}
+
+/// Check in-run thread scaling (`--require-thread-scaling`): the
+/// canonical threads2 GEMM cell must carry a `speedup_vs_serial` extra
+/// of at least `floor`. Only meaningful on multi-core hosts — CI gates
+/// behind an `nproc` check.
+pub fn check_thread_scaling(current: &BenchReport, floor: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    let bench = "gemm/256x512x256/threads2";
+    match current.record(bench).and_then(|r| r.extra("speedup_vs_serial")) {
+        Some(s) if s >= floor => {
+            out.checked.push(format!("{bench}: speedup_vs_serial {s:.2}x >= {floor:.2}x ok"));
+        }
+        Some(s) => out.failures.push(format!(
+            "{bench}: speedup_vs_serial {s:.2}x below the {floor:.2}x thread-scaling floor"
+        )),
+        None => out
+            .failures
+            .push(format!("{bench}: no speedup_vs_serial measurement in current run")),
+    }
+    out
+}
+
+/// Trim float noise: integers print bare, everything else with enough
+/// digits to round-trip the measurements we record.
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_report::GemmRecord;
+
+    fn v2_record(bench: &str, ratio: Option<f64>) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_string(),
+            group: "sim".to_string(),
+            unit: "events_per_sec".to_string(),
+            value: 2_500_000.0,
+            ratio,
+            ratio_kind: if ratio.is_some() {
+                "speedup_vs_binheap".to_string()
+            } else {
+                String::new()
+            },
+            extras: vec![("events".to_string(), 3_400_000.0)],
+            tags: vec![("queue".to_string(), "indexed".to_string())],
+        }
+    }
+
+    fn v2_report(cells: Vec<BenchRecord>) -> BenchReport {
+        BenchReport { quick: true, host: "test".to_string(), results: cells }
+    }
+
+    #[test]
+    fn v2_json_roundtrips() {
+        let original = v2_report(vec![
+            v2_record("sim/1m_clean/indexed", Some(1.4)),
+            v2_record("sim/1m_clean/sharded4", None),
+        ]);
+        let parsed = BenchReport::parse(&original.to_json()).expect("own output parses");
+        assert_eq!(parsed, original);
+        let sniffed = BenchReport::parse_any(&original.to_json()).expect("sniffed parse");
+        assert_eq!(sniffed, original);
+    }
+
+    #[test]
+    fn v1_documents_up_convert_through_parse_any() {
+        let v1 = GemmReport {
+            quick: false,
+            kernel_isa: "portable".to_string(),
+            results: vec![GemmRecord {
+                bench: "gemm/256x512x256/serial".to_string(),
+                m: 256,
+                k: 512,
+                n: 256,
+                op: "a_b".to_string(),
+                policy: "serial".to_string(),
+                ns_per_iter: 936233.0,
+                gflops: 71.68,
+                speedup_vs_blocked: Some(4.741),
+            }],
+        };
+        let up = BenchReport::parse_any(&v1.to_json()).expect("v1 must up-convert");
+        assert_eq!(up.host, "portable");
+        let r = up.record("gemm/256x512x256/serial").expect("record mapped");
+        assert_eq!(r.group, "gemm");
+        assert_eq!(r.unit, "ns_per_iter");
+        assert_eq!(r.value, 936233.0);
+        assert_eq!(r.ratio, Some(4.741));
+        assert_eq!(r.ratio_kind, "speedup_vs_blocked");
+        assert_eq!(r.extra("gflops"), Some(71.68));
+        assert_eq!(r.extra("m"), Some(256.0));
+        assert_eq!(r.tag("policy"), Some("serial"));
+    }
+
+    #[test]
+    fn parse_any_rejects_unknown_schemas() {
+        assert!(BenchReport::parse_any("{\"schema\": \"other/v9\", \"results\": []}").is_err());
+        assert!(BenchReport::parse_any("not json").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_past_it() {
+        let baseline = v2_report(vec![v2_record("sim/1m_clean/indexed", Some(1.5))]);
+        let ok = gate(&v2_report(vec![v2_record("sim/1m_clean/indexed", Some(1.3))]), &baseline, 0.20);
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+        let bad =
+            gate(&v2_report(vec![v2_record("sim/1m_clean/indexed", Some(1.1))]), &baseline, 0.20);
+        assert_eq!(bad.failures.len(), 1, "{:?}", bad.failures);
+        assert!(bad.failures[0].contains("fell below"));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_tracked_bench_and_ignores_untracked() {
+        let baseline = v2_report(vec![
+            v2_record("sim/1m_clean/indexed", Some(1.5)),
+            v2_record("sim/1m_clean/sharded4", None),
+        ]);
+        let current = v2_report(vec![]);
+        let outcome = gate(&current, &baseline, 0.20);
+        assert_eq!(outcome.failures.len(), 1, "{:?}", outcome.failures);
+        assert!(outcome.failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn canonical_floor_applies_only_with_a_gemm_baseline() {
+        // Sim-only baseline: no canonical GEMM record, no floor check.
+        let sim_base = v2_report(vec![v2_record("sim/1m_clean/indexed", Some(1.5))]);
+        let sim_cur = v2_report(vec![v2_record("sim/1m_clean/indexed", Some(1.5))]);
+        assert!(gate(&sim_cur, &sim_base, 0.20).failures.is_empty());
+        // GEMM baseline tracking the canonical shape: floor enforced.
+        let mut canon = v2_record(crate::gemm_report::CANONICAL_BENCH, Some(2.6));
+        canon.group = "gemm".to_string();
+        let gemm_base = v2_report(vec![canon.clone()]);
+        let mut weak = canon.clone();
+        weak.ratio = Some(2.2); // within 20% tolerance, below 2.5x floor
+        let outcome = gate(&v2_report(vec![weak]), &gemm_base, 0.20);
+        assert!(
+            outcome.failures.iter().any(|f| f.contains("absolute")),
+            "{:?}",
+            outcome.failures
+        );
+    }
+
+    #[test]
+    fn thread_scaling_check_reads_the_extras() {
+        let mut cell = v2_record("gemm/256x512x256/threads2", None);
+        cell.extras = vec![("speedup_vs_serial".to_string(), 1.42)];
+        let ok = check_thread_scaling(&v2_report(vec![cell.clone()]), 1.05);
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+        cell.extras = vec![("speedup_vs_serial".to_string(), 0.8)];
+        let slow = check_thread_scaling(&v2_report(vec![cell]), 1.05);
+        assert_eq!(slow.failures.len(), 1);
+        let missing = check_thread_scaling(&v2_report(vec![]), 1.05);
+        assert_eq!(missing.failures.len(), 1);
+    }
+}

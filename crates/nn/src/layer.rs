@@ -164,8 +164,10 @@ pub struct Conv1d {
     pub grad_w: Matrix,
     /// Accumulated bias gradient.
     pub grad_b: Matrix,
+    /// im2col patches saved by `forward` — the backward pass contracts
+    /// against these directly, so the input itself is never re-gathered.
     #[serde(skip)]
-    cached_input: Option<Matrix>,
+    cached_patches: Option<Matrix>,
 }
 
 impl Conv1d {
@@ -194,7 +196,7 @@ impl Conv1d {
             b: Matrix::zeros(1, out_channels),
             grad_w: Matrix::zeros(out_channels, fan_in),
             grad_b: Matrix::zeros(1, out_channels),
-            cached_input: None,
+            cached_patches: None,
         }
     }
 
@@ -214,8 +216,16 @@ impl Conv1d {
     }
 
     fn forward(&mut self, x: &Matrix) -> Matrix {
-        let y = self.forward_inference(x);
-        self.cached_input = Some(x.clone());
+        assert_eq!(
+            x.cols(),
+            self.in_width(),
+            "Conv1d: input width {} != expected {}",
+            x.cols(),
+            self.in_width()
+        );
+        let patches = self.im2col(x);
+        let y = self.apply_filters(&patches, x.rows());
+        self.cached_patches = Some(patches);
         y
     }
 
@@ -257,13 +267,16 @@ impl Conv1d {
             x.cols(),
             self.in_width()
         );
-        let batch = x.rows();
+        self.apply_filters(&self.im2col(x), x.rows())
+    }
+
+    /// The shared forward contraction: `patches · Wᵀ` plus bias, with
+    /// the position-major GEMM rows scattered into the channel-major
+    /// output layout.
+    fn apply_filters(&self, patches: &Matrix, batch: usize) -> Matrix {
         let out_len = self.out_len();
-        let patches = self.im2col(x);
         // (batch·out_len, fan_in) x (out_channels, fan_in)ᵀ
-        let scores = matmul_a_bt(&patches, &self.w);
-        // Scatter position-major GEMM rows into the channel-major
-        // output layout, adding the per-filter bias.
+        let scores = matmul_a_bt(patches, &self.w);
         let mut y = Matrix::zeros(batch, self.out_width());
         let bias = self.b.as_slice();
         for s in 0..batch {
@@ -278,37 +291,54 @@ impl Conv1d {
         y
     }
 
+    /// Backward pass, lowered to the same two GEMM shapes `Dense` uses.
+    ///
+    /// The channel-major output gradient is first gathered position-major
+    /// (`dScores`, the exact transpose of the forward scatter); then
+    ///
+    /// * `dW += dScoresᵀ · patches`   ([`matmul_at_b`]),
+    /// * `dB += column sums of dScores`,
+    /// * `dPatches = dScores · W`     ([`matmul`]),
+    ///
+    /// and `dPatches` scatter-adds back through the im2col map (col2im:
+    /// overlapping windows accumulate in increasing-`t` order).
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cached_input
+        let patches = self
+            .cached_patches
             .as_ref()
             .expect("Conv1d::backward called before forward");
-        let batch = x.rows();
+        let batch = grad_out.rows();
         let out_len = self.out_len();
+        let mut d_scores = Matrix::zeros(batch * out_len, self.out_channels);
+        for s in 0..batch {
+            let gout = grad_out.row(s);
+            for t in 0..out_len {
+                let dst = d_scores.row_mut(s * out_len + t);
+                for (oc, slot) in dst.iter_mut().enumerate() {
+                    *slot = gout[oc * out_len + t];
+                }
+            }
+        }
+        let dw = matmul_at_b(&d_scores, patches);
+        for (acc, &v) in self.grad_w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+            *acc += v;
+        }
+        for r in 0..d_scores.rows() {
+            for (acc, &v) in self.grad_b.as_mut_slice().iter_mut().zip(d_scores.row(r)) {
+                *acc += v;
+            }
+        }
+        let d_patches = matmul(&d_scores, &self.w);
         let mut grad_in = Matrix::zeros(batch, self.in_width());
         for s in 0..batch {
-            let row = x.row(s);
-            let gout = grad_out.row(s);
-            for oc in 0..self.out_channels {
-                let filter_row = self.w.row(oc).to_vec();
-                for t in 0..out_len {
-                    let g = gout[oc * out_len + t];
-                    if g == 0.0 {
-                        continue;
-                    }
-                    let start = t * self.stride;
-                    self.grad_b.as_mut_slice()[oc] += g;
-                    for ic in 0..self.in_channels {
-                        let sig = &row[ic * self.length..(ic + 1) * self.length];
-                        let gw_row = self.grad_w.row_mut(oc);
-                        for k in 0..self.kernel {
-                            gw_row[ic * self.kernel + k] += g * sig[start + k];
-                        }
-                        let gin =
-                            &mut grad_in.row_mut(s)[ic * self.length..(ic + 1) * self.length];
-                        for k in 0..self.kernel {
-                            gin[start + k] += g * filter_row[ic * self.kernel + k];
-                        }
+            let dst = grad_in.row_mut(s);
+            for t in 0..out_len {
+                let src = d_patches.row(s * out_len + t);
+                let start = t * self.stride;
+                for ic in 0..self.in_channels {
+                    let gin = &mut dst[ic * self.length..(ic + 1) * self.length];
+                    for k in 0..self.kernel {
+                        gin[start + k] += src[ic * self.kernel + k];
                     }
                 }
             }
@@ -567,6 +597,75 @@ mod tests {
             (analytic_x - numeric_x).abs() < 2e-2,
             "conv dX analytic {analytic_x} vs numeric {numeric_x}"
         );
+    }
+
+    /// The GEMM-lowered backward is bit-identical to scalar loops written
+    /// in the GEMM's documented per-element reduction: a `mul_add` chain
+    /// in increasing contraction order starting from `+0.0` (the
+    /// bit-exactness spec of `mrsch_linalg::gemm`, honored by both the
+    /// direct and the packed path).
+    #[test]
+    fn conv1d_backward_gemm_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut c = Conv1d::new(3, 4, 3, 2, 11, &mut rng);
+        let batch = 5;
+        let x = mrsch_linalg::init::gaussian_matrix(&mut rng, batch, c.in_width(), 1.0);
+        let y = c.forward(&x);
+        let gout = y; // loss 0.5·||y||², so dL/dy = y
+        let gin = c.backward(&gout);
+
+        let out_len = c.out_len();
+        let (noc, fan_in) = (c.out_channels, c.in_channels * c.kernel);
+        let rows = batch * out_len;
+        let patches = c.im2col(&x);
+        // Position-major gather of the channel-major output gradient.
+        let mut ds = vec![0.0f32; rows * noc];
+        for s in 0..batch {
+            for t in 0..out_len {
+                for oc in 0..noc {
+                    ds[(s * out_len + t) * noc + oc] = gout.get(s, oc * out_len + t);
+                }
+            }
+        }
+        // dW = dScoresᵀ · patches: chains over rows, increasing.
+        let mut gw = vec![0.0f32; noc * fan_in];
+        for oc in 0..noc {
+            for f in 0..fan_in {
+                let mut acc = 0.0f32;
+                for r in 0..rows {
+                    acc = ds[r * noc + oc].mul_add(patches.get(r, f), acc);
+                }
+                gw[oc * fan_in + f] = acc;
+            }
+        }
+        assert_eq!(c.grad_w.as_slice(), &gw[..], "dW must be bit-identical");
+        // dB: plain column sums in increasing-row order.
+        let mut gb = vec![0.0f32; noc];
+        for r in 0..rows {
+            for (acc, &v) in gb.iter_mut().zip(&ds[r * noc..(r + 1) * noc]) {
+                *acc += v;
+            }
+        }
+        assert_eq!(c.grad_b.as_slice(), &gb[..], "dB must be bit-identical");
+        // dX: dPatches = dScores · W (chain over out-channels), col2im
+        // scatter-added in the implementation's (t, ic, k) order.
+        let mut gi = vec![0.0f32; batch * c.in_width()];
+        for s in 0..batch {
+            for t in 0..out_len {
+                let start = t * c.stride;
+                for ic in 0..c.in_channels {
+                    for k in 0..c.kernel {
+                        let f = ic * c.kernel + k;
+                        let mut acc = 0.0f32;
+                        for oc in 0..noc {
+                            acc = ds[(s * out_len + t) * noc + oc].mul_add(c.w.get(oc, f), acc);
+                        }
+                        gi[s * c.in_width() + ic * c.length + start + k] += acc;
+                    }
+                }
+            }
+        }
+        assert_eq!(gin.as_slice(), &gi[..], "dX must be bit-identical");
     }
 
     #[test]

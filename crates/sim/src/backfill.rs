@@ -9,7 +9,6 @@
 //! or they only consume units that remain spare even after the reserved
 //! job starts.
 
-use crate::job::Job;
 use crate::resources::PoolState;
 use crate::SimTime;
 
@@ -36,7 +35,7 @@ pub struct ReservationPlan {
 /// proceeds without a shadow time.
 pub fn compute_reservation(
     pools: &PoolState,
-    job: &Job,
+    demands: &[u64],
     now: SimTime,
 ) -> Option<ReservationPlan> {
     let nres = pools.num_resources();
@@ -50,10 +49,10 @@ pub fn compute_reservation(
     candidates.sort_unstable();
     candidates.dedup();
     for &t in &candidates {
-        let fits = (0..nres).all(|r| pools.projected_free(r, t) >= job.demands[r]);
+        let fits = (0..nres).all(|r| pools.projected_free(r, t) >= demands[r]);
         if fits {
             let extra = (0..nres)
-                .map(|r| pools.projected_free(r, t) - job.demands[r])
+                .map(|r| pools.projected_free(r, t) - demands[r])
                 .collect();
             return Some(ReservationPlan { shadow: t, extra });
         }
@@ -72,25 +71,23 @@ pub fn compute_reservation(
 pub fn can_backfill(
     plan: &ReservationPlan,
     pools: &PoolState,
-    candidate: &Job,
+    demands: &[u64],
+    estimate: SimTime,
     now: SimTime,
 ) -> bool {
-    if !pools.fits(&candidate.demands) {
+    if !pools.fits(demands) {
         return false;
     }
-    if now + candidate.estimate <= plan.shadow {
+    if now + estimate <= plan.shadow {
         return true;
     }
-    candidate
-        .demands
-        .iter()
-        .zip(&plan.extra)
-        .all(|(d, e)| d <= e)
+    demands.iter().zip(&plan.extra).all(|(d, e)| d <= e)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::Job;
     use crate::resources::SystemConfig;
 
     fn setup() -> (SystemConfig, PoolState) {
@@ -107,7 +104,7 @@ mod tests {
     fn shadow_is_now_when_fits_immediately() {
         let (_, pools) = setup();
         let j = job(0, 10, 10, vec![5, 5]);
-        let plan = compute_reservation(&pools, &j, 100).unwrap();
+        let plan = compute_reservation(&pools, &j.demands, 100).unwrap();
         assert_eq!(plan.shadow, 100);
         assert_eq!(plan.extra, vec![5, 5]);
     }
@@ -120,7 +117,7 @@ mod tests {
         pools.allocate(&job(1, 80, 80, vec![4, 0]), 0);
         // Reserved job needs 8 nodes; free now = 2; after t=50 -> 6; after t=80 -> 10.
         let reserved = job(2, 100, 100, vec![8, 0]);
-        let plan = compute_reservation(&pools, &reserved, 10).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 10).unwrap();
         assert_eq!(plan.shadow, 80);
         assert_eq!(plan.extra, vec![2, 10]);
     }
@@ -130,11 +127,11 @@ mod tests {
         let (_, mut pools) = setup();
         pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
         let reserved = job(1, 50, 50, vec![5, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 0).unwrap();
         assert_eq!(plan.shadow, 100);
         // 1 node free; a 1-node job estimated at 60s finishes before t=100.
         let shortie = job(2, 60, 60, vec![1, 0]);
-        assert!(can_backfill(&plan, &pools, &shortie, 0));
+        assert!(can_backfill(&plan, &pools, &shortie.demands, shortie.estimate, 0));
     }
 
     #[test]
@@ -142,15 +139,15 @@ mod tests {
         let (_, mut pools) = setup();
         pools.allocate(&job(0, 100, 100, vec![9, 0]), 0);
         let reserved = job(1, 50, 50, vec![5, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 0).unwrap();
         // extra = projected_free(100) - 5 = 10 - 5 = 5 nodes.
         assert_eq!(plan.extra[0], 5);
         // 1-node job running past shadow: 1 <= extra, may backfill.
         let long_small = job(2, 500, 500, vec![1, 0]);
-        assert!(can_backfill(&plan, &pools, &long_small, 0));
+        assert!(can_backfill(&plan, &pools, &long_small.demands, long_small.estimate, 0));
         // But it must also fit NOW: only 1 node free, so 2-node job cannot.
         let long_big = job(3, 500, 500, vec![2, 0]);
-        assert!(!can_backfill(&plan, &pools, &long_big, 0));
+        assert!(!can_backfill(&plan, &pools, &long_big.demands, long_big.estimate, 0));
     }
 
     #[test]
@@ -159,14 +156,14 @@ mod tests {
         // 5 nodes and all 10 BB are held until t=100.
         pools.allocate(&job(0, 100, 100, vec![5, 10]), 0);
         let reserved = job(1, 10, 10, vec![10, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 0).unwrap();
         assert_eq!(plan.shadow, 100);
         // Candidate fits node-wise but needs BB that is not free.
         let bb_hungry = job(2, 10, 10, vec![1, 1]);
-        assert!(!can_backfill(&plan, &pools, &bb_hungry, 0));
+        assert!(!can_backfill(&plan, &pools, &bb_hungry.demands, bb_hungry.estimate, 0));
         // Pure-CPU candidate of estimate 50 <= shadow backfills.
         let cpu_only = job(3, 50, 50, vec![1, 0]);
-        assert!(can_backfill(&plan, &pools, &cpu_only, 0));
+        assert!(can_backfill(&plan, &pools, &cpu_only.demands, cpu_only.estimate, 0));
     }
 
     #[test]
@@ -175,12 +172,12 @@ mod tests {
         pools.allocate(&job(0, 40, 40, vec![6, 0]), 0);
         // Reserved needs 8 nodes -> shadow at t=40, extra = 10-8 = 2.
         let reserved = job(1, 10, 10, vec![8, 0]);
-        let plan = compute_reservation(&pools, &reserved, 0).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 0).unwrap();
         assert_eq!(plan.shadow, 40);
         // 4-node candidate estimated to run 100s: fits now (4 free) but
         // would hold 4 > extra=2 nodes at the shadow time -> rejected.
         let delayer = job(2, 100, 100, vec![4, 0]);
-        assert!(!can_backfill(&plan, &pools, &delayer, 0));
+        assert!(!can_backfill(&plan, &pools, &delayer.demands, delayer.estimate, 0));
     }
 
     #[test]
@@ -192,10 +189,10 @@ mod tests {
         // no shadow time until capacity returns.
         pools.adjust_capacity(0, -6);
         let reserved = job(1, 10, 10, vec![6, 0]);
-        assert_eq!(compute_reservation(&pools, &reserved, 0), None);
+        assert_eq!(compute_reservation(&pools, &reserved.demands, 0), None);
         // A 4-node job fits at the (post-absorption) release.
         let smaller = job(2, 10, 10, vec![4, 0]);
-        let plan = compute_reservation(&pools, &smaller, 0).unwrap();
+        let plan = compute_reservation(&pools, &smaller.demands, 0).unwrap();
         assert_eq!(plan.shadow, 100);
         assert_eq!(plan.extra, vec![0, 10]);
     }
@@ -206,10 +203,10 @@ mod tests {
         // Drain 6 of 10 nodes: a 8-node job can never fit until they return.
         pools.adjust_capacity(0, -6);
         let reserved = job(0, 10, 10, vec![8, 0]);
-        assert_eq!(compute_reservation(&pools, &reserved, 0), None);
+        assert_eq!(compute_reservation(&pools, &reserved.demands, 0), None);
         // A job within the shrunken capacity still gets a plan.
         let small = job(1, 10, 10, vec![4, 0]);
-        assert!(compute_reservation(&pools, &small, 0).is_some());
+        assert!(compute_reservation(&pools, &small.demands, 0).is_some());
     }
 
     #[test]
@@ -218,7 +215,7 @@ mod tests {
         pools.allocate(&job(0, 10, 10, vec![10, 0]), 0);
         // Ask at t=50, well past the allocation's est_end=10 (overstayed).
         let reserved = job(1, 10, 10, vec![10, 0]);
-        let plan = compute_reservation(&pools, &reserved, 50).unwrap();
+        let plan = compute_reservation(&pools, &reserved.demands, 50).unwrap();
         assert_eq!(plan.shadow, 50, "overdue releases count as 'now'");
     }
 }

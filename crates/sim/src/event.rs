@@ -7,6 +7,24 @@
 //! the simulator dispatches each to a dedicated handler in
 //! `crate::handlers`.
 //!
+//! # Queue implementations
+//!
+//! The engine is generic over an [`EventQueue`] implementation. Two are
+//! provided, and a property suite (`tests/prop_event_queue.rs`) plus the
+//! large-trace determinism tests prove them pop-for-pop equivalent:
+//!
+//! * [`IndexedEventQueue`] — the default. A calendar queue (R. Brown,
+//!   CACM 1988) over a slab of event slots: amortized O(1) push/pop for
+//!   the near-uniform event-time distributions a batch-scheduler DES
+//!   produces, and O(1) cancel-by-handle instead of tombstoning. Slots
+//!   carry a generation counter so stale handles (cancel after the event
+//!   already fired) are detected and ignored.
+//! * [`BinaryHeapEventQueue`] — the seed's `BinaryHeap<Event>`, kept as
+//!   the reference implementation. Cancellation marks the sequence
+//!   number dead and the heap skips it lazily on pop, but the *observable*
+//!   semantics (live lengths, pop order, cancel return value) are
+//!   identical to the indexed queue by construction.
+//!
 //! # Adding a new event kind
 //!
 //! Two places change, and only two:
@@ -37,7 +55,7 @@ use crate::job::JobId;
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// What happens at an event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,14 +150,18 @@ pub struct Event {
     seq: u64,
 }
 
+impl Event {
+    /// The full deterministic ordering key: earliest time first, then
+    /// kind rank, then insertion sequence.
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.time, self.kind.rank(), self.seq)
+    }
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
@@ -149,69 +171,535 @@ impl PartialOrd for Event {
     }
 }
 
-/// Deterministic min-heap of events.
+/// Opaque handle to a scheduled event, returned by [`EventQueue::push`]
+/// and consumed by [`EventQueue::cancel`]. Handles are *stable-safe*:
+/// cancelling an event that has already fired (or been cancelled) is a
+/// detectable no-op, never a corruption — implementations tag handles
+/// with a generation so slot reuse cannot alias them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    fn pack(slot: u32, gen: u32) -> Self {
+        Self(((slot as u64) << 32) | gen as u64)
+    }
+
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+
+    fn from_seq(seq: u64) -> Self {
+        Self(seq)
+    }
+
+    fn seq(self) -> u64 {
+        self.0
+    }
+}
+
+/// A deterministic future-event set: the contract `Simulator` runs on.
+///
+/// Pops follow the strict total order `(time, kind rank, insertion
+/// sequence)`; two implementations fed the same push/cancel sequence
+/// must emit bit-identical pop sequences and report identical live
+/// lengths at every step — that equivalence is what lets the engine
+/// swap queue implementations without perturbing any simulation result.
+pub trait EventQueue: Default + std::fmt::Debug + Send {
+    /// Schedule an event; the handle cancels it later.
+    fn push(&mut self, time: SimTime, kind: EventKind) -> EventHandle;
+
+    /// Remove a pending event by handle. Returns `false` (and does
+    /// nothing) if the event already fired or was already cancelled.
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+
+    /// Remove and return the earliest pending event.
+    fn pop(&mut self) -> Option<Event>;
+
+    /// Time of the earliest pending event without removing it. Takes
+    /// `&mut self` so implementations may compact lazily-cancelled
+    /// entries or cache the minimum while looking.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Number of pending (live) events.
+    fn len(&self) -> usize;
+
+    /// Number of pending events that are not ticks — the "can the
+    /// simulation still evolve on its own?" signal tick re-arming uses.
+    fn non_tick_len(&self) -> usize;
+
+    /// True when no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visit every pending event in unspecified order (diagnostics and
+    /// tests; the hot paths never iterate).
+    fn for_each_pending(&self, f: &mut dyn FnMut(SimTime, EventKind));
+}
+
+/// The seed's binary-heap queue, kept as the reference implementation.
+///
+/// `cancel` marks the sequence number dead; `pop`/`peek_time` skip dead
+/// entries lazily. Live lengths count only undead events so the
+/// observable behaviour matches [`IndexedEventQueue`] exactly.
 #[derive(Debug, Default)]
-pub struct EventQueue {
+pub struct BinaryHeapEventQueue {
     heap: BinaryHeap<Event>,
+    /// Kind of every live (pushed, not yet popped/cancelled) event.
+    pending: HashMap<u64, EventKind>,
+    /// Sequence numbers cancelled but still buried in the heap.
+    cancelled: HashSet<u64>,
     seq: u64,
-    /// Pending [`EventKind::Tick`]s, tracked separately so tick re-arm
+    /// Live [`EventKind::Tick`]s, tracked separately so tick re-arm
     /// logic can ask for *real* (non-tick) pending work — otherwise two
     /// concurrent tick chains would count each other as progress and
     /// sustain themselves forever.
     ticks: usize,
 }
 
-impl EventQueue {
+impl BinaryHeapEventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventQueue for BinaryHeapEventQueue {
+    fn push(&mut self, time: SimTime, kind: EventKind) -> EventHandle {
+        if kind == EventKind::Tick {
+            self.ticks += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, kind, seq });
+        self.pending.insert(seq, kind);
+        EventHandle::from_seq(seq)
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self.pending.remove(&handle.seq()) {
+            Some(kind) => {
+                self.cancelled.insert(handle.seq());
+                if kind == EventKind::Tick {
+                    self.ticks -= 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.pending.remove(&ev.seq);
+            if ev.kind == EventKind::Tick {
+                self.ticks -= 1;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(self.heap.peek()?.time);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn non_tick_len(&self) -> usize {
+        self.pending.len() - self.ticks
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(SimTime, EventKind)) {
+        for ev in self.heap.iter() {
+            if !self.cancelled.contains(&ev.seq) {
+                f(ev.time, ev.kind);
+            }
+        }
+    }
+}
+
+/// Lifecycle of one slab slot in [`IndexedEventQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    /// Holds a pending event (has exactly one bucket entry).
+    Live,
+    /// Cancelled; its bucket entry is pruned lazily on contact.
+    Dead,
+    /// On the free list, ready for reuse (generation bumps on realloc).
+    Free,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    time: SimTime,
+    kind: EventKind,
+    seq: u64,
+    gen: u32,
+    state: SlotState,
+}
+
+impl Slot {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.time, self.kind.rank(), self.seq)
+    }
+}
+
+const MIN_BUCKETS: usize = 4;
+/// Consecutive full-queue fallback searches tolerated before the bucket
+/// width is re-estimated (the event-time distribution shifted under us).
+const MAX_DIRECT_SEARCHES: u32 = 8;
+
+/// Calendar queue over a slab of event slots — the default engine queue.
+///
+/// Events live in an id-indexed `Vec` of slots (no per-event boxing);
+/// buckets hold slot indices hashed by `time / width` modulo a
+/// power-of-two bucket count. Pop scans the current bucket for the
+/// minimum `(time, rank, seq)` key among events inside the bucket's
+/// current one-`width` window, giving amortized O(1) operations when
+/// event times are spread roughly evenly — which submit/finish streams
+/// of a batch trace are. The bucket count doubles/halves with the live
+/// population and the width is re-estimated from the live time span at
+/// every rebuild, so the structure adapts as a simulation drains.
+///
+/// `cancel` is O(1): the slot is marked dead and its bucket entry is
+/// pruned when next touched. A slot is recycled only after its bucket
+/// entry is gone, and handles carry the slot generation, so stale
+/// handles (the natural-end event of a job that was cancelled, say) are
+/// rejected rather than aliased.
+#[derive(Debug)]
+pub struct IndexedEventQueue {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Bucket entries are slot indices; an entry's slot is never reused
+    /// while the entry exists, so index equality identifies the event.
+    buckets: Vec<Vec<u32>>,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: usize,
+    /// Bucket time width (>= 1).
+    width: SimTime,
+    /// Cursor: the bucket the next pop scans first...
+    cur_bucket: usize,
+    /// ...and the exclusive upper time bound of that bucket's current
+    /// window. Invariant: no live event has `time < bucket_top - width`.
+    bucket_top: SimTime,
+    /// Live event count.
+    live: usize,
+    /// Live tick count (see [`BinaryHeapEventQueue::ticks`]).
+    ticks: usize,
+    seq: u64,
+    /// Slot index of the known global minimum, when one is cached.
+    cached_min: Option<u32>,
+    /// Fallback searches since the last rebuild (triggers re-widthing).
+    direct_searches: u32,
+}
+
+impl Default for IndexedEventQueue {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            buckets: vec![Vec::new(); MIN_BUCKETS],
+            mask: MIN_BUCKETS - 1,
+            width: 1,
+            cur_bucket: 0,
+            bucket_top: 1,
+            live: 0,
+            ticks: 0,
+            seq: 0,
+            cached_min: None,
+            direct_searches: 0,
+        }
+    }
+}
+
+impl IndexedEventQueue {
     /// Empty queue.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Schedule an event.
-    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+    fn bucket_index(&self, time: SimTime) -> usize {
+        (time / self.width) as usize & self.mask
+    }
+
+    /// Start of the bucket window containing `time`, and its top.
+    fn window_of(&self, time: SimTime) -> (usize, SimTime) {
+        ((time / self.width) as usize & self.mask, (time / self.width) * self.width + self.width)
+    }
+
+    /// Scan one bucket for the minimal live key with `time < top`,
+    /// pruning dead entries on the way. Returns the winning slot index.
+    fn scan_bucket(&mut self, b: usize, top: SimTime) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        let mut i = 0;
+        while i < self.buckets[b].len() {
+            let idx = self.buckets[b][i];
+            let slot = &self.slots[idx as usize];
+            match slot.state {
+                SlotState::Dead => {
+                    // Lazy prune: the cancelled event's entry dies here
+                    // and its slot becomes reusable.
+                    self.buckets[b].swap_remove(i);
+                    self.slots[idx as usize].state = SlotState::Free;
+                    self.free.push(idx);
+                    continue;
+                }
+                SlotState::Live => {
+                    if slot.time < top {
+                        let better = match best {
+                            None => true,
+                            Some(bi) => slot.key() < self.slots[bi as usize].key(),
+                        };
+                        if better {
+                            best = Some(idx);
+                        }
+                    }
+                }
+                SlotState::Free => unreachable!("free slot has no bucket entry"),
+            }
+            i += 1;
+        }
+        best
+    }
+
+    /// Locate the global minimum, advancing the cursor and caching the
+    /// result. Amortized O(1): the common case finds the event within a
+    /// few buckets of the cursor; a full empty cycle falls back to a
+    /// direct scan of every bucket (and re-estimates the width if that
+    /// keeps happening).
+    fn find_min(&mut self) -> Option<u32> {
+        if self.live == 0 {
+            return None;
+        }
+        if let Some(idx) = self.cached_min {
+            return Some(idx);
+        }
+        let nbuckets = self.mask + 1;
+        let mut b = self.cur_bucket;
+        let mut top = self.bucket_top;
+        for _ in 0..nbuckets {
+            if let Some(idx) = self.scan_bucket(b, top) {
+                self.cur_bucket = b;
+                self.bucket_top = top;
+                self.cached_min = Some(idx);
+                return Some(idx);
+            }
+            b = (b + 1) & self.mask;
+            top += self.width;
+        }
+        // The next event is over a whole "year" (nbuckets * width) away:
+        // scan everything directly and reposition the cursor there.
+        self.direct_searches += 1;
+        let mut best: Option<u32> = None;
+        for bi in 0..nbuckets {
+            if let Some(idx) = self.scan_bucket(bi, SimTime::MAX) {
+                let better = match best {
+                    None => true,
+                    Some(cur) => self.slots[idx as usize].key() < self.slots[cur as usize].key(),
+                };
+                if better {
+                    best = Some(idx);
+                }
+            }
+        }
+        let idx = best.expect("live > 0 implies a live entry exists");
+        let (cb, bt) = self.window_of(self.slots[idx as usize].time);
+        self.cur_bucket = cb;
+        self.bucket_top = bt;
+        self.cached_min = Some(idx);
+        if self.direct_searches >= MAX_DIRECT_SEARCHES {
+            // The width no longer matches the event-time density; rebuild
+            // at the same size to re-estimate it from the live span.
+            self.rebuild(nbuckets);
+        }
+        Some(idx)
+    }
+
+    /// Re-bucket every live event into `nbuckets` buckets with a width
+    /// re-estimated from the live time span (average inter-event gap).
+    /// Dead slots are reclaimed wholesale and the cursor repositions to
+    /// the minimum. Slot indices are stable across rebuilds.
+    fn rebuild(&mut self, nbuckets: usize) {
+        let nbuckets = nbuckets.next_power_of_two().max(MIN_BUCKETS);
+        let (mut min_t, mut max_t, mut n) = (SimTime::MAX, 0, 0u64);
+        for slot in &self.slots {
+            if slot.state == SlotState::Live {
+                min_t = min_t.min(slot.time);
+                max_t = max_t.max(slot.time);
+                n += 1;
+            }
+        }
+        self.width = if n >= 2 && max_t > min_t { ((max_t - min_t) / n).max(1) } else { 1 };
+        self.mask = nbuckets - 1;
+        self.buckets.clear();
+        self.buckets.resize(nbuckets, Vec::new());
+        self.free.clear();
+        let mut best: Option<u32> = None;
+        for i in 0..self.slots.len() {
+            let idx = i as u32;
+            match self.slots[i].state {
+                SlotState::Live => {
+                    let b = self.bucket_index(self.slots[i].time);
+                    self.buckets[b].push(idx);
+                    let better = match best {
+                        None => true,
+                        Some(cur) => self.slots[i].key() < self.slots[cur as usize].key(),
+                    };
+                    if better {
+                        best = Some(idx);
+                    }
+                }
+                SlotState::Dead => {
+                    self.slots[i].state = SlotState::Free;
+                    self.free.push(idx);
+                }
+                SlotState::Free => self.free.push(idx),
+            }
+        }
+        match best {
+            Some(idx) => {
+                let (cb, bt) = self.window_of(self.slots[idx as usize].time);
+                self.cur_bucket = cb;
+                self.bucket_top = bt;
+                self.cached_min = Some(idx);
+            }
+            None => {
+                self.cur_bucket = 0;
+                self.bucket_top = self.width;
+                self.cached_min = None;
+            }
+        }
+        self.direct_searches = 0;
+    }
+}
+
+impl EventQueue for IndexedEventQueue {
+    fn push(&mut self, time: SimTime, kind: EventKind) -> EventHandle {
+        let seq = self.seq;
+        self.seq += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.time = time;
+                slot.kind = kind;
+                slot.seq = seq;
+                slot.state = SlotState::Live;
+                i
+            }
+            None => {
+                self.slots.push(Slot { time, kind, seq, gen: 0, state: SlotState::Live });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let b = self.bucket_index(time);
+        self.buckets[b].push(idx);
+        self.live += 1;
         if kind == EventKind::Tick {
             self.ticks += 1;
         }
-        self.heap.push(Event { time, kind, seq: self.seq });
-        self.seq += 1;
+        // Cursor invariant: no live event before the current window. An
+        // earlier-than-cursor push (rare: a same-instant chain after the
+        // cursor moved on) rewinds the cursor to its window.
+        if time < self.bucket_top.saturating_sub(self.width) {
+            let (cb, bt) = self.window_of(time);
+            self.cur_bucket = cb;
+            self.bucket_top = bt;
+        }
+        match self.cached_min {
+            Some(cur) if self.slots[idx as usize].key() < self.slots[cur as usize].key() => {
+                self.cached_min = Some(idx);
+            }
+            None if self.live == 1 => self.cached_min = Some(idx),
+            _ => {}
+        }
+        let gen = self.slots[idx as usize].gen;
+        if self.live > 2 * (self.mask + 1) {
+            self.rebuild((self.mask + 1) * 2);
+        }
+        EventHandle::pack(idx, gen)
     }
 
-    /// Remove and return the earliest event.
-    pub fn pop(&mut self) -> Option<Event> {
-        let e = self.heap.pop();
-        if let Some(ev) = &e {
-            if ev.kind == EventKind::Tick {
-                self.ticks -= 1;
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let (idx, gen) = handle.unpack();
+        let Some(slot) = self.slots.get_mut(idx as usize) else {
+            return false;
+        };
+        if slot.gen != gen || slot.state != SlotState::Live {
+            return false;
+        }
+        slot.state = SlotState::Dead;
+        self.live -= 1;
+        if slot.kind == EventKind::Tick {
+            self.ticks -= 1;
+        }
+        if self.cached_min == Some(idx) {
+            self.cached_min = None;
+        }
+        true
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let idx = self.find_min()?;
+        let slot = &self.slots[idx as usize];
+        let (time, kind, seq) = (slot.time, slot.kind, slot.seq);
+        let b = self.bucket_index(time);
+        let pos = self.buckets[b]
+            .iter()
+            .position(|&e| e == idx)
+            .expect("minimum's bucket entry present");
+        self.buckets[b].swap_remove(pos);
+        self.slots[idx as usize].state = SlotState::Free;
+        self.free.push(idx);
+        self.live -= 1;
+        if kind == EventKind::Tick {
+            self.ticks -= 1;
+        }
+        self.cached_min = None;
+        // The next minimum is no earlier than this pop: park the cursor
+        // in the popped event's window.
+        let (cb, bt) = self.window_of(time);
+        self.cur_bucket = cb;
+        self.bucket_top = bt;
+        if self.live * 4 < self.mask + 1 && self.mask + 1 > MIN_BUCKETS {
+            let halved = (self.mask + 1) >> 1;
+            self.rebuild(halved);
+        }
+        Some(Event { time, kind, seq })
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.find_min().map(|idx| self.slots[idx as usize].time)
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn non_tick_len(&self) -> usize {
+        self.live - self.ticks
+    }
+
+    fn for_each_pending(&self, f: &mut dyn FnMut(SimTime, EventKind)) {
+        for slot in &self.slots {
+            if slot.state == SlotState::Live {
+                f(slot.time, slot.kind);
             }
         }
-        e
-    }
-
-    /// Time of the earliest event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
-    }
-
-    /// Number of pending events.
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Number of pending events that are not ticks — the "can the
-    /// simulation still evolve on its own?" signal tick re-arming uses.
-    pub fn non_tick_len(&self) -> usize {
-        self.heap.len() - self.ticks
-    }
-
-    /// True when no events remain.
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Iterate over all pending events in unspecified order (used to
-    /// consult scheduled capacity changes during reservation planning).
-    pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.heap.iter()
     }
 }
 
@@ -219,64 +707,272 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    /// Every behavioural test runs against both implementations: the
+    /// trait contract, not an implementation, is what the engine pins.
+    fn both(check: impl Fn(&mut dyn DynQueue)) {
+        let mut heap = BinaryHeapEventQueue::new();
+        check(&mut heap);
+        let mut indexed = IndexedEventQueue::new();
+        check(&mut indexed);
+    }
+
+    /// Object-safe facade so one closure can exercise both impls.
+    trait DynQueue {
+        fn push(&mut self, time: SimTime, kind: EventKind) -> EventHandle;
+        fn cancel(&mut self, handle: EventHandle) -> bool;
+        fn pop(&mut self) -> Option<Event>;
+        fn peek_time(&mut self) -> Option<SimTime>;
+        fn len(&self) -> usize;
+        fn non_tick_len(&self) -> usize;
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<Q: EventQueue> DynQueue for Q {
+        fn push(&mut self, time: SimTime, kind: EventKind) -> EventHandle {
+            EventQueue::push(self, time, kind)
+        }
+        fn cancel(&mut self, handle: EventHandle) -> bool {
+            EventQueue::cancel(self, handle)
+        }
+        fn pop(&mut self) -> Option<Event> {
+            EventQueue::pop(self)
+        }
+        fn peek_time(&mut self) -> Option<SimTime> {
+            EventQueue::peek_time(self)
+        }
+        fn len(&self) -> usize {
+            EventQueue::len(self)
+        }
+        fn non_tick_len(&self) -> usize {
+            EventQueue::non_tick_len(self)
+        }
+        fn is_empty(&self) -> bool {
+            EventQueue::is_empty(self)
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(30, EventKind::Submit(2));
-        q.push(10, EventKind::Submit(0));
-        q.push(20, EventKind::Submit(1));
-        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
-        assert_eq!(times, vec![10, 20, 30]);
+        both(|q| {
+            q.push(30, EventKind::Submit(2));
+            q.push(10, EventKind::Submit(0));
+            q.push(20, EventKind::Submit(1));
+            let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+            assert_eq!(times, vec![10, 20, 30]);
+        });
     }
 
     #[test]
     fn finish_before_submit_at_same_time() {
-        let mut q = EventQueue::new();
-        q.push(10, EventKind::Submit(1));
-        q.push(10, EventKind::Finish(0));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Finish(0));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(1));
+        both(|q| {
+            q.push(10, EventKind::Submit(1));
+            q.push(10, EventKind::Finish(0));
+            assert_eq!(q.pop().unwrap().kind, EventKind::Finish(0));
+            assert_eq!(q.pop().unwrap().kind, EventKind::Submit(1));
+        });
     }
 
     #[test]
     fn same_time_rank_order_is_release_capacity_submit_cancel_tick() {
-        let mut q = EventQueue::new();
-        q.push(10, EventKind::Tick);
-        q.push(10, EventKind::Cancel(2));
-        q.push(10, EventKind::Submit(3));
-        q.push(10, EventKind::CapacityChange { resource: 0, delta: -4 });
-        q.push(10, EventKind::WalltimeKill(1));
-        q.push(10, EventKind::Finish(0));
-        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
-        assert_eq!(
-            kinds,
-            vec![
-                EventKind::Finish(0),
-                EventKind::WalltimeKill(1),
-                EventKind::CapacityChange { resource: 0, delta: -4 },
-                EventKind::Submit(3),
-                EventKind::Cancel(2),
-                EventKind::Tick,
-            ]
-        );
+        both(|q| {
+            q.push(10, EventKind::Tick);
+            q.push(10, EventKind::Cancel(2));
+            q.push(10, EventKind::Submit(3));
+            q.push(10, EventKind::CapacityChange { resource: 0, delta: -4 });
+            q.push(10, EventKind::WalltimeKill(1));
+            q.push(10, EventKind::Finish(0));
+            let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    EventKind::Finish(0),
+                    EventKind::WalltimeKill(1),
+                    EventKind::CapacityChange { resource: 0, delta: -4 },
+                    EventKind::Submit(3),
+                    EventKind::Cancel(2),
+                    EventKind::Tick,
+                ]
+            );
+        });
     }
 
     #[test]
     fn insertion_order_breaks_remaining_ties() {
-        let mut q = EventQueue::new();
-        q.push(5, EventKind::Submit(7));
-        q.push(5, EventKind::Submit(8));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(7));
-        assert_eq!(q.pop().unwrap().kind, EventKind::Submit(8));
+        both(|q| {
+            q.push(5, EventKind::Submit(7));
+            q.push(5, EventKind::Submit(8));
+            assert_eq!(q.pop().unwrap().kind, EventKind::Submit(7));
+            assert_eq!(q.pop().unwrap().kind, EventKind::Submit(8));
+        });
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(42, EventKind::Finish(0));
-        assert_eq!(q.peek_time(), Some(42));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        both(|q| {
+            q.push(42, EventKind::Finish(0));
+            assert_eq!(q.peek_time(), Some(42));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        });
+    }
+
+    #[test]
+    fn cancel_removes_from_pop_order_and_counts() {
+        both(|q| {
+            let _a = q.push(10, EventKind::Submit(0));
+            let b = q.push(20, EventKind::Finish(1));
+            let _c = q.push(30, EventKind::Submit(2));
+            assert!(q.cancel(b));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.non_tick_len(), 2);
+            let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+            assert_eq!(times, vec![10, 30], "cancelled event never pops");
+        });
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_detected_no_op() {
+        both(|q| {
+            let h = q.push(10, EventKind::Finish(0));
+            assert_eq!(q.pop().unwrap().time, 10);
+            assert!(!q.cancel(h), "the event already fired");
+            assert_eq!(q.len(), 0);
+        });
+    }
+
+    #[test]
+    fn double_cancel_reports_false_the_second_time() {
+        both(|q| {
+            let h = q.push(10, EventKind::Cancel(3));
+            assert!(q.cancel(h));
+            assert!(!q.cancel(h));
+            assert!(q.pop().is_none());
+        });
+    }
+
+    #[test]
+    fn stale_handle_does_not_alias_a_reused_slot() {
+        // Pop (or cancel) frees storage; a later push may reuse it. The
+        // old handle must not cancel the new tenant.
+        both(|q| {
+            let old = q.push(10, EventKind::Finish(0));
+            q.pop();
+            // Push enough that any reuse policy has recycled old's slot.
+            let fresh: Vec<EventHandle> =
+                (0..4).map(|i| q.push(20 + i, EventKind::Submit(i as usize))).collect();
+            assert!(!q.cancel(old), "stale handle must be rejected");
+            assert_eq!(q.len(), 4);
+            assert!(q.cancel(fresh[0]), "the new tenant's own handle still works");
+        });
+    }
+
+    #[test]
+    fn cancelled_tick_leaves_non_tick_len_consistent() {
+        both(|q| {
+            q.push(5, EventKind::Submit(0));
+            let t = q.push(10, EventKind::Tick);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.non_tick_len(), 1);
+            assert!(q.cancel(t));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.non_tick_len(), 1);
+        });
+    }
+
+    #[test]
+    fn peek_skips_cancelled_minimum() {
+        both(|q| {
+            let a = q.push(10, EventKind::Submit(0));
+            q.push(20, EventKind::Submit(1));
+            assert!(q.cancel(a));
+            assert_eq!(q.peek_time(), Some(20));
+            assert_eq!(q.pop().unwrap().time, 20);
+        });
+    }
+
+    /// Nested so the `DynQueue` facade is out of scope: this test calls
+    /// `EventQueue` methods on the concrete types, which would otherwise
+    /// be ambiguous against the blanket facade impl.
+    mod cross {
+        use crate::event::*;
+
+        #[test]
+        fn interleaved_sequences_match_across_implementations() {
+            // A deterministic mixed workload (no proptest here — the full
+            // property suite lives in tests/prop_event_queue.rs): both impls
+            // must agree pop-for-pop, including handles pushed after pops.
+            let mut heap = BinaryHeapEventQueue::new();
+            let mut idxq = IndexedEventQueue::new();
+            let mut handles: Vec<(EventHandle, EventHandle)> = Vec::new();
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut lcg = move || {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for step in 0..600u64 {
+                match lcg() % 4 {
+                    0 | 1 => {
+                        let t = lcg() % 97;
+                        let kind = match lcg() % 6 {
+                            0 => EventKind::Finish(step as usize),
+                            1 => EventKind::WalltimeKill(step as usize),
+                            2 => EventKind::Cancel(step as usize),
+                            3 => EventKind::CapacityChange { resource: 0, delta: 1 },
+                            4 => EventKind::Submit(step as usize),
+                            _ => EventKind::Tick,
+                        };
+                        handles.push((heap.push(t, kind), idxq.push(t, kind)));
+                    }
+                    2 => {
+                        assert_eq!(heap.pop(), idxq.pop(), "pop diverged at step {step}");
+                    }
+                    _ => {
+                        if !handles.is_empty() {
+                            let (h, i) = handles[(lcg() as usize) % handles.len()];
+                            assert_eq!(
+                                heap.cancel(h),
+                                idxq.cancel(i),
+                                "cancel diverged at {step}"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(heap.len(), idxq.len());
+                assert_eq!(heap.non_tick_len(), idxq.non_tick_len());
+                assert_eq!(heap.peek_time(), idxq.peek_time());
+            }
+            loop {
+                let (a, b) = (heap.pop(), idxq.pop());
+                assert_eq!(a, b, "drain diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_far_future_events_still_pop_in_order() {
+        // Times far beyond one bucket "year" force the calendar queue's
+        // direct-search fallback; order must survive it.
+        both(|q| {
+            q.push(1_000_000_000, EventKind::Submit(0));
+            q.push(5, EventKind::Submit(1));
+            q.push(70_000_000_000, EventKind::Submit(2));
+            q.push(1_000_000_000, EventKind::Finish(3));
+            let got: Vec<(SimTime, EventKind)> =
+                std::iter::from_fn(|| q.pop()).map(|e| (e.time, e.kind)).collect();
+            assert_eq!(
+                got,
+                vec![
+                    (5, EventKind::Submit(1)),
+                    (1_000_000_000, EventKind::Finish(3)),
+                    (1_000_000_000, EventKind::Submit(0)),
+                    (70_000_000_000, EventKind::Submit(2)),
+                ]
+            );
+        });
     }
 
     #[test]

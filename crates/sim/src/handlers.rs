@@ -13,7 +13,7 @@
 //! releases, capacity changes and arrivals are all visible to one
 //! coherent policy decision.
 
-use crate::event::EventKind;
+use crate::event::{EventKind, EventQueue};
 use crate::job::{JobId, JobOutcome, JobRecord, JobState};
 use crate::simulator::Simulator;
 
@@ -22,7 +22,7 @@ use crate::simulator::Simulator;
 /// `Cancel`); the run loop drops those *without advancing the clock*, so
 /// a schedule's end time reflects real activity, not tombstones. New
 /// kinds are live by default — add an arm only if they can go stale.
-pub(crate) fn is_live(sim: &Simulator, kind: EventKind) -> bool {
+pub(crate) fn is_live<Q: EventQueue>(sim: &Simulator<Q>, kind: EventKind) -> bool {
     match kind {
         EventKind::Finish(id) | EventKind::WalltimeKill(id) => sim.pools.is_running(id),
         EventKind::Cancel(id) => !sim.states[id].is_terminal(),
@@ -40,7 +40,7 @@ pub(crate) fn is_live(sim: &Simulator, kind: EventKind) -> bool {
 }
 
 /// Route one event to its handler. The only kind-dispatch in the engine.
-pub(crate) fn dispatch(sim: &mut Simulator, kind: EventKind) {
+pub(crate) fn dispatch<Q: EventQueue>(sim: &mut Simulator<Q>, kind: EventKind) {
     sim.counts.bump(kind);
     match kind {
         EventKind::Submit(id) => on_submit(sim, id),
@@ -56,7 +56,7 @@ pub(crate) fn dispatch(sim: &mut Simulator, kind: EventKind) {
 
 /// A job arrives into the waiting queue. Duplicate or late submissions
 /// (possible in injected disruption traces) are ignored.
-fn on_submit(sim: &mut Simulator, id: JobId) {
+fn on_submit<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
     if sim.states[id] != JobState::Queued || sim.queue.contains(id) {
         return;
     }
@@ -64,7 +64,7 @@ fn on_submit(sim: &mut Simulator, id: JobId) {
 }
 
 /// A running job completes and releases its resources.
-fn on_finish(sim: &mut Simulator, id: JobId) {
+fn on_finish<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
     // A Finish may race a Cancel/WalltimeKill that already released the
     // job at an earlier instant; terminal states make it a no-op.
     if sim.states[id].is_terminal() || !sim.pools.is_running(id) {
@@ -75,7 +75,7 @@ fn on_finish(sim: &mut Simulator, id: JobId) {
 }
 
 /// A user cancels a job: dequeue if waiting, release if running.
-fn on_cancel(sim: &mut Simulator, id: JobId) {
+fn on_cancel<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
     if sim.states[id].is_terminal() {
         return;
     }
@@ -99,7 +99,7 @@ fn on_cancel(sim: &mut Simulator, id: JobId) {
 }
 
 /// The walltime enforcer kills a job that exceeded its estimate.
-fn on_walltime_kill(sim: &mut Simulator, id: JobId) {
+fn on_walltime_kill<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
     if sim.states[id].is_terminal() || !sim.pools.is_running(id) {
         return;
     }
@@ -108,14 +108,20 @@ fn on_walltime_kill(sim: &mut Simulator, id: JobId) {
 }
 
 /// Capacity of one pool changes (node drain/return, power-cap ramp).
-fn on_capacity_change(sim: &mut Simulator, resource: usize, delta: i64) {
+fn on_capacity_change<Q: EventQueue>(sim: &mut Simulator<Q>, resource: usize, delta: i64) {
     sim.pools.adjust_capacity(resource, delta);
+    if delta > 0 {
+        // This return has fired: the capacity-return index moves on so
+        // `earliest_capacity_return` only ever reports *pending* ones.
+        debug_assert_eq!(sim.cap_returns.get(sim.cap_cursor), Some(&sim.now));
+        sim.cap_cursor += 1;
+    }
 }
 
 /// Periodic pulse: no state change — the run loop's post-batch
 /// scheduling instance is the whole effect. Re-arms itself while the
 /// simulation can still make progress.
-fn on_tick(sim: &mut Simulator) {
+fn on_tick<Q: EventQueue>(sim: &mut Simulator<Q>) {
     if let Some(period) = sim.params.tick {
         // Stop ticking once nothing can ever happen again (no pending
         // *non-tick* events, nothing running): otherwise the run would

@@ -137,6 +137,82 @@ impl JobRecord {
     }
 }
 
+/// Struct-of-arrays mirror of a job trace — the simulator's hot-path
+/// view.
+///
+/// `Vec<Job>` stays the API type (policies borrow `&Job`s), but each
+/// job's `demands` lives in its own heap allocation, which makes the
+/// scheduler's inner loops (`fits` checks over the wait queue, end-event
+/// scheduling on start) pointer-chase per candidate. The slab stores the
+/// hot scalar fields and all demand vectors flattened at a fixed stride,
+/// so a million-job trace scans contiguously.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JobSlab {
+    submit: Vec<SimTime>,
+    runtime: Vec<SimTime>,
+    estimate: Vec<SimTime>,
+    /// All demand vectors back to back; job `i` owns
+    /// `demands[i * nres .. (i + 1) * nres]`.
+    demands: Vec<u64>,
+    nres: usize,
+}
+
+impl JobSlab {
+    /// Build the slab from a dense-id trace. `nres` is the number of
+    /// schedulable resources; every job must demand exactly that many.
+    pub fn from_jobs(jobs: &[Job], nres: usize) -> Self {
+        let mut slab = Self {
+            submit: Vec::with_capacity(jobs.len()),
+            runtime: Vec::with_capacity(jobs.len()),
+            estimate: Vec::with_capacity(jobs.len()),
+            demands: Vec::with_capacity(jobs.len() * nres),
+            nres,
+        };
+        for job in jobs {
+            debug_assert_eq!(job.demands.len(), nres, "job {} demand arity", job.id);
+            slab.submit.push(job.submit);
+            slab.runtime.push(job.runtime);
+            slab.estimate.push(job.estimate);
+            slab.demands.extend_from_slice(&job.demands);
+        }
+        slab
+    }
+
+    /// Number of jobs in the slab.
+    pub fn len(&self) -> usize {
+        self.submit.len()
+    }
+
+    /// True when the slab holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.submit.is_empty()
+    }
+
+    /// Submission time of job `id`.
+    #[inline]
+    pub fn submit(&self, id: JobId) -> SimTime {
+        self.submit[id]
+    }
+
+    /// True runtime of job `id`.
+    #[inline]
+    pub fn runtime(&self, id: JobId) -> SimTime {
+        self.runtime[id]
+    }
+
+    /// Walltime estimate of job `id`.
+    #[inline]
+    pub fn estimate(&self, id: JobId) -> SimTime {
+        self.estimate[id]
+    }
+
+    /// Demand vector of job `id` (stride-`nres` slice into the flat pool).
+    #[inline]
+    pub fn demands(&self, id: JobId) -> &[u64] {
+        &self.demands[id * self.nres..(id + 1) * self.nres]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +259,30 @@ mod tests {
     fn bounded_slowdown_never_below_one() {
         let r = JobRecord { id: 0, submit: 0, start: 0, end: 2, backfilled: false, outcome: JobOutcome::Finished };
         assert_eq!(r.bounded_slowdown(10), 1.0);
+    }
+
+    #[test]
+    fn slab_mirrors_the_trace_fields() {
+        let jobs = vec![
+            Job::new(0, 5, 10, 20, vec![3, 1]),
+            Job::new(1, 7, 1, 1, vec![0, 2]),
+            Job::new(2, 9, 4, 6, vec![5, 0]),
+        ];
+        let slab = JobSlab::from_jobs(&jobs, 2);
+        assert_eq!(slab.len(), 3);
+        assert!(!slab.is_empty());
+        for job in &jobs {
+            assert_eq!(slab.submit(job.id), job.submit);
+            assert_eq!(slab.runtime(job.id), job.runtime);
+            assert_eq!(slab.estimate(job.id), job.estimate);
+            assert_eq!(slab.demands(job.id), &job.demands[..]);
+        }
+    }
+
+    #[test]
+    fn empty_slab_is_empty() {
+        let slab = JobSlab::from_jobs(&[], 2);
+        assert_eq!(slab.len(), 0);
+        assert!(slab.is_empty());
     }
 }

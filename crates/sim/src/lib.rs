@@ -55,14 +55,19 @@ pub mod metrics;
 pub mod policy;
 pub mod queue;
 pub mod resources;
+pub mod shard;
 pub mod simulator;
 pub mod timeline;
 
-pub use event::{EventKind, InjectedEvent};
-pub use job::{Job, JobId, JobOutcome, JobRecord};
+pub use event::{
+    BinaryHeapEventQueue, Event, EventHandle, EventKind, EventQueue, IndexedEventQueue,
+    InjectedEvent,
+};
+pub use job::{Job, JobId, JobOutcome, JobRecord, JobSlab};
 pub use metrics::{EventCounts, SimReport};
 pub use policy::{Policy, SchedulerView};
 pub use resources::{ResourceSpec, SystemConfig};
+pub use shard::{partition_round_robin, ShardSpec, ShardTotals, ShardedSim};
 pub use simulator::{SimParams, Simulator};
 pub use timeline::Timeline;
 

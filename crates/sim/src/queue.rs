@@ -5,13 +5,25 @@
 //! *policy* then chooses within a window at the queue front, §III-A
 //! "Action"). The window provides the starvation protection of §III-C:
 //! only the `W` oldest waiting jobs are eligible for selection.
+//!
+//! The storage is a `Vec` with a head cursor: removing the queue head —
+//! by far the common case under FCFS selection — is O(1) (advance the
+//! cursor) rather than an O(n) memmove, and membership queries use a
+//! per-job presence bitmap so duplicate-submit filtering stays O(1) on
+//! million-job traces. The cursor compacts away once it dominates the
+//! buffer, bounding memory at O(live + recently removed).
 
 use crate::job::JobId;
 
 /// FCFS-ordered waiting queue with window extraction.
 #[derive(Clone, Debug, Default)]
 pub struct WaitQueue {
+    /// Queue storage; the live region is `jobs[head..]`.
     jobs: Vec<JobId>,
+    /// Start of the live region (everything before it was head-popped).
+    head: usize,
+    /// `present[id]` iff job `id` is currently queued (grown on demand).
+    present: Vec<bool>,
 }
 
 impl WaitQueue {
@@ -23,7 +35,12 @@ impl WaitQueue {
     /// Append a newly submitted job (queues are arrival-ordered; the
     /// simulator submits in event order so no sorting is needed).
     pub fn enqueue(&mut self, job: JobId) {
+        debug_assert!(!self.contains(job), "job {job} double-enqueued");
         self.jobs.push(job);
+        if self.present.len() <= job {
+            self.present.resize(job + 1, false);
+        }
+        self.present[job] = true;
     }
 
     /// Remove a job that has been started (by selection or backfill).
@@ -31,50 +48,66 @@ impl WaitQueue {
     /// # Panics
     /// Panics if the job is not queued.
     pub fn remove(&mut self, job: JobId) {
-        let idx = self
-            .jobs
-            .iter()
-            .position(|&j| j == job)
-            .unwrap_or_else(|| panic!("WaitQueue::remove: job {job} not queued"));
-        self.jobs.remove(idx);
+        if !self.try_remove(job) {
+            panic!("WaitQueue::remove: job {job} not queued");
+        }
     }
 
     /// Remove a job if it is queued (cancellation path: the job may have
     /// started or finished before the cancel event fired). Returns
     /// whether it was present.
     pub fn try_remove(&mut self, job: JobId) -> bool {
-        match self.jobs.iter().position(|&j| j == job) {
-            Some(idx) => {
-                self.jobs.remove(idx);
-                true
-            }
-            None => false,
+        if !self.contains(job) {
+            return false;
         }
+        if self.jobs[self.head] == job {
+            // Head removal: the FCFS fast path.
+            self.head += 1;
+        } else {
+            let idx = self.jobs[self.head..]
+                .iter()
+                .position(|&j| j == job)
+                .expect("present bitmap says queued");
+            self.jobs.remove(self.head + idx);
+        }
+        self.present[job] = false;
+        self.maybe_compact();
+        true
     }
 
     /// The first `window` waiting jobs, oldest first.
     pub fn window(&self, window: usize) -> &[JobId] {
-        &self.jobs[..window.min(self.jobs.len())]
+        let live = &self.jobs[self.head..];
+        &live[..window.min(live.len())]
     }
 
     /// All waiting jobs, oldest first.
     pub fn all(&self) -> &[JobId] {
-        &self.jobs
+        &self.jobs[self.head..]
     }
 
     /// Number of waiting jobs.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.jobs.len() - self.head
     }
 
     /// True when nothing waits.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.head == self.jobs.len()
     }
 
     /// Is the given job currently queued?
     pub fn contains(&self, job: JobId) -> bool {
-        self.jobs.contains(&job)
+        self.present.get(job).copied().unwrap_or(false)
+    }
+
+    /// Drop the dead prefix once it outweighs the live region, keeping
+    /// the amortized cost of head pops O(1).
+    fn maybe_compact(&mut self) {
+        if self.head > 32 && self.head >= self.len() {
+            self.jobs.drain(..self.head);
+            self.head = 0;
+        }
     }
 }
 
@@ -139,5 +172,41 @@ mod tests {
         q.enqueue(0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn head_pops_with_interleaved_enqueues_stay_fifo() {
+        // Exercise the head cursor across compaction: pop the head many
+        // times while the queue keeps receiving arrivals.
+        let mut q = WaitQueue::new();
+        let mut expect = std::collections::VecDeque::new();
+        for wave in 0..40usize {
+            for k in 0..3 {
+                let id = wave * 3 + k;
+                q.enqueue(id);
+                expect.push_back(id);
+            }
+            let head = *expect.front().unwrap();
+            assert_eq!(q.all().first(), Some(&head));
+            q.remove(head);
+            expect.pop_front();
+            assert_eq!(q.all(), expect.iter().copied().collect::<Vec<_>>().as_slice());
+        }
+        while let Some(id) = expect.pop_front() {
+            assert!(q.try_remove(id));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.all(), &[] as &[JobId]);
+    }
+
+    #[test]
+    fn reenqueue_after_removal_works() {
+        let mut q = WaitQueue::new();
+        q.enqueue(7);
+        q.remove(7);
+        assert!(!q.contains(7));
+        q.enqueue(7);
+        assert!(q.contains(7));
+        assert_eq!(q.all(), &[7]);
     }
 }

@@ -268,16 +268,29 @@ impl PoolState {
     ///
     /// [`fits`]: PoolState::fits
     pub fn allocate(&mut self, job: &Job, now: SimTime) {
-        assert!(self.fits(&job.demands), "allocate: job {} does not fit", job.id);
-        for (f, d) in self.free.iter_mut().zip(&job.demands) {
+        self.allocate_parts(job.id, &job.demands, now, job.estimate, job.runtime);
+    }
+
+    /// [`PoolState::allocate`] from unbundled fields — the simulator's
+    /// slab-backed hot path, which has no `&Job` at hand.
+    pub fn allocate_parts(
+        &mut self,
+        job: JobId,
+        demands: &[u64],
+        now: SimTime,
+        estimate: SimTime,
+        runtime: SimTime,
+    ) {
+        assert!(self.fits(demands), "allocate: job {job} does not fit");
+        for (f, d) in self.free.iter_mut().zip(demands) {
             *f -= d;
         }
         self.running.push(Allocation {
-            job: job.id,
-            demands: job.demands.clone(),
+            job,
+            demands: demands.to_vec(),
             start: now,
-            est_end: now + job.estimate,
-            actual_end: now + job.runtime,
+            est_end: now + estimate,
+            actual_end: now + runtime,
         });
     }
 

@@ -8,9 +8,9 @@
 //! [`crate::event`].
 
 use crate::backfill::{can_backfill, compute_reservation, ReservationPlan};
-use crate::event::{EventKind, EventQueue, InjectedEvent};
+use crate::event::{EventHandle, EventKind, EventQueue, IndexedEventQueue, InjectedEvent};
 use crate::handlers;
-use crate::job::{Job, JobId, JobOutcome, JobRecord, JobState};
+use crate::job::{Job, JobId, JobOutcome, JobRecord, JobSlab, JobState};
 use crate::metrics::{EventCounts, MetricsCollector, SimReport};
 use crate::policy::{JobView, Policy, SchedulerView, StepFeedback};
 use crate::queue::WaitQueue;
@@ -81,13 +81,21 @@ impl std::error::Error for SimError {}
 /// accumulators; [`Simulator::run`] drives a [`Policy`] over the whole
 /// trace and returns the [`SimReport`]. Fields are crate-visible so the
 /// per-kind handlers in [`crate::handlers`] can mutate them directly.
+///
+/// The engine is generic over its [`EventQueue`]; the default
+/// [`IndexedEventQueue`] is what every production caller gets, while the
+/// equivalence test suites instantiate [`Simulator::with_queue`] with the
+/// reference [`crate::BinaryHeapEventQueue`] to prove the two produce
+/// bit-identical [`SimReport`]s.
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<Q: EventQueue = IndexedEventQueue> {
     pub(crate) config: SystemConfig,
     pub(crate) params: SimParams,
     pub(crate) jobs: Vec<Job>,
+    /// Struct-of-arrays mirror of `jobs` for the scheduling hot paths.
+    pub(crate) slab: JobSlab,
     pub(crate) states: Vec<JobState>,
-    pub(crate) events: EventQueue,
+    pub(crate) events: Q,
     pub(crate) queue: WaitQueue,
     pub(crate) pools: PoolState,
     pub(crate) collector: MetricsCollector,
@@ -102,14 +110,35 @@ pub struct Simulator {
     /// `Cancel` at `start + delay` of the *simulated* run when the job
     /// starts (see [`Simulator::schedule_cancel_after_start`]).
     pub(crate) replay_cancels: Vec<Option<SimTime>>,
+    /// Handle of each started job's pending natural-end event (finish,
+    /// walltime kill, or armed replay cancel). `settle` cancels it
+    /// eagerly instead of leaving a tombstone for the queue to skip.
+    pub(crate) end_event: Vec<Option<EventHandle>>,
+    /// Times of injected capacity-*increase* events, sorted; with
+    /// `cap_cursor` this answers `earliest_capacity_return` in O(1)
+    /// instead of scanning the whole pending-event set.
+    pub(crate) cap_returns: Vec<SimTime>,
+    pub(crate) cap_cursor: usize,
 }
 
-impl Simulator {
-    /// Build a simulator over a trace.
+impl Simulator<IndexedEventQueue> {
+    /// Build a simulator over a trace (with the default indexed queue —
+    /// see [`Simulator::with_queue`] to pick the implementation).
     ///
     /// Job ids must be dense (`jobs[i].id == i`) and every job must be
     /// feasible on the system (`demands <= capacity` per resource).
     pub fn new(
+        config: SystemConfig,
+        jobs: Vec<Job>,
+        params: SimParams,
+    ) -> Result<Self, SimError> {
+        Self::with_queue(config, jobs, params)
+    }
+}
+
+impl<Q: EventQueue> Simulator<Q> {
+    /// [`Simulator::new`] generic over the event-queue implementation.
+    pub fn with_queue(
         config: SystemConfig,
         jobs: Vec<Job>,
         params: SimParams,
@@ -119,11 +148,12 @@ impl Simulator {
         let n = jobs.len();
         let mut sim = Self {
             pools: PoolState::new(&config),
+            slab: JobSlab::from_jobs(&jobs, nres),
             config,
             params,
             jobs,
             states: vec![JobState::Queued; n],
-            events: EventQueue::new(),
+            events: Q::default(),
             queue: WaitQueue::new(),
             collector: MetricsCollector::new(nres),
             records: Vec::new(),
@@ -133,6 +163,9 @@ impl Simulator {
             instances: 0,
             finished: 0,
             replay_cancels: vec![None; n],
+            end_event: vec![None; n],
+            cap_returns: Vec::new(),
+            cap_cursor: 0,
         };
         sim.seed_events();
         Ok(sim)
@@ -151,14 +184,14 @@ impl Simulator {
     /// Schedule the trace's submissions and the anchored tick chain into
     /// an empty event queue (shared by construction and reset).
     fn seed_events(&mut self) {
-        for job in &self.jobs {
-            self.events.push(job.submit, EventKind::Submit(job.id));
+        for id in 0..self.slab.len() {
+            self.events.push(self.slab.submit(id), EventKind::Submit(id));
         }
         if let Some(period) = self.params.tick {
             // Anchor the tick chain to the trace start so ticking never
             // drags start_time (and the capacity integral) earlier than
             // the first real event.
-            let t0 = self.jobs.iter().map(|j| j.submit).min().unwrap_or(0);
+            let t0 = (0..self.slab.len()).map(|id| self.slab.submit(id)).min().unwrap_or(0);
             self.events.push(t0 + period.max(1), EventKind::Tick);
         }
     }
@@ -171,7 +204,7 @@ impl Simulator {
         let n = self.jobs.len();
         self.states.clear();
         self.states.resize(n, JobState::Queued);
-        self.events = EventQueue::new();
+        self.events = Q::default();
         self.queue = WaitQueue::new();
         self.pools = PoolState::new(&self.config);
         self.collector = MetricsCollector::new(self.config.num_resources());
@@ -183,6 +216,10 @@ impl Simulator {
         self.finished = 0;
         self.replay_cancels.clear();
         self.replay_cancels.resize(n, None);
+        self.end_event.clear();
+        self.end_event.resize(n, None);
+        self.cap_returns.clear();
+        self.cap_cursor = 0;
         self.seed_events();
     }
 
@@ -192,6 +229,7 @@ impl Simulator {
     /// on error the simulator keeps its previous trace untouched.
     pub fn load_trace(&mut self, jobs: Vec<Job>) -> Result<(), SimError> {
         Self::validate_trace(&self.config, &jobs)?;
+        self.slab = JobSlab::from_jobs(&jobs, self.config.num_resources());
         self.jobs = jobs;
         self.reset();
         Ok(())
@@ -204,6 +242,7 @@ impl Simulator {
     pub fn load(&mut self, jobs: Vec<Job>, params: SimParams) -> Result<(), SimError> {
         Self::validate_trace(&self.config, &jobs)?;
         self.params = params;
+        self.slab = JobSlab::from_jobs(&jobs, self.config.num_resources());
         self.jobs = jobs;
         self.reset();
         Ok(())
@@ -233,6 +272,14 @@ impl Simulator {
                 }
             }
             EventKind::Tick => {}
+        }
+        if let EventKind::CapacityChange { delta, .. } = event.kind {
+            // Index capacity *returns* so reservation planning can ask
+            // for the earliest one without scanning the event set.
+            if delta > 0 {
+                let at = self.cap_returns.partition_point(|&t| t <= event.time);
+                self.cap_returns.insert(at, event.time);
+            }
         }
         self.events.push(event.time, event.kind);
         Ok(())
@@ -326,6 +373,14 @@ impl Simulator {
     pub(crate) fn settle(&mut self, id: JobId, state: JobState, outcome: JobOutcome) {
         self.states[id] = state;
         self.finished += 1;
+        // Cancel the job's pending natural-end event by handle: when the
+        // settle was *triggered by* that event the handle is stale and
+        // the cancel is a detected no-op; when something else ended the
+        // job first (a cancel, an injected finish) the event is removed
+        // outright instead of lingering as a tombstone.
+        if let Some(handle) = self.end_event[id].take() {
+            self.events.cancel(handle);
+        }
         let now = self.now;
         let rec = self
             .records
@@ -338,19 +393,18 @@ impl Simulator {
     }
 
     fn start_job(&mut self, id: JobId, backfilled: bool) {
-        let job = &self.jobs[id];
-        self.pools.allocate(job, self.now);
+        let (runtime, estimate) = (self.slab.runtime(id), self.slab.estimate(id));
+        self.pools.allocate_parts(id, self.slab.demands(id), self.now, estimate, runtime);
         self.states[id] = JobState::Running;
         self.queue.remove(id);
         // The job's natural end: a walltime kill at the estimate for
         // enforced overrunners, a finish at the runtime otherwise.
-        let (end_kind, end_after) = if self.params.enforce_walltime && job.runtime > job.estimate
-        {
-            (EventKind::WalltimeKill(id), job.estimate)
+        let (end_kind, end_after) = if self.params.enforce_walltime && runtime > estimate {
+            (EventKind::WalltimeKill(id), estimate)
         } else {
-            (EventKind::Finish(id), job.runtime)
+            (EventKind::Finish(id), runtime)
         };
-        match self.replay_cancels[id] {
+        let handle = match self.replay_cancels[id] {
             // Wait-aware cancel replay: the start time is now known, so
             // the deferred cancel becomes a concrete event. A recorded
             // lifetime at or before the natural end *is* the job's fate
@@ -358,15 +412,16 @@ impl Simulator {
             // column records the observed lifetime), so the cancel
             // replaces the natural-end event rather than racing it.
             Some(delay) if delay <= end_after => {
-                self.events.push(self.now + delay, EventKind::Cancel(id));
+                self.events.push(self.now + delay, EventKind::Cancel(id))
             }
             _ => self.events.push(self.now + end_after, end_kind),
-        }
+        };
+        self.end_event[id] = Some(handle);
         self.records.push(JobRecord {
             id,
-            submit: job.submit,
+            submit: self.slab.submit(id),
             start: self.now,
-            end: self.now + job.runtime, // provisional; confirmed at settle
+            end: self.now + runtime, // provisional; confirmed at settle
             backfilled,
             outcome: JobOutcome::Finished, // provisional
         });
@@ -396,7 +451,7 @@ impl Simulator {
                 _ => break,
             };
             let jid = window[idx];
-            let fits = self.pools.fits(&self.jobs[jid].demands);
+            let fits = self.pools.fits(self.slab.demands(jid));
             if fits {
                 self.start_job(jid, false);
                 let fb = StepFeedback {
@@ -442,7 +497,8 @@ impl Simulator {
     /// infeasible job would be worse.
     fn backfill_pass(&mut self, res_id: JobId) {
         loop {
-            let plan = compute_reservation(&self.pools, &self.jobs[res_id], self.now);
+            let plan =
+                compute_reservation(&self.pools, self.slab.demands(res_id), self.now);
             let gate = match &plan {
                 Some(_) => None,
                 None => self.earliest_capacity_return(),
@@ -454,12 +510,18 @@ impl Simulator {
                 .copied()
                 .filter(|&j| j != res_id)
                 .find(|&j| match (&plan, gate) {
-                    (Some(p), _) => can_backfill(p, &self.pools, &self.jobs[j], self.now),
+                    (Some(p), _) => can_backfill(
+                        p,
+                        &self.pools,
+                        self.slab.demands(j),
+                        self.slab.estimate(j),
+                        self.now,
+                    ),
                     (None, Some(t_return)) => {
-                        self.pools.fits(&self.jobs[j].demands)
-                            && self.now + self.jobs[j].estimate <= t_return
+                        self.pools.fits(self.slab.demands(j))
+                            && self.now + self.slab.estimate(j) <= t_return
                     }
-                    (None, None) => self.pools.fits(&self.jobs[j].demands),
+                    (None, None) => self.pools.fits(self.slab.demands(j)),
                 });
             match candidate {
                 Some(j) => self.start_job(j, true),
@@ -469,19 +531,16 @@ impl Simulator {
     }
 
     /// Earliest pending capacity-*increase* event, if any — the time a
-    /// drained machine is next expected to grow.
+    /// drained machine is next expected to grow. O(1): injected returns
+    /// are indexed in `cap_returns` and consumed in fire order.
     fn earliest_capacity_return(&self) -> Option<SimTime> {
-        self.events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::CapacityChange { delta, .. } if delta > 0))
-            .map(|e| e.time)
-            .min()
+        self.cap_returns.get(self.cap_cursor).copied()
     }
 
     /// The reservation plan the current instance would compute for a job
     /// (diagnostics; `None` while capacity is drained below its demand).
     pub fn reservation_for(&self, id: JobId) -> Option<ReservationPlan> {
-        compute_reservation(&self.pools, &self.jobs[id], self.now)
+        compute_reservation(&self.pools, self.slab.demands(id), self.now)
     }
 
     fn view(&self) -> SchedulerView<'_> {

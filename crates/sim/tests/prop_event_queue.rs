@@ -1,0 +1,230 @@
+//! Property tests pinning the event-queue equivalence contract.
+//!
+//! The engine's correctness rests on one claim: [`BinaryHeapEventQueue`]
+//! and [`IndexedEventQueue`] are *observationally identical* — fed the
+//! same interleaving of pushes, cancels, and pops, they emit bit-identical
+//! pop sequences (time **and** tie-break order), agree on every cancel's
+//! return value, and report the same live lengths and peek times after
+//! every single operation. On top of the cross-check, both are compared
+//! against a tiny sorted-scan reference model, so agreement can't hide a
+//! shared bug: the model independently encodes the documented total order
+//! `(time, kind rank, insertion sequence)`.
+//!
+//! Edge cases the strategies force: many same-timestamp ties (times are
+//! drawn from a tiny range), cancel-after-pop (cancel targets are drawn
+//! from *all* handles ever issued, including already-popped ones), double
+//! cancels, pops from empty queues, and far-future outliers that push the
+//! calendar queue through its direct-search fallback.
+
+use mrsim::{BinaryHeapEventQueue, EventHandle, EventKind, EventQueue, IndexedEventQueue};
+use proptest::prelude::*;
+
+/// One scripted operation against a queue.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push { time: u64, kind: EventKind },
+    /// Cancel the `i % issued`-th handle ever returned (possibly popped).
+    Cancel { i: usize },
+    Pop,
+}
+
+/// Everything observable about one operation; two queues are equivalent
+/// iff their observation logs are equal element-for-element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Obs {
+    Pushed,
+    Cancelled(bool),
+    Popped(Option<(u64, EventKind)>),
+}
+
+/// Post-operation queue vitals, checked in lockstep with each `Obs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Vitals {
+    len: usize,
+    non_tick_len: usize,
+    peek: Option<u64>,
+}
+
+/// Run the op script against a real queue implementation.
+fn run_ops<Q: EventQueue>(q: &mut Q, ops: &[Op]) -> Vec<(Obs, Vitals)> {
+    let mut handles: Vec<EventHandle> = Vec::new();
+    let mut log = Vec::with_capacity(ops.len());
+    for &op in ops {
+        let obs = match op {
+            Op::Push { time, kind } => {
+                handles.push(q.push(time, kind));
+                Obs::Pushed
+            }
+            Op::Cancel { i } => {
+                if handles.is_empty() {
+                    Obs::Cancelled(false)
+                } else {
+                    Obs::Cancelled(q.cancel(handles[i % handles.len()]))
+                }
+            }
+            Op::Pop => Obs::Popped(q.pop().map(|e| (e.time, e.kind))),
+        };
+        let vitals =
+            Vitals { len: q.len(), non_tick_len: q.non_tick_len(), peek: q.peek_time() };
+        log.push((obs, vitals));
+    }
+    // Drain: the remaining pop order must match too.
+    loop {
+        let popped = q.pop().map(|e| (e.time, e.kind));
+        let done = popped.is_none();
+        log.push((
+            Obs::Popped(popped),
+            Vitals { len: q.len(), non_tick_len: q.non_tick_len(), peek: q.peek_time() },
+        ));
+        if done {
+            break;
+        }
+    }
+    log
+}
+
+/// Sorted-scan reference model of the documented contract: a flat list
+/// of live events, popped by scanning for the minimum
+/// `(time, rank, insertion seq)`. O(n) per op and obviously correct.
+#[derive(Default)]
+struct ModelQueue {
+    /// `(seq, time, kind)`; `None` once popped or cancelled.
+    slots: Vec<Option<(u64, u64, EventKind)>>,
+}
+
+impl ModelQueue {
+    fn run_ops(&mut self, ops: &[Op]) -> Vec<(Obs, Vitals)> {
+        let mut log = Vec::with_capacity(ops.len());
+        for &op in ops {
+            let obs = match op {
+                Op::Push { time, kind } => {
+                    let seq = self.slots.len() as u64;
+                    self.slots.push(Some((seq, time, kind)));
+                    Obs::Pushed
+                }
+                Op::Cancel { i } => {
+                    if self.slots.is_empty() {
+                        Obs::Cancelled(false)
+                    } else {
+                        let at = i % self.slots.len();
+                        Obs::Cancelled(self.slots[at].take().is_some())
+                    }
+                }
+                Op::Pop => Obs::Popped(self.pop()),
+            };
+            log.push((obs, self.vitals()));
+        }
+        loop {
+            let popped = self.pop();
+            let done = popped.is_none();
+            log.push((Obs::Popped(popped), self.vitals()));
+            if done {
+                break;
+            }
+        }
+        log
+    }
+
+    fn pop(&mut self) -> Option<(u64, EventKind)> {
+        let best = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(at, slot)| slot.map(|(seq, time, kind)| (time, kind.index(), seq, at)))
+            .min()?;
+        let (_, time, kind) = self.slots[best.3].take().unwrap();
+        Some((time, kind))
+    }
+
+    fn vitals(&self) -> Vitals {
+        let live = self.slots.iter().flatten();
+        Vitals {
+            len: live.clone().count(),
+            non_tick_len: live.clone().filter(|(_, _, k)| *k != EventKind::Tick).count(),
+            peek: live.map(|&(seq, time, kind)| (time, kind.index(), seq)).min().map(|m| m.0),
+        }
+    }
+}
+
+/// Strategy for one operation. `time_hi` tunes tie density; `far` mixes
+/// in rare far-future outliers (calendar-queue fallback fodder).
+fn arb_op(time_hi: u64, far: bool) -> impl Strategy<Value = Op> {
+    (0u8..8, 0u64..time_hi, 0u8..7, 0usize..4096).prop_map(move |(sel, t, kind_sel, i)| {
+        match sel {
+            // Push-heavy mix keeps queues non-trivially full.
+            0..=3 => {
+                let time = if far && kind_sel == 6 { t.saturating_mul(500_000_000) } else { t };
+                let kind = match kind_sel % 6 {
+                    0 => EventKind::Finish(i),
+                    1 => EventKind::WalltimeKill(i),
+                    2 => EventKind::Cancel(i),
+                    3 => EventKind::CapacityChange { resource: i % 3, delta: (t as i64) - 8 },
+                    4 => EventKind::Submit(i),
+                    _ => EventKind::Tick,
+                };
+                Op::Push { time, kind }
+            }
+            4..=5 => Op::Pop,
+            _ => Op::Cancel { i },
+        }
+    })
+}
+
+/// All three queues (two real, one model) agree on every observation.
+fn assert_equivalent(ops: &[Op]) -> Result<(), TestCaseError> {
+    let heap_log = run_ops(&mut BinaryHeapEventQueue::new(), ops);
+    let indexed_log = run_ops(&mut IndexedEventQueue::new(), ops);
+    let model_log = ModelQueue::default().run_ops(ops);
+    prop_assert_eq!(&heap_log, &indexed_log, "heap vs indexed diverged");
+    prop_assert_eq!(&heap_log, &model_log, "real queues diverged from the reference model");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense-tie workload: times in 0..12 with ~100 ops guarantees many
+    /// same-timestamp, same-kind collisions, so insertion-sequence
+    /// tie-breaking is exercised constantly.
+    #[test]
+    fn dense_tie_interleavings_are_equivalent(
+        ops in prop::collection::vec(arb_op(12, false), 1..120)
+    ) {
+        assert_equivalent(&ops)?;
+    }
+
+    /// Spread-out workload: wider time range, rare far-future outliers
+    /// that force the calendar queue through bucket growth, cursor
+    /// rewinds, and the direct-search fallback.
+    #[test]
+    fn sparse_outlier_interleavings_are_equivalent(
+        ops in prop::collection::vec(arb_op(10_000, true), 1..80)
+    ) {
+        assert_equivalent(&ops)?;
+    }
+
+    /// Cancel-heavy workload: every handle is cancelled roughly once on
+    /// average, so cancel-after-pop and double-cancel edges dominate.
+    #[test]
+    fn cancel_heavy_interleavings_are_equivalent(
+        pushes in prop::collection::vec((0u64..20, 0usize..64), 1..40),
+        cancels in prop::collection::vec(0usize..64, 0..60),
+    ) {
+        let mut ops: Vec<Op> = Vec::new();
+        for (at, &(t, id)) in pushes.iter().enumerate() {
+            ops.push(Op::Push {
+                time: t,
+                kind: if id % 5 == 0 { EventKind::Tick } else { EventKind::Finish(id) },
+            });
+            // Interleave pops so some cancels target already-fired events.
+            if at % 3 == 2 {
+                ops.push(Op::Pop);
+            }
+        }
+        for &i in &cancels {
+            ops.push(Op::Cancel { i });
+            ops.push(Op::Cancel { i }); // immediate double-cancel
+        }
+        assert_equivalent(&ops)?;
+    }
+}

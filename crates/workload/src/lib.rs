@@ -23,6 +23,9 @@
 //!   splits five months into 3.5 months / 2 weeks / rest),
 //! * [`disruption`] — seeded cancellation / walltime-overrun / node-drain
 //!   trace synthesis on top of any job set, plus SWF status replay,
+//! * [`stress`] — engine-scale synthetic stress traces (exponential
+//!   runtimes, Poisson arrivals at a fixed offered load) for event-engine
+//!   benchmarks and the large-trace determinism suite,
 //! * [`scenario`] — named, seeded episode recipes ([`Scenario`]) and
 //!   ordered training [`Curriculum`]s (clean → cancel-heavy →
 //!   drain-heavy hardening) consumed by the training engine,
@@ -37,6 +40,7 @@ pub mod dist;
 pub mod jobset;
 pub mod scenario;
 pub mod split;
+pub mod stress;
 pub mod suite;
 pub mod swf;
 pub mod theta;
@@ -45,5 +49,6 @@ pub use disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
 pub use scenario::{
     Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, PlateauRule, Scenario,
 };
+pub use stress::StressConfig;
 pub use suite::{WorkloadSpec, PowerSpec};
 pub use theta::{SwfStatus, ThetaConfig, TraceJob};

@@ -1,0 +1,137 @@
+//! Large-trace determinism: a seeded disruption trace replays
+//! bit-identically across every engine configuration.
+//!
+//! The PR that introduced the indexed event queue, the job slab, and the
+//! sharded runner is locked down here: for a stress trace with cancels,
+//! walltime overruns, a node-drain episode, and a tick chain, the full
+//! `SimReport` (every record, counter, and metric) must be **equal** —
+//! not approximately, `==` on the whole struct — across
+//!
+//! * the seed's binary-heap event queue vs the indexed calendar queue,
+//! * a serial run vs the sharded runner,
+//! * 1, 2, and 4 worker threads.
+//!
+//! Tier-1 runs a 5 000-job trace; the 100 000-job version of the same
+//! checks runs under `--ignored` (CI executes it in the bench job).
+
+use mrsch_workload::disruption::{DisruptionConfig, DrainSpec};
+use mrsch_workload::StressConfig;
+use mrsim::policy::{HeadOfQueue, Policy};
+use mrsim::{
+    partition_round_robin, BinaryHeapEventQueue, ShardSpec, ShardTotals, ShardedSim, SimParams,
+    SimReport, Simulator, SystemConfig,
+};
+
+const NODES: u64 = 256;
+const BB: u64 = 32;
+const SEED: u64 = 20_220_517; // MRSch camera-ready date
+
+fn system() -> SystemConfig {
+    SystemConfig::two_resource(NODES, BB)
+}
+
+fn params() -> SimParams {
+    SimParams { enforce_walltime: true, tick: Some(900), ..SimParams::new(10, true) }
+}
+
+/// Build `nshards` disrupted shard specs over an `n`-job stress trace.
+/// Disruptions are synthesized per shard (seeded by shard index) so each
+/// shard carries cancels, overruns, and a mid-trace drain episode.
+fn disrupted_shards(n: usize, nshards: usize) -> Vec<ShardSpec> {
+    let jobs = StressConfig::engine(n, vec![NODES, BB]).generate(SEED);
+    let span = jobs.last().expect("nonempty trace").submit;
+    partition_round_robin(&jobs, nshards)
+        .into_iter()
+        .enumerate()
+        .map(|(s, shard_jobs)| {
+            let disruptions = DisruptionConfig {
+                cancel_fraction: 0.08,
+                overrun_fraction: 0.08,
+                overrun_factor: 1.5,
+                drains: vec![DrainSpec {
+                    resource: 0,
+                    fraction: 0.25,
+                    at: span / 4,
+                    duration: span / 4,
+                }],
+            };
+            let trace = disruptions.synthesize(&shard_jobs, &system(), SEED + 101 * s as u64);
+            ShardSpec {
+                config: system(),
+                jobs: trace.jobs,
+                params: params(),
+                events: trace.events,
+                relative_cancels: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+fn fcfs() -> Box<dyn Policy + Send> {
+    Box::new(HeadOfQueue)
+}
+
+/// The core lockstep check at a given trace size.
+fn assert_engine_configurations_agree(n: usize) {
+    // Old vs new queue on a single (unsharded) simulator.
+    let single = disrupted_shards(n, 1).remove(0);
+    let run_single = |report: &mut dyn FnMut() -> SimReport| report();
+    let mut indexed_sim =
+        Simulator::new(single.config.clone(), single.jobs.clone(), single.params).unwrap();
+    indexed_sim.inject_all(&single.events).unwrap();
+    let indexed_report = run_single(&mut || indexed_sim.run(&mut HeadOfQueue));
+    let mut heap_sim = Simulator::<BinaryHeapEventQueue>::with_queue(
+        single.config.clone(),
+        single.jobs.clone(),
+        single.params,
+    )
+    .unwrap();
+    heap_sim.inject_all(&single.events).unwrap();
+    let heap_report = run_single(&mut || heap_sim.run(&mut HeadOfQueue));
+    assert_eq!(indexed_report, heap_report, "binary-heap vs indexed queue diverged");
+
+    // The disruptions actually fired: this test must not vacuously pass.
+    assert!(indexed_report.jobs_completed > 0, "completions landed");
+    assert!(indexed_report.jobs_cancelled > 0, "cancels landed");
+    assert!(indexed_report.jobs_killed > 0, "walltime kills landed");
+    assert!(indexed_report.event_counts.count(mrsim::EventKind::Tick) > 0, "ticks fired");
+
+    // Sharded: worker count and queue implementation are both invisible.
+    let sharded1 = ShardedSim::new(disrupted_shards(n, 4)).workers(1).run_with(&|_| fcfs());
+    let sharded2 = ShardedSim::new(disrupted_shards(n, 4)).workers(2).run_with(&|_| fcfs());
+    let sharded4 = ShardedSim::new(disrupted_shards(n, 4)).workers(4).run_with(&|_| fcfs());
+    let sharded_heap = ShardedSim::new(disrupted_shards(n, 4))
+        .workers(4)
+        .run_with_queue::<BinaryHeapEventQueue, _>(&|_| fcfs());
+    let serial = sharded1.expect("serial fleet runs");
+    assert_eq!(serial, sharded2.expect("2-worker fleet runs"), "1 vs 2 workers diverged");
+    assert_eq!(serial, sharded4.expect("4-worker fleet runs"), "1 vs 4 workers diverged");
+    assert_eq!(
+        serial,
+        sharded_heap.expect("heap-queue fleet runs"),
+        "sharded heap vs indexed queue diverged"
+    );
+
+    // Every job in every shard is accounted for in the merged totals.
+    let totals = ShardTotals::merge(&serial);
+    assert_eq!(
+        totals.jobs_completed + totals.jobs_cancelled + totals.jobs_killed
+            + totals.jobs_unfinished,
+        n,
+        "merged totals must account for every job"
+    );
+}
+
+#[test]
+fn five_thousand_job_trace_replays_bit_identically() {
+    assert_engine_configurations_agree(5_000);
+}
+
+/// The full-size version of the same lockstep check; ~100k jobs with
+/// disruptions. Run with `cargo test --release -- --ignored` (CI's bench
+/// job does).
+#[test]
+#[ignore = "large trace: run explicitly or in the CI bench job"]
+fn hundred_thousand_job_trace_replays_bit_identically() {
+    assert_engine_configurations_agree(100_000);
+}
