@@ -10,9 +10,9 @@ use mrsch::prelude::*;
 use mrsch_experiments::overhead;
 
 /// CI runs this bench on every PR with `MRSCH_BENCH_QUICK=1`: skip the
-/// slow one-time table regeneration and the Theta-sized agent build,
-/// keeping only the scaled-network decision latency as the tracked
-/// number.
+/// slow one-time table regeneration, keeping the decision-latency cells
+/// (both scaled and Theta size — the Theta decision is the serving
+/// hot path and rides the fused gemv kernel) as the tracked numbers.
 fn quick() -> bool {
     std::env::var_os("MRSCH_BENCH_QUICK").is_some()
 }
@@ -49,15 +49,16 @@ fn bench(c: &mut Criterion) {
         b.iter(|| scaled.act(&state, &meas, &goal, &valid, false))
     });
 
-    if !quick() {
-        let (mut theta, dim, m) = mk_agent(SystemConfig::theta(), true);
-        let state = vec![0.5f32; dim];
-        let meas = vec![0.5f32; m];
-        let goal = vec![0.5f32; m];
-        group.bench_function("decision_theta_2res", |b| {
-            b.iter(|| theta.act(&state, &meas, &goal, &valid, false))
-        });
-    }
+    // Measured in quick mode too: a single decision is a 1-row forward
+    // pass, which `mrsch_linalg::matmul` routes through the fused gemv
+    // kernel — this cell is the serving-critical latency CI must track.
+    let (mut theta, dim, m) = mk_agent(SystemConfig::theta(), true);
+    let state = vec![0.5f32; dim];
+    let meas = vec![0.5f32; m];
+    let goal = vec![0.5f32; m];
+    group.bench_function("decision_theta_2res", |b| {
+        b.iter(|| theta.act(&state, &meas, &goal, &valid, false))
+    });
     group.finish();
 }
 

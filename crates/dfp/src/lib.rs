@@ -36,4 +36,4 @@ pub use agent::DfpAgent;
 pub use config::{DfpConfig, StateModuleKind};
 pub use network::DfpNetwork;
 pub use replay::{Experience, ReplayBuffer};
-pub use rollout::{EpisodeRecorder, PolicySnapshot};
+pub use rollout::{greedy_from_scores, EpisodeRecorder, PolicySnapshot};

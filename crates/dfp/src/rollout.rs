@@ -157,6 +157,14 @@ impl PolicySnapshot {
         &self.cfg
     }
 
+    /// The frozen network, for callers that batch their own scoring
+    /// (e.g. the serving engine coalesces concurrent requests into one
+    /// [`DfpNetwork::action_scores_batched`] pass and then applies the
+    /// same greedy rule via [`greedy_from_scores`]).
+    pub fn network(&self) -> &DfpNetwork {
+        &self.net
+    }
+
     /// Choose an action ε-greedily with an external RNG — the same
     /// decision rule as `DfpAgent::act` (both delegate to
     /// [`act_epsilon_greedy`]). Pass `explore = false` for greedy
@@ -222,16 +230,27 @@ pub fn act_epsilon_greedy<R: Rng + ?Sized>(
         return Some(pick);
     }
     let scores = net.action_scores_shared(state, meas, goal);
-    let best = valid_indices
-        .into_iter()
+    greedy_from_scores(&scores, valid)
+}
+
+/// The pure greedy tail of [`act_epsilon_greedy`]: argmax of the
+/// goal-weighted scores over valid actions with the deterministic
+/// lowest-index tie-break. Factored out so batched scoring paths (the
+/// serving engine scores `B` requests in one packed forward pass) decide
+/// *exactly* like the per-sample rule. Returns `None` when no action is
+/// valid.
+pub fn greedy_from_scores(scores: &[f32], valid: &[bool]) -> Option<usize> {
+    valid
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v)
+        .map(|(i, _)| i)
         .max_by(|&a, &b| {
             scores[a]
                 .partial_cmp(&scores[b])
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(b.cmp(&a)) // deterministic tie-break: lowest index
         })
-        .expect("non-empty valid set");
-    Some(best)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! ```text
 //! mrsch_cli simulate --swf trace.swf --workload S4 --nodes 256 --bb 75 --policy mrsch
 //! mrsch_cli evaluate --policy fcfs,mrsch --scenario drain --seeds 0..4
+//! mrsch_cli serve --mode tcp --addr 127.0.0.1:7077 --batch 8 --delay-us 2000
 //! ```
 use mrsch_experiments::cli;
 
@@ -15,18 +16,25 @@ fn usage() -> ! {
          \n\
          mrsch_cli evaluate --policy P1,P2|all --scenario clean,cancel-heavy,overrun-heavy,\
          drain,mixed|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
-         [--jobs N | --swf FILE] [--train-episodes K] [--workers N] [--csv GRID.csv]"
+         [--jobs N | --swf FILE] [--train-episodes K] [--workers N] [--csv GRID.csv]\n\
+         \n\
+         mrsch_cli serve [--mode stdin|tcp|loadtest] [--addr HOST:PORT] [--policy mrsch] \
+         [--batch N] [--delay-us T] [--workers N] [--requests N] [--qps Q] (serve --help for all)"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    // `serve` owns its own --help; everything else shares the top-level usage.
+    if args.first().map(String::as_str) != Some("serve")
+        && (args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h"))
+    {
         usage();
     }
     let result = match args[0].as_str() {
         "evaluate" => cli::evaluate_main(&args[1..]),
+        "serve" => mrsch_serve::cli::serve_main(&args[1..]).map(|s| format!("{s}\n")),
         "simulate" => cli::main_with_args(&args[1..]),
         _ => cli::main_with_args(&args),
     };

@@ -140,9 +140,9 @@ thread_local! {
 }
 
 /// Is the AVX2+FMA kernel instantiation usable on this host? Detected
-/// once, then cached.
+/// once, then cached. Shared with the [`crate::gemv`] kernels.
 #[cfg(target_arch = "x86_64")]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
     use std::sync::atomic::{AtomicU8, Ordering};
     static STATE: AtomicU8 = AtomicU8::new(0);
     match STATE.load(Ordering::Relaxed) {
@@ -235,6 +235,65 @@ pub fn matmul_at_b_with(a: &Matrix, b: &Matrix, policy: ParallelPolicy) -> Matri
     gemm_core(a, true, b, false, policy)
 }
 
+/// `C = A · B` into a caller-owned output (reshaped and reused, no
+/// allocation in steady state) — the scratch-arena entry point used by
+/// inference. Bit-identical to [`matmul`].
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_into: inner dims mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    gemm_into_core(a, false, b, false, default_policy(), out);
+}
+
+/// `C = A · Bᵀ` into a caller-owned output (see [`matmul_into`]).
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt_into: inner dims mismatch {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    gemm_into_core(a, false, b, true, default_policy(), out);
+}
+
+/// `C = A · B` forced through the *packed* (panel-packing) path
+/// regardless of shape. A measurement probe: benches compare the batch-1
+/// gemv routing against this to report an in-run speedup ratio, and
+/// tests assert the paths are bit-identical. Not a production entry
+/// point — dispatch in [`matmul`] already picks the faster path.
+pub fn matmul_packed_with(a: &Matrix, b: &Matrix, policy: ParallelPolicy) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_packed_with: inner dims mismatch");
+    let (m, k, n) = dims(a, false, b, false);
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let threads = thread_count(policy, m, m * n * k);
+    packed_driver(a, false, b, false, threads, k, m, n, c.as_mut_slice());
+    c
+}
+
+/// `C = A · B` forced through the *direct* (unpacked) path regardless of
+/// shape — the second measurement probe (see [`matmul_packed_with`]).
+pub fn matmul_direct_with(a: &Matrix, b: &Matrix, policy: ParallelPolicy) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_direct_with: inner dims mismatch");
+    let (m, k, n) = dims(a, false, b, false);
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    let threads = thread_count(policy, m, m * n * k);
+    run_banded(threads, m, n, c.as_mut_slice(), &|band, r0, r1| {
+        direct_rows(a, false, b, false, band, r0, r1)
+    });
+    c
+}
+
 // ---------------------------------------------------------------------------
 // Core driver
 // ---------------------------------------------------------------------------
@@ -252,12 +311,38 @@ fn dims(a: &Matrix, trans_a: bool, b: &Matrix, trans_b: bool) -> (usize, usize, 
 
 /// `C = op(A) · op(B)` — the shared engine behind every entry point.
 fn gemm_core(a: &Matrix, trans_a: bool, b: &Matrix, trans_b: bool, policy: ParallelPolicy) -> Matrix {
+    let mut c = Matrix::zeros(0, 0);
+    gemm_into_core(a, trans_a, b, trans_b, policy, &mut c);
+    c
+}
+
+/// [`gemm_core`] into a caller-owned, reshaped-in-place output.
+fn gemm_into_core(
+    a: &Matrix,
+    trans_a: bool,
+    b: &Matrix,
+    trans_b: bool,
+    policy: ParallelPolicy,
+    c: &mut Matrix,
+) {
     let (m, k, n) = dims(a, trans_a, b, trans_b);
-    let mut c = Matrix::zeros(m, n);
+    c.reset_to_zeros(m, n);
     if m == 0 || n == 0 || k == 0 {
         // K = 0 contracts an empty sum: every element is exactly +0.0,
-        // which is what `Matrix::zeros` holds.
-        return c;
+        // which is what the zeroed output holds.
+        return;
+    }
+    if m == 1 {
+        // Batch-1 hot path: the fused gemv kernels — no packing, no
+        // threading (one output row), bit-identical chains. Whether A is
+        // a `1 x k` row or (trans_a) a `k x 1` column, its backing slice
+        // is the same contiguous x vector.
+        if trans_b {
+            crate::gemv::gemv_at_into(c.as_mut_slice(), a.as_slice(), b, crate::gemv::Epilogue::None);
+        } else {
+            crate::gemv::gemv_into(c.as_mut_slice(), a.as_slice(), b, crate::gemv::Epilogue::None);
+        }
+        return;
     }
     let flops = m * n * k;
     let threads = thread_count(policy, m, flops);
@@ -265,18 +350,34 @@ fn gemm_core(a: &Matrix, trans_a: bool, b: &Matrix, trans_b: bool, policy: Paral
         run_banded(threads, m, n, c.as_mut_slice(), &|band, r0, r1| {
             direct_rows(a, trans_a, b, trans_b, band, r0, r1)
         });
-        return c;
+        return;
     }
+    packed_driver(a, trans_a, b, trans_b, threads, k, m, n, c.as_mut_slice());
+}
+
+/// The packed path: pack B once on the calling thread, then run packed
+/// row bands.
+#[allow(clippy::too_many_arguments)]
+fn packed_driver(
+    a: &Matrix,
+    trans_a: bool,
+    b: &Matrix,
+    trans_b: bool,
+    threads: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+    c: &mut [f32],
+) {
     PACK_B.with(|buf| {
         let mut buf = buf.borrow_mut();
         let bp = buf.slots(pack::b_len::<NR>(k, n));
         pack::pack_b::<NR>(bp, b, trans_b, 0, n, k);
         let bp: &[f32] = bp;
-        run_banded(threads, m, n, c.as_mut_slice(), &|band, r0, r1| {
+        run_banded(threads, m, n, c, &|band, r0, r1| {
             packed_rows(a, trans_a, bp, band, r0, r1, k, n)
         });
     });
-    c
 }
 
 /// Split rows `0..m` of C into contiguous bands, one per thread, and run
@@ -710,13 +811,43 @@ mod tests {
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), (2, 3));
         assert!(c.as_slice().iter().all(|&x| x == 0.0));
-        // 1×N and M×1 stay on the direct path and still match.
+        // 1×N routes to the fused gemv kernel, M×1 stays direct; both
+        // still match the reference bitwise.
         let a = rand_matrix(1, 9, 20);
         let b = rand_matrix(9, 5, 21);
         assert_eq!(matmul(&a, &b), reference::matmul(&a, &b));
         let a = rand_matrix(7, 9, 22);
         let b = rand_matrix(9, 1, 23);
         assert_eq!(matmul(&a, &b), reference::matmul(&a, &b));
+    }
+
+    #[test]
+    fn forced_paths_agree_with_dispatch_bitwise() {
+        // The bench probes (forced packed / forced direct) and the gemv
+        // routing must all produce the same bits, including on the
+        // batch-1 shape where packing pads the row panel.
+        for (m, k, n) in [(1, 64, 48), (1, 200, 33), (6, 64, 48), (12, 40, 20)] {
+            let a = rand_matrix(m, k, 60 + m as u64);
+            let b = rand_matrix(k, n, 61 + n as u64);
+            let auto = matmul_with(&a, &b, ParallelPolicy::Serial);
+            assert_eq!(auto, matmul_packed_with(&a, &b, ParallelPolicy::Serial), "{m}x{k}x{n} packed");
+            assert_eq!(auto, matmul_direct_with(&a, &b, ParallelPolicy::Serial), "{m}x{k}x{n} direct");
+            assert_eq!(auto, reference::matmul(&a, &b), "{m}x{k}x{n} reference");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let mut out = Matrix::zeros(0, 0);
+        for (m, k, n) in [(1, 40, 30), (5, 7, 3), (33, 40, 50)] {
+            let a = rand_matrix(m, k, 70 + m as u64);
+            let b = rand_matrix(k, n, 71 + n as u64);
+            matmul_into(&a, &b, &mut out);
+            assert_eq!(out, matmul(&a, &b), "{m}x{k}x{n}");
+            let bt = rand_matrix(n, k, 72 + n as u64);
+            matmul_a_bt_into(&a, &bt, &mut out);
+            assert_eq!(out, matmul_a_bt(&a, &bt), "{m}x{k}x{n} a_bt");
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! * a row-major [`Matrix`] of `f32` with shape-checked arithmetic,
 //! * a layered, packed micro-kernel GEMM (optionally thread-parallel)
 //!   in [`gemm`], with panel packing in [`pack`],
+//! * fused batch-1 matrix–vector kernels with a bias/ReLU epilogue (the
+//!   decision-serving hot path) in [`gemv`],
 //! * weight initializers (Xavier/He, Box–Muller normal) in [`init`],
 //! * summary statistics helpers in [`stats`].
 //!
@@ -21,15 +23,17 @@
 //! the [`gemm`] module docs for the full determinism contract.
 
 pub mod gemm;
+pub mod gemv;
 pub mod init;
 pub mod matrix;
 pub mod pack;
 pub mod stats;
 
 pub use gemm::{
-    default_policy, kernel_isa, matmul, matmul_a_bt, matmul_a_bt_with, matmul_at_b,
-    matmul_at_b_with, matmul_with, set_default_policy, ParallelPolicy,
+    default_policy, kernel_isa, matmul, matmul_a_bt, matmul_a_bt_into, matmul_a_bt_with,
+    matmul_at_b, matmul_at_b_with, matmul_into, matmul_with, set_default_policy, ParallelPolicy,
 };
+pub use gemv::{gemv, gemv_at, gemv_at_into, gemv_into, Epilogue};
 pub use matrix::Matrix;
 
 /// Absolute tolerance used by the crate's own tests when comparing floats.

@@ -107,6 +107,26 @@ impl Matrix {
         self.data
     }
 
+    /// Reshape to `rows x cols` in place and zero-fill, reusing the
+    /// backing allocation. This is the scratch-arena primitive: once a
+    /// buffer has grown to its steady-state size, repeated resets are
+    /// allocation-free.
+    pub fn reset_to_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Become a copy of `other` (shape and contents), reusing the
+    /// backing allocation when it is large enough.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -450,6 +470,20 @@ mod tests {
         assert!(m.all_finite());
         m.set(0, 1, f32::NAN);
         assert!(!m.all_finite());
+    }
+
+    #[test]
+    fn reset_and_copy_reuse_allocation() {
+        let mut m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let cap = m.data.capacity();
+        m.reset_to_zeros(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap, "shrinking reset must not reallocate");
+        let src = Matrix::from_vec(1, 4, vec![7., 8., 9., 10.]);
+        m.copy_from(&src);
+        assert_eq!(m, src);
+        assert_eq!(m.data.capacity(), cap, "shrinking copy must not reallocate");
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! GEMM. Results stay bit-reproducible across thread counts; see the
 //! `mrsch_linalg::gemm` determinism contract.
 
-use mrsch_linalg::{init, matmul, matmul_a_bt, matmul_at_b, Matrix};
+use mrsch_linalg::{
+    gemv, init, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_into, Matrix,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +128,32 @@ impl Dense {
         y
     }
 
+    /// Allocation-free forward into a caller-owned buffer.
+    ///
+    /// A single input row rides the fused gemv kernel with the bias (and
+    /// optionally ReLU) folded into its epilogue; larger batches use
+    /// `matmul_into` plus the broadcast. Both are bit-identical to
+    /// [`Dense::forward_inference`] (optionally followed by a ReLU
+    /// activation layer when `fuse_relu` is set) — the gemv epilogue
+    /// performs the exact same `+ bias` / `max(0.0)` scalar ops.
+    pub(crate) fn forward_inference_into(&self, x: &Matrix, out: &mut Matrix, fuse_relu: bool) {
+        if x.rows() == 1 {
+            out.reset_to_zeros(1, self.fan_out());
+            let ep = if fuse_relu {
+                gemv::Epilogue::BiasRelu(self.b.as_slice())
+            } else {
+                gemv::Epilogue::Bias(self.b.as_slice())
+            };
+            gemv::gemv_into(out.as_mut_slice(), x.row(0), &self.w, ep);
+        } else {
+            matmul_into(x, &self.w, out);
+            out.add_row_broadcast(&self.b);
+            if fuse_relu {
+                out.map_inplace(|v| v.max(0.0));
+            }
+        }
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self
             .cached_input
@@ -234,9 +262,17 @@ impl Conv1d {
     /// sample `s` at output position `t`, matching the filter-bank
     /// layout so the convolution becomes one GEMM.
     fn im2col(&self, x: &Matrix) -> Matrix {
+        let mut patches = Matrix::zeros(0, 0);
+        self.im2col_into(x, &mut patches);
+        patches
+    }
+
+    /// [`Conv1d::im2col`] into a caller-owned buffer (reused across calls
+    /// by the inference scratch arena).
+    pub(crate) fn im2col_into(&self, x: &Matrix, patches: &mut Matrix) {
         let batch = x.rows();
         let out_len = self.out_len();
-        let mut patches = Matrix::zeros(batch * out_len, self.in_channels * self.kernel);
+        patches.reset_to_zeros(batch * out_len, self.in_channels * self.kernel);
         for s in 0..batch {
             let row = x.row(s);
             for t in 0..out_len {
@@ -249,7 +285,6 @@ impl Conv1d {
                 }
             }
         }
-        patches
     }
 
     /// Forward pass without caching: usable through a shared reference,
@@ -274,10 +309,18 @@ impl Conv1d {
     /// the position-major GEMM rows scattered into the channel-major
     /// output layout.
     fn apply_filters(&self, patches: &Matrix, batch: usize) -> Matrix {
-        let out_len = self.out_len();
         // (batch·out_len, fan_in) x (out_channels, fan_in)ᵀ
         let scores = matmul_a_bt(patches, &self.w);
         let mut y = Matrix::zeros(batch, self.out_width());
+        self.scatter_scores(&scores, batch, &mut y);
+        y
+    }
+
+    /// The position-major → channel-major output scatter shared by the
+    /// allocating and scratch-buffer forward paths. `y` must already be
+    /// sized `(batch, out_width)`.
+    fn scatter_scores(&self, scores: &Matrix, batch: usize, y: &mut Matrix) {
+        let out_len = self.out_len();
         let bias = self.b.as_slice();
         for s in 0..batch {
             let dst = y.row_mut(s);
@@ -288,7 +331,31 @@ impl Conv1d {
                 }
             }
         }
-        y
+    }
+
+    /// Allocation-free forward into caller-owned buffers: im2col into
+    /// `patches`, contract into `scores`, scatter into `out`.
+    /// Bit-identical to [`Conv1d::forward_inference`] (same GEMM entry
+    /// point, same scatter order).
+    pub(crate) fn forward_inference_into(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        patches: &mut Matrix,
+        scores: &mut Matrix,
+    ) {
+        assert_eq!(
+            x.cols(),
+            self.in_width(),
+            "Conv1d: input width {} != expected {}",
+            x.cols(),
+            self.in_width()
+        );
+        let batch = x.rows();
+        self.im2col_into(x, patches);
+        matmul_a_bt_into(patches, &self.w, scores);
+        out.reset_to_zeros(batch, self.out_width());
+        self.scatter_scores(scores, batch, out);
     }
 
     /// Backward pass, lowered to the same two GEMM shapes `Dense` uses.

@@ -55,4 +55,4 @@ pub mod net;
 pub mod opt;
 
 pub use layer::{Activation, Conv1d, Dense, Layer};
-pub use net::Sequential;
+pub use net::{InferenceScratch, Sequential};

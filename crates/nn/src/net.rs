@@ -4,6 +4,49 @@ use crate::layer::{Activation, Conv1d, Dense, Layer};
 use mrsch_linalg::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Reusable buffers for allocation-free inference.
+///
+/// A forward pass ping-pongs between two activation buffers (plus two
+/// im2col side buffers for convolution layers), so after warm-up a
+/// [`Sequential::forward_inference_scratch`] call performs **zero heap
+/// allocations** — the decision-serving hot path requirement. Buffers
+/// grow to the high-water mark of whatever shapes pass through and stay
+/// there.
+#[derive(Debug)]
+pub struct InferenceScratch {
+    /// Ping-pong activation buffers.
+    bufs: [Matrix; 2],
+    /// im2col patch buffer (Conv1d layers only).
+    patches: Matrix,
+    /// Position-major convolution scores (Conv1d layers only).
+    scores: Matrix,
+}
+
+impl InferenceScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            bufs: [Matrix::zeros(0, 0), Matrix::zeros(0, 0)],
+            patches: Matrix::zeros(0, 0),
+            scores: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for InferenceScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing [`Sequential::forward_inference`], so the
+    /// allocating signature keeps its zero-per-layer-allocation behavior
+    /// without threading a scratch handle through every caller.
+    static INFERENCE_SCRATCH: RefCell<InferenceScratch> = RefCell::new(InferenceScratch::new());
+}
 
 /// A feed-forward stack of [`Layer`]s applied in order.
 ///
@@ -87,12 +130,93 @@ impl Sequential {
     /// shared reference and bit-identical to [`Sequential::forward`].
     /// This is what lets a frozen policy network act from many threads
     /// at once without per-thread copies.
+    ///
+    /// Internally rides a per-thread [`InferenceScratch`], so after
+    /// warm-up the only allocation left is the clone of the final output
+    /// row. Latency-critical callers that own a scratch can use
+    /// [`Sequential::forward_inference_scratch`] to drop that one too.
     pub fn forward_inference(&self, x: &Matrix) -> Matrix {
-        let mut cur = x.clone();
-        for layer in &self.layers {
-            cur = layer.forward_inference(&cur);
+        INFERENCE_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.forward_inference_scratch(x, &mut scratch).clone(),
+            // Re-entrant call (same thread, scratch already borrowed):
+            // fall back to a throwaway scratch. Identical arithmetic.
+            Err(_) => {
+                let mut scratch = InferenceScratch::new();
+                self.forward_inference_scratch(x, &mut scratch).clone()
+            }
+        })
+    }
+
+    /// [`Sequential::forward_inference`] into caller-owned scratch
+    /// buffers: zero heap allocations once the scratch is warm, and
+    /// bit-identical output (the returned reference points into the
+    /// scratch and is valid until its next use).
+    ///
+    /// Two fusions ride along without changing a single output bit:
+    /// a single-row `Dense` uses the fused gemv kernel with the bias in
+    /// its epilogue, and a `Dense` + `Relu` pair on a single row folds
+    /// the rectifier into that same epilogue (the epilogue performs the
+    /// exact `+ bias` / `max(0.0)` scalar ops of the unfused sequence).
+    pub fn forward_inference_scratch<'a>(
+        &self,
+        x: &Matrix,
+        scratch: &'a mut InferenceScratch,
+    ) -> &'a Matrix {
+        let InferenceScratch { bufs, patches, scores } = scratch;
+        let (front, back) = bufs.split_at_mut(1);
+        let mut cur = &mut front[0];
+        let mut next = &mut back[0];
+        cur.copy_from(x);
+        let mut i = 0;
+        while i < self.layers.len() {
+            match &self.layers[i] {
+                Layer::Dense(d) => {
+                    let fuse_relu = cur.rows() == 1
+                        && matches!(
+                            self.layers.get(i + 1),
+                            Some(Layer::Activation { func: Activation::Relu, .. })
+                        );
+                    d.forward_inference_into(cur, next, fuse_relu);
+                    std::mem::swap(&mut cur, &mut next);
+                    if fuse_relu {
+                        i += 1; // the ReLU was folded into the gemv epilogue
+                    }
+                }
+                Layer::Activation { func, .. } => {
+                    let f = *func;
+                    cur.map_inplace(|v| f.apply(v));
+                }
+                Layer::Conv1d(c) => {
+                    c.forward_inference_into(cur, next, patches, scores);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+            }
+            i += 1;
         }
         cur
+    }
+
+    /// Run `B` independent feature rows through the network as one
+    /// packed `(B, features)` batch.
+    ///
+    /// Bit-identical to `B` separate single-row
+    /// [`Sequential::forward_inference`] calls: the GEMM determinism
+    /// contract makes every output element a per-(row, column) `mul_add`
+    /// chain independent of the batch extent, and activations are
+    /// element-wise. This is what lets the serving micro-batcher coalesce
+    /// concurrent decision requests without changing any decision.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or the rows have unequal widths.
+    pub fn forward_inference_batched(&self, rows: &[&[f32]]) -> Matrix {
+        assert!(!rows.is_empty(), "forward_inference_batched: empty batch");
+        let cols = rows[0].len();
+        let mut x = Matrix::zeros(rows.len(), cols);
+        for (r, src) in rows.iter().enumerate() {
+            assert_eq!(src.len(), cols, "forward_inference_batched: ragged row {r}");
+            x.row_mut(r).copy_from_slice(src);
+        }
+        self.forward_inference(&x)
     }
 
     /// Backward pass. `grad_out` is dLoss/dOutput; returns dLoss/dInput.
@@ -281,6 +405,67 @@ mod tests {
         let cached = net.forward(&x);
         let shared = net.forward_inference(&x);
         assert_eq!(cached, shared, "inference path must not drift from training path");
+        // Single-row inputs take the fused gemv path: still bit-identical.
+        let x1 = mrsch_linalg::init::gaussian_matrix(&mut rng, 1, 6, 1.0);
+        assert_eq!(
+            net.forward(&x1),
+            net.forward_inference(&x1),
+            "single-row (gemv) inference must not drift from training path"
+        );
+    }
+
+    /// The Dense+ReLU epilogue fusion and the explicit-scratch entry point
+    /// must both reproduce the layer-by-layer path bit for bit, across
+    /// repeated calls that reuse (and re-shape) the same scratch buffers.
+    #[test]
+    fn scratch_inference_bit_identical_and_reusable() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Sequential::new()
+            .dense(5, 12, &mut rng)
+            .activation(Activation::Relu) // fused into the gemv epilogue on 1-row inputs
+            .dense(12, 7, &mut rng)
+            .activation(Activation::LeakyRelu(0.01))
+            .dense(7, 4, &mut rng);
+        let conv_net = Sequential::new()
+            .dense(5, 9, &mut rng)
+            .activation(Activation::Relu)
+            .conv1d(1, 2, 3, 2, 9, &mut rng)
+            .activation(Activation::Tanh)
+            .dense(8, 3, &mut rng);
+        let mut scratch = InferenceScratch::new();
+        for rows in [1usize, 3, 1, 8] {
+            let x = mrsch_linalg::init::gaussian_matrix(&mut rng, rows, 5, 1.0);
+            for net in [&net, &conv_net] {
+                let want = net.forward_inference(&x);
+                let got = net.forward_inference_scratch(&x, &mut scratch);
+                assert_eq!(got.shape(), want.shape());
+                for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "scratch path drifted (rows={rows})");
+                }
+            }
+        }
+    }
+
+    /// One packed `(B, features)` batch must decide exactly like `B`
+    /// independent single-row calls — the micro-batching correctness
+    /// contract.
+    #[test]
+    fn batched_inference_bit_identical_to_sequential_rows() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let net = Sequential::new()
+            .dense(6, 11, &mut rng)
+            .activation(Activation::Relu)
+            .dense(11, 4, &mut rng);
+        let x = mrsch_linalg::init::gaussian_matrix(&mut rng, 7, 6, 1.0);
+        let rows: Vec<&[f32]> = (0..x.rows()).map(|r| x.row(r)).collect();
+        let batched = net.forward_inference_batched(&rows);
+        assert_eq!(batched.shape(), (7, 4));
+        for (r, row) in rows.iter().enumerate() {
+            let single = net.forward_inference(&Matrix::from_vec(1, 6, row.to_vec()));
+            for (a, b) in batched.row(r).iter().zip(single.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batched row {r} drifted from single-row call");
+            }
+        }
     }
 
     #[test]

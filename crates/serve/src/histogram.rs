@@ -1,0 +1,209 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Fixed memory (~8 KiB), O(1) record, and percentile queries with a
+//! bounded **relative** error: each power-of-two range is split into 16
+//! linear sub-buckets, so any reported quantile is within 1/16 (6.25 %)
+//! of the true value. That is the textbook trade-off for latency
+//! telemetry — exact enough for p50/p95/p99 reporting, cheap enough to
+//! sit on the serving hot path without perturbing what it measures.
+
+/// Linear sub-buckets per power-of-two range (16 → ≤ 6.25 % error).
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 4;
+/// Bucket count: values `< SUB` get exact unit buckets, then one group
+/// of 16 per exponent 4..=63.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A latency histogram over `u64` values (nanoseconds by convention).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (exp - SUB_BITS)) & (SUB as u64 - 1);
+        SUB + (exp - SUB_BITS) as usize * SUB + sub as usize
+    }
+
+    /// Inclusive upper bound of a bucket — quantiles report this, so
+    /// the histogram never *understates* a latency.
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let group = (idx - SUB) / SUB;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let exp = group as u32 + SUB_BITS;
+        let width = 1u64 << (exp - SUB_BITS);
+        (1u64 << exp) + sub * width + (width - 1)
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`), within 1/16 relative
+    /// error, clamped to the exact observed extremes. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(50.0), 7);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentiles_within_relative_error_bound() {
+        let mut h = LatencyHistogram::new();
+        // Values spanning several decades.
+        for i in 1..=100_000u64 {
+            h.record(i * 17);
+        }
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0, 99.9] {
+            let exact = ((p / 100.0) * 100_000f64).ceil() as u64 * 17;
+            let got = h.percentile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "p{p}: got {got}, exact {exact}, err {err:.4}");
+            assert!(got >= exact, "upper-bound convention: must never understate");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 900, 900, 1_000_000, 42] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in [0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            assert!(q >= last, "p{p} regressed: {q} < {last}");
+            assert!(q >= h.min() && q <= h.max());
+            last = q;
+        }
+        assert_eq!(h.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000);
+    }
+
+    #[test]
+    fn bucket_mapping_round_trips_bounds() {
+        // Every bucket's upper bound maps back into that bucket.
+        for idx in 0..BUCKETS {
+            let hi = LatencyHistogram::bucket_upper(idx);
+            assert_eq!(LatencyHistogram::bucket_of(hi), idx, "upper {hi} of bucket {idx}");
+        }
+    }
+}
