@@ -6,7 +6,9 @@
 //! both event-queue implementations, plus the 4-shard fleet runner.
 //! Each measured iteration is the *whole* pipeline a study pays for:
 //! simulator construction (slab + seed events), event injection, and
-//! the run loop to drain.
+//! the run loop to drain — including the by-reference
+//! `handlers::is_live`/`handlers::dispatch` probe-and-route path, so
+//! the events/sec cells cover the copy-free dispatch hot loop directly.
 //!
 //! The report (`results/BENCH_sim.json`, schema `mrsch-bench/v2`)
 //! records `events_per_sec` for every cell. Host-speed-independent and

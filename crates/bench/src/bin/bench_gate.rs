@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate <current.json> <baseline.json> [--tolerance 0.20]
 //!                                           [--require-thread-scaling [floor]]
+//!                                           [--require-pipeline-scaling [floor]]
 //! ```
 //!
 //! Both files are bench reports — `mrsch-bench/v2` ([`report`]) or the
@@ -20,6 +21,9 @@
 //! `--require-thread-scaling` additionally asserts the canonical
 //! threads2 GEMM cell recorded a `speedup_vs_serial` extra of at least
 //! `floor` (default 1.05) — CI enables it only on multi-core runners.
+//! `--require-pipeline-scaling` does the same for the pipelined training
+//! cell's `speedup_vs_barrier` ratio (default floor 1.2): rollout can
+//! only overlap learning with real cores, so CI gates it identically.
 
 use mrsch_bench::report::{self, BenchReport};
 
@@ -35,6 +39,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut tolerance = 0.20f64;
     let mut thread_scaling: Option<f64> = None;
+    let mut pipeline_scaling: Option<f64> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
@@ -50,6 +55,16 @@ fn main() {
                 })
                 .unwrap_or(1.05);
             thread_scaling = Some(floor);
+        } else if arg == "--require-pipeline-scaling" {
+            // Optional floor value; the acceptance bar is 1.2x.
+            let floor = it
+                .peek()
+                .and_then(|v| v.parse::<f64>().ok())
+                .inspect(|_| {
+                    it.next();
+                })
+                .unwrap_or(1.2);
+            pipeline_scaling = Some(floor);
         } else {
             paths.push(arg.clone());
         }
@@ -57,7 +72,8 @@ fn main() {
     let [current_path, baseline_path] = paths.as_slice() else {
         eprintln!(
             "usage: bench_gate <current.json> <baseline.json> \
-             [--tolerance 0.20] [--require-thread-scaling [floor]]"
+             [--tolerance 0.20] [--require-thread-scaling [floor]] \
+             [--require-pipeline-scaling [floor]]"
         );
         std::process::exit(2);
     };
@@ -74,6 +90,11 @@ fn main() {
     let mut outcome = report::gate(&current, &baseline, tolerance);
     if let Some(floor) = thread_scaling {
         let scaling = report::check_thread_scaling(&current, floor);
+        outcome.checked.extend(scaling.checked);
+        outcome.failures.extend(scaling.failures);
+    }
+    if let Some(floor) = pipeline_scaling {
+        let scaling = report::check_pipeline_scaling(&current, floor);
         outcome.checked.extend(scaling.checked);
         outcome.failures.extend(scaling.failures);
     }

@@ -329,6 +329,32 @@ pub fn check_thread_scaling(current: &BenchReport, floor: f64) -> GateOutcome {
     out
 }
 
+/// The training-bench cell whose in-run `speedup_vs_barrier` ratio the
+/// `--require-pipeline-scaling` check reads.
+pub const PIPELINE_BENCH: &str = "train/curriculum/pipelined_w2_s2";
+
+/// Check in-run pipeline scaling (`--require-pipeline-scaling`): the
+/// pipelined training cell must have run at least `floor` times the
+/// barrier trainer's episode throughput in the same process. Rollout
+/// and learning can only overlap with real parallelism, so CI gates
+/// behind an `nproc` check exactly like thread scaling.
+pub fn check_pipeline_scaling(current: &BenchReport, floor: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    match current.record(PIPELINE_BENCH).and_then(|r| r.ratio) {
+        Some(s) if s >= floor => {
+            out.checked
+                .push(format!("{PIPELINE_BENCH}: speedup_vs_barrier {s:.2}x >= {floor:.2}x ok"));
+        }
+        Some(s) => out.failures.push(format!(
+            "{PIPELINE_BENCH}: speedup_vs_barrier {s:.2}x below the {floor:.2}x pipeline-scaling floor"
+        )),
+        None => out
+            .failures
+            .push(format!("{PIPELINE_BENCH}: no speedup_vs_barrier measurement in current run")),
+    }
+    out
+}
+
 /// Trim float noise: integers print bare, everything else with enough
 /// digits to round-trip the measurements we record.
 fn fmt_num(x: f64) -> String {
@@ -458,6 +484,20 @@ mod tests {
             "{:?}",
             outcome.failures
         );
+    }
+
+    #[test]
+    fn pipeline_scaling_check_reads_the_gated_ratio() {
+        let mut cell = v2_record(PIPELINE_BENCH, Some(1.35));
+        cell.group = "train".to_string();
+        cell.ratio_kind = "speedup_vs_barrier".to_string();
+        let ok = check_pipeline_scaling(&v2_report(vec![cell.clone()]), 1.2);
+        assert!(ok.failures.is_empty(), "{:?}", ok.failures);
+        cell.ratio = Some(1.05);
+        let slow = check_pipeline_scaling(&v2_report(vec![cell]), 1.2);
+        assert_eq!(slow.failures.len(), 1);
+        let missing = check_pipeline_scaling(&v2_report(vec![]), 1.2);
+        assert_eq!(missing.failures.len(), 1);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //! semantics knob — the same guarantee the training engine makes for
 //! rollout workers.
 
+use crate::cache::PolicyCache;
 use crate::registry::{BuildContext, PolicySpec};
 use crate::table;
 use mrsch::prelude::*;
 use mrsch_workload::scenario::mix_seed;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Salt decorrelating a grid cell's *evaluation* episode from the
 /// training episodes (`0..n`) materialized from the same scenario.
@@ -88,6 +90,7 @@ pub struct EvalPlan {
     policy_train: Vec<Option<Curriculum>>,
     workers: usize,
     dfp_config: Option<DfpConfig>,
+    policy_cache: Option<Arc<PolicyCache>>,
 }
 
 impl EvalPlan {
@@ -130,6 +133,7 @@ impl EvalPlan {
             policy_train: vec![None; np],
             workers: 0,
             dfp_config: None,
+            policy_cache: None,
         }
     }
 
@@ -173,6 +177,15 @@ impl EvalPlan {
     /// tests).
     pub fn dfp_config(mut self, cfg: DfpConfig) -> Self {
         self.dfp_config = Some(cfg);
+        self
+    }
+
+    /// Consult (and fill) a content-addressed trained-policy cache for
+    /// learnable cells: a hit restores the cached weights instead of
+    /// training, bit-identically to a fresh train. Share the `Arc` to
+    /// read the hit/miss counters after [`EvalPlan::run`].
+    pub fn policy_cache(mut self, cache: Arc<PolicyCache>) -> Self {
+        self.policy_cache = Some(cache);
         self
     }
 
@@ -280,7 +293,7 @@ impl EvalPlan {
                 trainer: self.trainer.clone(),
                 dfp_config: self.dfp_config.as_ref(),
             };
-            let mut policy = spec.build(&ctx);
+            let mut policy = spec.build_cached(&ctx, self.policy_cache.as_deref());
             run_episode(sims, si, &system, &episode, policy.as_mut())
         } else {
             // Reusable policies are built with a grid-seed-independent
@@ -694,6 +707,91 @@ mod tests {
         assert_eq!(arows.len(), 1);
         assert_eq!(arows[0].len(), aheader.len());
         assert!(grid.render_aggregate_table().contains("fcfs"));
+    }
+
+    fn tiny_dfp_config() -> DfpConfig {
+        let mut cfg = DfpConfig::scaled(1, 2, 4);
+        cfg.state_hidden = vec![32];
+        cfg.state_embed = 16;
+        cfg.io_hidden = 16;
+        cfg.io_embed = 8;
+        cfg.stream_hidden = 32;
+        cfg.batch_size = 8;
+        cfg
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mrsch-harness-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cache_hit_replays_bit_identical_to_cache_miss() {
+        // Run the same learnable plan three times: uncached, cold cache
+        // (misses + stores), warm cache (hits only). All three grids
+        // must agree bit-exactly on every report — the tentpole cache
+        // contract.
+        let dir = temp_cache_dir("bitident");
+        let mk = || {
+            tiny_plan(
+                vec![PolicySpec::mrsch(), PolicySpec::ScalarRl],
+                vec![1, 2],
+            )
+            .train_episodes(2)
+            .dfp_config(tiny_dfp_config())
+            .workers(1)
+        };
+        let uncached = mk().run();
+        let cold_cache = Arc::new(PolicyCache::new(&dir));
+        let cold = mk().policy_cache(Arc::clone(&cold_cache)).run();
+        assert_eq!(cold_cache.hits(), 0, "cold cache must not hit");
+        assert_eq!(cold_cache.misses(), 4, "every learnable cell trains once");
+        assert_eq!(cold_cache.stores(), 4);
+        let warm_cache = Arc::new(PolicyCache::new(&dir));
+        let warm = mk().policy_cache(Arc::clone(&warm_cache)).run();
+        assert_eq!(warm_cache.misses(), 0, "warm cache must never retrain");
+        assert_eq!(warm_cache.hits(), 4);
+        for ((u, c), w) in uncached.cells.iter().zip(&cold.cells).zip(&warm.cells) {
+            assert_eq!(u.report, c.report, "{}/{}: cold-cache drift", u.policy, u.seed);
+            assert_eq!(u.report, w.report, "{}/{}: warm-cache drift", u.policy, u.seed);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_separate_seeds_and_policies() {
+        // Two seeds × two learnable policies must produce four distinct
+        // entries — and a second scenario seed must not reuse them.
+        let dir = temp_cache_dir("separate");
+        let cache = Arc::new(PolicyCache::new(&dir));
+        tiny_plan(vec![PolicySpec::mrsch(), PolicySpec::ScalarRl], vec![1, 2])
+            .train_episodes(1)
+            .dfp_config(tiny_dfp_config())
+            .workers(1)
+            .policy_cache(Arc::clone(&cache))
+            .run();
+        assert_eq!(cache.stores(), 4);
+        let entries = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(entries, 4, "each (policy, seed) cell gets its own entry");
+        // A different scenario seed changes the training curriculum and
+        // therefore the keys: everything misses again.
+        let cache2 = Arc::new(PolicyCache::new(&dir));
+        EvalPlan::new(
+            SystemConfig::two_resource(16, 8),
+            vec![PolicySpec::mrsch(), PolicySpec::ScalarRl],
+            vec![tiny_scenario("clean", 18, 6)],
+            vec![1, 2],
+        )
+        .train_episodes(1)
+        .dfp_config(tiny_dfp_config())
+        .workers(1)
+        .policy_cache(Arc::clone(&cache2))
+        .run();
+        assert_eq!(cache2.hits(), 0, "different scenario seed must not hit");
+        assert_eq!(cache2.misses(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

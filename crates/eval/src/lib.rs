@@ -43,11 +43,13 @@
 //! assert_eq!(fcfs.seeds, 2);
 //! ```
 
+pub mod cache;
 pub mod harness;
 pub mod registry;
 pub mod scenarios;
 pub mod table;
 
+pub use cache::{cache_key, is_cacheable, CacheKey, KeyHasher, PolicyCache};
 pub use harness::{
     default_training_curriculum, parse_seed_spec, Aggregate, AggregateRow, EvalCell, EvalGrid,
     EvalPlan,

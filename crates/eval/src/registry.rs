@@ -166,6 +166,95 @@ impl PolicySpec {
             PolicySpec::Mrsch(m) => Box::new(trained_mrsch(ctx, m.state_module).into_eval_policy()),
         }
     }
+
+    /// [`PolicySpec::build`] through the content-addressed trained-policy
+    /// cache: a hit rebuilds the (untrained) policy from the same context
+    /// recipe and restores the cached weights instead of training; a miss
+    /// trains and stores the checkpoint. Falls back to a plain
+    /// [`PolicySpec::build`] for non-learnable specs, untrained contexts,
+    /// and non-cacheable trainer configs (bounded staleness).
+    ///
+    /// Bit-identity of hit vs miss is the cache's core contract:
+    /// evaluation acts greedily (no RNG draws), so restored weights replay
+    /// a fresh train's episodes exactly — `crate::harness` pins it.
+    pub fn build_cached(
+        &self,
+        ctx: &BuildContext<'_>,
+        cache: Option<&crate::cache::PolicyCache>,
+    ) -> Box<dyn Policy + Send> {
+        let (cache, curriculum) = match (cache, ctx.train) {
+            (Some(cache), Some(cur))
+                if self.is_learnable() && crate::cache::is_cacheable(&ctx.trainer) =>
+            {
+                (cache, cur)
+            }
+            _ => return self.build(ctx),
+        };
+        let key = crate::cache::cache_key(
+            self,
+            ctx.system,
+            ctx.params,
+            ctx.seed,
+            curriculum,
+            &ctx.trainer,
+            ctx.dfp_config,
+        );
+        if let Some(payload) = cache.read(key) {
+            // A payload that fails to load (corrupt, or a shape drift the
+            // key didn't capture) degrades to a miss and is overwritten.
+            if let Some(policy) = self.rebuild_from_checkpoint(ctx, &payload) {
+                cache.note_hit();
+                return policy;
+            }
+        }
+        cache.note_miss();
+        let (policy, ckpt) = self.build_trained_with_checkpoint(ctx);
+        cache.store(key, &ckpt);
+        policy
+    }
+
+    /// Rebuild a learnable policy from cached weights: same construction
+    /// recipe as a fresh build, minus the training loop.
+    fn rebuild_from_checkpoint(
+        &self,
+        ctx: &BuildContext<'_>,
+        payload: &[u8],
+    ) -> Option<Box<dyn Policy + Send>> {
+        match self {
+            PolicySpec::ScalarRl => {
+                let (mut agent, encoder) = untrained_scalar_rl(ctx);
+                agent.load_checkpoint(payload).ok()?;
+                Some(Box::new(TrainedScalarRlPolicy::new(agent, encoder)))
+            }
+            PolicySpec::Mrsch(m) => {
+                let mut mrsch = untrained_mrsch(ctx, m.state_module);
+                mrsch.agent_mut().network_mut().load_checkpoint(payload).ok()?;
+                Some(Box::new(mrsch.into_eval_policy()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Train a learnable policy and capture its weight checkpoint for the
+    /// cache on the way out.
+    fn build_trained_with_checkpoint(
+        &self,
+        ctx: &BuildContext<'_>,
+    ) -> (Box<dyn Policy + Send>, Vec<u8>) {
+        match self {
+            PolicySpec::ScalarRl => {
+                let mut policy = trained_scalar_rl(ctx);
+                let ckpt = policy.agent_mut().save_checkpoint().to_vec();
+                (Box::new(policy), ckpt)
+            }
+            PolicySpec::Mrsch(m) => {
+                let mut mrsch = trained_mrsch(ctx, m.state_module);
+                let ckpt = mrsch.agent_mut().network_mut().save_checkpoint().to_vec();
+                (Box::new(mrsch.into_eval_policy()), ckpt)
+            }
+            _ => unreachable!("only learnable specs reach the cache path"),
+        }
+    }
 }
 
 /// Everything a [`PolicySpec::build`] needs: the (spec-resolved) system,
@@ -212,6 +301,18 @@ impl<'a> BuildContext<'a> {
 /// harness goes through [`PolicySpec::build`], which wraps the result
 /// into an owned evaluation policy.
 pub fn trained_mrsch(ctx: &BuildContext<'_>, state_module: StateModuleKind) -> Mrsch {
+    let mut mrsch = untrained_mrsch(ctx, state_module);
+    if let Some(curriculum) = ctx.train {
+        mrsch.train_with_curriculum(curriculum);
+    }
+    mrsch
+}
+
+/// The MRSch construction recipe without the training loop — the shared
+/// half of [`trained_mrsch`] and the policy cache's checkpoint-restore
+/// path ([`PolicySpec::build_cached`]), which must build the *identical*
+/// agent before loading cached weights into it.
+fn untrained_mrsch(ctx: &BuildContext<'_>, state_module: StateModuleKind) -> Mrsch {
     let episodes = ctx.train.map(|c| c.total_episodes()).unwrap_or(0).max(1) as f64;
     let mut cfg = ctx.dfp_config.cloned().unwrap_or_else(|| {
         let mut cfg =
@@ -231,29 +332,19 @@ pub fn trained_mrsch(ctx: &BuildContext<'_>, state_module: StateModuleKind) -> M
     // still act almost uniformly at random when training ends.
     cfg.epsilon_min = 0.05;
     cfg.epsilon_decay = (cfg.epsilon_min as f64).powf(1.0 / episodes) as f32;
-    let mut mrsch = MrschBuilder::new(ctx.system.clone(), ctx.params)
+    MrschBuilder::new(ctx.system.clone(), ctx.params)
         .seed(ctx.seed)
         .state_module(state_module)
         .trainer(ctx.trainer.clone())
         .dfp_config(cfg)
-        .build();
-    if let Some(curriculum) = ctx.train {
-        mrsch.train_with_curriculum(curriculum);
-    }
-    mrsch
+        .build()
 }
 
 /// Build and train the scalar-RL baseline over the same curriculum
 /// episodes an MRSch agent would see (scenario-materialized jobs,
 /// disruption events injected), then freeze it for evaluation.
 fn trained_scalar_rl(ctx: &BuildContext<'_>) -> TrainedScalarRlPolicy {
-    let encoder = StateEncoder::with_hour_scale(ctx.system.clone(), ctx.params.window);
-    let cfg = ScalarRlConfig::scaled(
-        encoder.state_dim(),
-        ctx.params.window,
-        ctx.system.num_resources(),
-    );
-    let mut agent = ScalarRlAgent::new(cfg, ctx.seed);
+    let (mut agent, encoder) = untrained_scalar_rl(ctx);
     if let Some(curriculum) = ctx.train {
         for phase in curriculum.phases() {
             for episode in 0..phase.episodes {
@@ -268,6 +359,18 @@ fn trained_scalar_rl(ctx: &BuildContext<'_>) -> TrainedScalarRlPolicy {
         }
     }
     TrainedScalarRlPolicy::new(agent, encoder)
+}
+
+/// The scalar-RL construction recipe without the training loop (see
+/// [`untrained_mrsch`] for why the split exists).
+fn untrained_scalar_rl(ctx: &BuildContext<'_>) -> (ScalarRlAgent, StateEncoder) {
+    let encoder = StateEncoder::with_hour_scale(ctx.system.clone(), ctx.params.window);
+    let cfg = ScalarRlConfig::scaled(
+        encoder.state_dim(),
+        ctx.params.window,
+        ctx.system.num_resources(),
+    );
+    (ScalarRlAgent::new(cfg, ctx.seed), encoder)
 }
 
 #[cfg(test)]

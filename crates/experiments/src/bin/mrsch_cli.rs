@@ -12,11 +12,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: mrsch_cli [simulate] --swf FILE [--workload S1..S10] [--nodes N] [--bb B] \
          [--policy fcfs|sjf|ljf|ga|mrsch] [--window W] [--seed S] \
-         [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt]\n\
+         [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt] \
+         [--workers N] [--pipeline [--max-staleness K]]\n\
          \n\
          mrsch_cli evaluate --policy P1,P2|all --scenario clean,cancel-heavy,overrun-heavy,\
          drain,mixed|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
-         [--jobs N | --swf FILE] [--train-episodes K] [--workers N] [--csv GRID.csv]\n\
+         [--jobs N | --swf FILE] [--train-episodes K] [--workers N] \
+         [--policy-cache DIR [--require-warm-cache]] [--csv GRID.csv]\n\
          \n\
          mrsch_cli serve [--mode stdin|tcp|loadtest] [--addr HOST:PORT] [--policy mrsch] \
          [--batch N] [--delay-us T] [--workers N] [--requests N] [--qps Q] (serve --help for all)"

@@ -6,6 +6,7 @@
 //!           --policy fcfs|sjf|ljf|ga|mrsch [--window 10] [--seed 1] \
 //!           [--train-episodes 4] [--model out.ckpt | --load model.ckpt] \
 //!           [--curriculum clean|harden] [--workers N] \
+//!           [--pipeline [--max-staleness K]] \
 //!           [--cancel-frac F] [--overrun-frac F] [--drain-frac F] \
 //!           [--replay-swf-cancels | --replay-swf-cancels-faithful]
 //!
@@ -13,7 +14,7 @@
 //!           --scenario clean|cancel-heavy|overrun-heavy|drain|mixed[,...] \
 //!           --seeds 0..4 [--workload S1] [--nodes N] [--bb B] [--window W] \
 //!           [--jobs N | --swf FILE] [--train-episodes K] [--workers N] \
-//!           [--csv grid.csv]
+//!           [--policy-cache DIR [--require-warm-cache]] [--csv grid.csv]
 //! ```
 //!
 //! `evaluate` runs the full registry-driven evaluation grid
@@ -23,7 +24,12 @@
 //! through the clean → cancel-heavy → drain-heavy scenario curriculum
 //! (episodes per phase = `--train-episodes`) with `--workers` parallel
 //! rollout threads; worker count never changes the result, only the
-//! wall-clock.
+//! wall-clock. `--pipeline` overlaps rollout and learning
+//! (lockstep/bit-identical by default; `--max-staleness K` with `K > 0`
+//! opts into bounded-staleness nondeterminism for more throughput).
+//! `--policy-cache DIR` memoizes trained policies content-addressed by
+//! their full training configuration, so repeated grids skip training;
+//! `--require-warm-cache` fails the run if any cell had to retrain.
 //!
 //! Argument parsing is hand-rolled (the offline dependency policy has no
 //! clap) and lives here, separately from the thin binary, so it is unit
@@ -107,6 +113,12 @@ pub struct CliArgs {
     pub curriculum: Option<String>,
     /// Parallel rollout worker threads for curriculum training.
     pub workers: usize,
+    /// Pipeline rollout against published snapshots instead of barrier
+    /// round-synchronization (lockstep unless `max_staleness > 0`).
+    pub pipeline: bool,
+    /// Staleness bound for pipelined training; `> 0` explicitly opts
+    /// into nondeterministic (but bounded-lag) learning.
+    pub max_staleness: usize,
 }
 
 impl CliArgs {
@@ -145,6 +157,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         replay_swf_cancels_faithful: false,
         curriculum: None,
         workers: 1,
+        pipeline: false,
+        max_staleness: 0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -222,8 +236,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 out.workers =
                     value("--workers")?.parse().map_err(|_| "--workers: not a number")?
             }
+            "--pipeline" => out.pipeline = true,
+            "--max-staleness" => {
+                out.max_staleness = value("--max-staleness")?
+                    .parse()
+                    .map_err(|_| "--max-staleness: not a number")?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if out.max_staleness > 0 && !out.pipeline {
+        return Err("--max-staleness requires --pipeline".into());
     }
     if out.swf.is_empty() {
         return Err("--swf <file> is required".into());
@@ -372,7 +395,14 @@ pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, Str
         CliPolicy::Ljf => run_baseline(&mut ListPolicy::new(ListOrder::LongestFirst))?,
         CliPolicy::Ga => run_baseline(&mut GaPolicy::with_seed(args.seed))?,
         CliPolicy::Mrsch => {
-            let trainer = TrainerConfig::default().workers(args.workers);
+            let mut trainer = TrainerConfig::default().workers(args.workers);
+            if args.pipeline {
+                trainer = trainer.pipeline(if args.max_staleness > 0 {
+                    PipelineConfig::bounded_staleness(args.max_staleness)
+                } else {
+                    PipelineConfig::lockstep()
+                });
+            }
             let mut agent = MrschBuilder::new(system.clone(), params)
                 .seed(args.seed)
                 .trainer(trainer)
@@ -497,6 +527,10 @@ pub struct EvalCliArgs {
     pub swf: Option<String>,
     /// Optional path for the per-cell grid CSV.
     pub csv_out: Option<String>,
+    /// Directory of the content-addressed trained-policy cache.
+    pub policy_cache: Option<String>,
+    /// Fail unless every learnable cell was served from the cache.
+    pub require_warm_cache: bool,
 }
 
 /// Parse `evaluate`-style arguments (everything after the subcommand).
@@ -515,6 +549,8 @@ pub fn parse_eval_args(args: &[String]) -> Result<EvalCliArgs, String> {
         workers: 1,
         swf: None,
         csv_out: None,
+        policy_cache: None,
+        require_warm_cache: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -550,8 +586,13 @@ pub fn parse_eval_args(args: &[String]) -> Result<EvalCliArgs, String> {
             }
             "--swf" => out.swf = Some(value("--swf")?),
             "--csv" => out.csv_out = Some(value("--csv")?),
+            "--policy-cache" => out.policy_cache = Some(value("--policy-cache")?),
+            "--require-warm-cache" => out.require_warm_cache = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if out.require_warm_cache && out.policy_cache.is_none() {
+        return Err("--require-warm-cache requires --policy-cache".into());
     }
     if out.policies.is_empty() {
         return Err("--policy needs at least one policy".into());
@@ -624,8 +665,30 @@ pub fn evaluate_main(args: &[String]) -> Result<String, String> {
             ..ThetaConfig::scaled(parsed.jobs)
         }),
     };
-    let plan = build_eval_plan(&parsed, source)?;
+    let cache = parsed
+        .policy_cache
+        .as_ref()
+        .map(|dir| std::sync::Arc::new(mrsch_eval::PolicyCache::new(dir)));
+    let mut plan = build_eval_plan(&parsed, source)?;
+    if let Some(c) = &cache {
+        plan = plan.policy_cache(c.clone());
+    }
     let grid = plan.run();
+    if let Some(c) = &cache {
+        eprintln!(
+            "policy cache: {} hit(s), {} retrain(s), {} stored ({})",
+            c.hits(),
+            c.misses(),
+            c.stores(),
+            c.dir().display()
+        );
+        if parsed.require_warm_cache && c.misses() > 0 {
+            return Err(format!(
+                "--require-warm-cache: {} cell(s) retrained instead of hitting the cache",
+                c.misses()
+            ));
+        }
+    }
     if let Some(path) = &parsed.csv_out {
         let (header, rows) = grid.cell_csv();
         csv::write_csv_to(path, &header, &rows).map_err(|e| format!("--csv {path}: {e}"))?;
@@ -807,6 +870,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_pipeline_flags() {
+        let a = parse_args(&args(&[
+            "--swf", "t.swf", "--workers", "4", "--pipeline", "--max-staleness", "2",
+        ]))
+        .unwrap();
+        assert!(a.pipeline);
+        assert_eq!(a.max_staleness, 2);
+        let lockstep = parse_args(&args(&["--swf", "t.swf", "--pipeline"])).unwrap();
+        assert!(lockstep.pipeline);
+        assert_eq!(lockstep.max_staleness, 0, "--pipeline alone is lockstep");
+        let err = parse_args(&args(&["--swf", "t.swf", "--max-staleness", "2"])).unwrap_err();
+        assert!(err.contains("--pipeline"), "{err}");
+    }
+
+    #[test]
+    fn pipelined_cli_run_is_bit_identical_to_barrier() {
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(24) }.generate(7);
+        let run = |extra: &[&str]| {
+            let mut v = vec![
+                "--swf", "unused.swf", "--workload", "S1", "--nodes", "16", "--bb", "8",
+                "--policy", "mrsch", "--window", "4", "--train-episodes", "1",
+                "--curriculum", "clean", "--workers", "2",
+            ];
+            v.extend_from_slice(extra);
+            run_on_trace(&parse_args(&args(&v)).unwrap(), &trace).unwrap()
+        };
+        let barrier = run(&[]);
+        let pipelined = run(&["--pipeline"]);
+        assert_eq!(barrier.records, pipelined.records, "lockstep pipeline is a pure wall-clock knob");
+    }
+
+    #[test]
     fn parses_evaluate_args() {
         let a = parse_eval_args(&args(&[
             "--policy", "fcfs,mrsch", "--scenario", "clean,drain", "--seeds", "0..4",
@@ -869,6 +964,39 @@ mod tests {
         let agg = grid.aggregate_csv();
         assert_eq!(agg.1.len(), 3 * 2, "one aggregate row per (policy, scenario)");
         assert!(agg.1.iter().all(|r| r[2] == "2"), "each aggregates two seeds");
+    }
+
+    #[test]
+    fn parses_policy_cache_flags() {
+        let a = parse_eval_args(&args(&[
+            "--policy", "mrsch", "--policy-cache", "cache_dir", "--require-warm-cache",
+        ]))
+        .unwrap();
+        assert_eq!(a.policy_cache.as_deref(), Some("cache_dir"));
+        assert!(a.require_warm_cache);
+        let err = parse_eval_args(&args(&["--require-warm-cache"])).unwrap_err();
+        assert!(err.contains("--policy-cache"), "{err}");
+    }
+
+    #[test]
+    fn evaluate_policy_cache_warms_across_runs() {
+        let dir = std::env::temp_dir()
+            .join(format!("mrsch_cli_policy_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = [
+            "--policy", "mrsch", "--scenario", "clean", "--seeds", "1",
+            "--nodes", "16", "--bb", "8", "--window", "4", "--jobs", "20",
+            "--train-episodes", "1", "--policy-cache", dir.to_str().unwrap(),
+        ];
+        let cold = evaluate_main(&args(&base)).unwrap();
+        // Second run must be served entirely from the cache (zero
+        // retrains — enforced by --require-warm-cache) and reproduce the
+        // cold run's aggregate CSV byte for byte.
+        let mut warm_args = base.to_vec();
+        warm_args.push("--require-warm-cache");
+        let warm = evaluate_main(&args(&warm_args)).unwrap();
+        assert_eq!(cold, warm, "cache hit replays the trained policy exactly");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,8 +22,13 @@ use crate::simulator::Simulator;
 /// `Cancel`); the run loop drops those *without advancing the clock*, so
 /// a schedule's end time reflects real activity, not tombstones. New
 /// kinds are live by default — add an arm only if they can go stale.
-pub(crate) fn is_live<Q: EventQueue>(sim: &Simulator<Q>, kind: EventKind) -> bool {
-    match kind {
+///
+/// Takes the kind by reference, like [`dispatch`]: the run loop probes
+/// and routes popped events without copying them, so growing a future
+/// variant (payload-carrying events) never adds a per-event copy to the
+/// hot loop.
+pub(crate) fn is_live<Q: EventQueue>(sim: &Simulator<Q>, kind: &EventKind) -> bool {
+    match *kind {
         EventKind::Finish(id) | EventKind::WalltimeKill(id) => sim.pools.is_running(id),
         EventKind::Cancel(id) => !sim.states[id].is_terminal(),
         // A tick is only meaningful while the system can still evolve;
@@ -40,9 +45,9 @@ pub(crate) fn is_live<Q: EventQueue>(sim: &Simulator<Q>, kind: EventKind) -> boo
 }
 
 /// Route one event to its handler. The only kind-dispatch in the engine.
-pub(crate) fn dispatch<Q: EventQueue>(sim: &mut Simulator<Q>, kind: EventKind) {
-    sim.counts.bump(kind);
-    match kind {
+pub(crate) fn dispatch<Q: EventQueue>(sim: &mut Simulator<Q>, kind: &EventKind) {
+    sim.counts.bump(*kind);
+    match *kind {
         EventKind::Submit(id) => on_submit(sim, id),
         EventKind::Finish(id) => on_finish(sim, id),
         EventKind::Cancel(id) => on_cancel(sim, id),
@@ -168,7 +173,7 @@ mod tests {
             // Drain the pre-scheduled Submit so handlers see a quiet system.
             sim.run(&mut HeadOfQueue);
             let before = sim.counts.count(kind);
-            dispatch(&mut sim, kind);
+            dispatch(&mut sim, &kind);
             assert_eq!(sim.counts.count(kind), before + 1, "{kind:?} counter");
         }
     }

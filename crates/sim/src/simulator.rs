@@ -345,18 +345,18 @@ impl<Q: EventQueue> Simulator<Q> {
         while let Some(event) = self.events.pop() {
             // Tombstoned events (see `handlers::is_live`) are dropped
             // without advancing the clock or triggering scheduling.
-            if !handlers::is_live(self, event.kind) {
+            if !handlers::is_live(self, &event.kind) {
                 continue;
             }
             // Advance the utilization integral to the event time *before*
             // applying occupancy or capacity changes.
             self.collector.advance(&self.pools, event.time);
             self.now = event.time;
-            handlers::dispatch(self, event.kind);
+            handlers::dispatch(self, &event.kind);
             while self.events.peek_time() == Some(self.now) {
                 let e = self.events.pop().expect("peeked");
-                if handlers::is_live(self, e.kind) {
-                    handlers::dispatch(self, e.kind);
+                if handlers::is_live(self, &e.kind) {
+                    handlers::dispatch(self, &e.kind);
                 }
             }
             debug_assert!(self.pools.check_conservation());

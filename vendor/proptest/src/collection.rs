@@ -94,4 +94,33 @@ where
         }
         out
     }
+    fn note_adopted(&self, prev: &Vec<S::Value>, idx: usize) {
+        // Mirror `shrink`'s candidate order: optional halve, optional
+        // drop-last (both length-only — nothing to forward), then one
+        // candidate per element that has a shrink (its first).
+        let mut offset = idx;
+        let half = (prev.len() / 2).max(self.size.lo);
+        if half < prev.len() {
+            if offset == 0 {
+                return;
+            }
+            offset -= 1;
+        }
+        if prev.len() > self.size.lo && prev.len() - 1 != half {
+            if offset == 0 {
+                return;
+            }
+            offset -= 1;
+        }
+        for v in prev.iter() {
+            if self.element.shrink(v).is_empty() {
+                continue;
+            }
+            if offset == 0 {
+                self.element.note_adopted(v, 0);
+                return;
+            }
+            offset -= 1;
+        }
+    }
 }

@@ -12,8 +12,10 @@
 //!   failure the runner greedily applies [`strategy::Strategy::shrink`]
 //!   candidates (numeric ranges bisect toward their low bound, vectors
 //!   halve) and reports the minimized counterexample via `Debug`.
-//!   Mapped strategies (`prop_map` and friends) cannot invert their
-//!   closures and do not shrink.
+//!   Mapped strategies (`prop_map`) cannot invert their closures, so
+//!   they shrink the remembered preimage of the last drawn value and map
+//!   candidates forward; [`strategy::Strategy::note_adopted`] keeps that
+//!   preimage in sync with the minimizer's greedy descent.
 //! * **Fixed derivation of the RNG stream** from the test-function name,
 //!   so failures reproduce exactly across runs (upstream persists a
 //!   failure seed file; here every run is the same run).
@@ -180,12 +182,16 @@ where
     let mut budget = 512usize;
     loop {
         let mut improved = false;
-        for cand in strat.shrink(&value) {
+        for (idx, cand) in strat.shrink(&value).into_iter().enumerate() {
             if budget == 0 {
                 break;
             }
             budget -= 1;
             if let Err(test_runner::TestCaseError::Fail(m)) = run_guarded(case, &cand) {
+                // Tell stateful strategies (prop_map preimages) which
+                // candidate won before adopting it, so their next
+                // shrink round continues from `cand`, not `value`.
+                strat.note_adopted(&value, idx);
                 value = cand;
                 msg = m;
                 steps += 1;

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SampleUniform;
+use std::cell::RefCell;
 use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of `Self::Value`.
@@ -10,8 +11,11 @@ use std::ops::{Range, RangeInclusive};
 /// deterministic function of the RNG stream, plus an optional
 /// [`Strategy::shrink`] step the runner uses to minimize failing cases
 /// by halving/bisection (numeric ranges bisect toward their low bound,
-/// vectors halve their length). Mapped strategies cannot invert their
-/// closure and therefore do not shrink.
+/// vectors halve their length). Mapped strategies ([`Map`]) cannot
+/// invert their closure, so they shrink the remembered *preimage* of the
+/// last drawn value and map the candidates forward — the
+/// [`Strategy::note_adopted`] hook keeps that preimage in lockstep with
+/// the minimizer's greedy descent.
 pub trait Strategy {
     type Value;
 
@@ -24,13 +28,25 @@ pub trait Strategy {
         Vec::new()
     }
 
+    /// The minimizer adopted `shrink(prev)[idx]` as its new failing
+    /// value. Stateless strategies ignore this (the default); stateful
+    /// ones ([`Map`], and combinators that *contain* strategies) advance
+    /// their remembered preimage / forward to the responsible inner
+    /// strategy, so the next shrink round continues from the adopted
+    /// candidate instead of the original failure.
+    fn note_adopted(&self, _prev: &Self::Value, _idx: usize) {}
+
     /// Map generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> U,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f,
+            last_inner: RefCell::new(None),
+        }
     }
 
     /// Generate with `self`, then build a second strategy from the value
@@ -76,6 +92,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
         (**self).shrink(value)
     }
+    fn note_adopted(&self, prev: &Self::Value, idx: usize) {
+        (**self).note_adopted(prev, idx)
+    }
 }
 
 /// Always yields a clone of the given value.
@@ -90,20 +109,83 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// See [`Strategy::prop_map`].
-#[derive(Clone, Copy, Debug)]
-pub struct Map<S, F> {
+///
+/// A map cannot invert its closure, so shrinking works on the
+/// *preimage*: `new_value` remembers the inner value it drew, `shrink`
+/// shrinks that remembered preimage and maps the candidates forward,
+/// and [`Strategy::note_adopted`] replaces the preimage with the
+/// candidate's preimage whenever the minimizer adopts one. The minimizer
+/// re-runs every candidate it adopts, so a stale preimage (e.g. one map
+/// strategy shared across many vector elements) can only cost shrink
+/// quality, never soundness.
+pub struct Map<S: Strategy, F> {
     inner: S,
     f: F,
+    last_inner: RefCell<Option<S::Value>>,
+}
+
+impl<S, F> Clone for Map<S, F>
+where
+    S: Strategy + Clone,
+    S::Value: Clone,
+    F: Clone,
+{
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: self.f.clone(),
+            last_inner: RefCell::new(self.last_inner.borrow().clone()),
+        }
+    }
+}
+
+impl<S, F> std::fmt::Debug for Map<S, F>
+where
+    S: Strategy + std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").field("inner", &self.inner).finish()
+    }
 }
 
 impl<S, U, F> Strategy for Map<S, F>
 where
     S: Strategy,
+    S::Value: Clone,
     F: Fn(S::Value) -> U,
 {
     type Value = U;
     fn new_value(&self, rng: &mut StdRng) -> U {
-        (self.f)(self.inner.new_value(rng))
+        let inner = self.inner.new_value(rng);
+        *self.last_inner.borrow_mut() = Some(inner.clone());
+        (self.f)(inner)
+    }
+    fn shrink(&self, _value: &U) -> Vec<U> {
+        let guard = self.last_inner.borrow();
+        let Some(pre) = guard.as_ref() else {
+            return Vec::new();
+        };
+        self.inner
+            .shrink(pre)
+            .into_iter()
+            .map(|cand| (self.f)(cand))
+            .collect()
+    }
+    fn note_adopted(&self, _prev: &U, idx: usize) {
+        let adopted = {
+            let guard = self.last_inner.borrow();
+            let Some(pre) = guard.as_ref() else { return };
+            let mut cands = self.inner.shrink(pre);
+            if idx >= cands.len() {
+                return;
+            }
+            // Let the inner strategy advance its own state first (it may
+            // itself be a map), then take over its adopted candidate as
+            // the new preimage.
+            self.inner.note_adopted(pre, idx);
+            cands.swap_remove(idx)
+        };
+        *self.last_inner.borrow_mut() = Some(adopted);
     }
 }
 
@@ -158,6 +240,20 @@ where
             .filter(|v| (self.pred)(v))
             .collect()
     }
+    fn note_adopted(&self, value: &S::Value, idx: usize) {
+        // `idx` indexes the *filtered* candidate list; recover the inner
+        // strategy's index by walking the unfiltered one.
+        let mut kept = 0;
+        for (inner_idx, cand) in self.inner.shrink(value).into_iter().enumerate() {
+            if (self.pred)(&cand) {
+                if kept == idx {
+                    self.inner.note_adopted(value, inner_idx);
+                    return;
+                }
+                kept += 1;
+            }
+        }
+    }
 }
 
 /// See [`Strategy::boxed`].
@@ -168,6 +264,7 @@ trait StrategyObject {
     type Value;
     fn new_value_dyn(&self, rng: &mut StdRng) -> Self::Value;
     fn shrink_dyn(&self, value: &Self::Value) -> Vec<Self::Value>;
+    fn note_adopted_dyn(&self, prev: &Self::Value, idx: usize);
 }
 
 impl<S: Strategy> StrategyObject for S {
@@ -178,6 +275,9 @@ impl<S: Strategy> StrategyObject for S {
     fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
         self.shrink(value)
     }
+    fn note_adopted_dyn(&self, prev: &S::Value, idx: usize) {
+        self.note_adopted(prev, idx)
+    }
 }
 
 impl<T> Strategy for BoxedStrategy<T> {
@@ -187,6 +287,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     }
     fn shrink(&self, value: &T) -> Vec<T> {
         self.0.shrink_dyn(value)
+    }
+    fn note_adopted(&self, prev: &T, idx: usize) {
+        self.0.note_adopted_dyn(prev, idx)
     }
 }
 
@@ -305,6 +408,23 @@ macro_rules! impl_strategy_tuple {
                     }
                 )+
                 out
+            }
+            fn note_adopted(&self, prev: &Self::Value, idx: usize) {
+                // Candidates are element-major (all of element 0's, then
+                // element 1's, ...): walk per-element candidate counts to
+                // find the element that produced candidate `idx`.
+                let mut offset = idx;
+                $(
+                    {
+                        let n = self.$idx.shrink(&prev.$idx).len();
+                        if offset < n {
+                            self.$idx.note_adopted(&prev.$idx, offset);
+                            return;
+                        }
+                        offset -= n;
+                    }
+                )+
+                let _ = offset;
             }
         }
     };

@@ -36,6 +36,35 @@ proptest! {
         // are caught and treated as failures.
         assert!(x < 500, "plain assert: {x}");
     }
+
+    fn mapped_values_shrink(x in (0u64..100_000).prop_map(|v| v * 2)) {
+        // The closure can't be inverted; the strategy shrinks its
+        // remembered preimage and maps candidates forward.
+        prop_assert!(x <= 20, "x = {x} exceeds 20");
+    }
+
+    fn chained_maps_shrink(x in (0u64..4_096).prop_map(|v| v + 1).prop_map(|v| v * 10)) {
+        // note_adopted must propagate through nested Map layers so each
+        // keeps the preimage of the adopted candidate.
+        prop_assert!(x <= 100, "x = {x} exceeds 100");
+    }
+
+    fn mapped_non_numeric_values_shrink(s in (0u32..65_536).prop_map(|v| format!("id-{v}"))) {
+        // Preimage shrinking works even when the mapped value has no
+        // numeric structure of its own.
+        let n: u32 = s[3..].parse().unwrap();
+        prop_assert!(n <= 10, "{s} exceeds id-10");
+    }
+
+    fn mapped_tuple_elements_shrink(
+        x in (0u64..100_000).prop_map(|v| v + 1),
+        _y in 0u64..100_000,
+    ) {
+        // Tuple shrinking forwards note_adopted to the element that
+        // produced the adopted candidate; the mapped element converges
+        // to its boundary while the plain one bisects to its minimum.
+        prop_assert!(x <= 5, "x = {x} exceeds 5");
+    }
 }
 
 #[test]
@@ -72,6 +101,43 @@ fn plain_asserts_shrink_too() {
     let msg = panic_message(plain_assert_also_shrinks);
     assert!(msg.contains("minimal counterexample"), "{msg}");
     assert!(msg.contains("500"), "boundary 500 expected in: {msg}");
+}
+
+#[test]
+fn mapped_counterexample_is_minimal() {
+    let msg = panic_message(mapped_values_shrink);
+    // Preimage bisection converges to 11, the smallest v with 2v > 20,
+    // so the reported mapped counterexample is exactly 22.
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    assert!(msg.contains("22"), "expected the boundary value 22 in: {msg}");
+}
+
+#[test]
+fn chained_mapped_counterexample_is_minimal() {
+    let msg = panic_message(chained_maps_shrink);
+    // Smallest failing value of (v + 1) * 10 > 100 is v = 10 → 110.
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    assert!(msg.contains("110"), "expected the boundary value 110 in: {msg}");
+}
+
+#[test]
+fn mapped_non_numeric_counterexample_is_minimal() {
+    let msg = panic_message(mapped_non_numeric_values_shrink);
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    assert!(msg.contains("id-11"), "expected \"id-11\" in: {msg}");
+}
+
+#[test]
+fn mapped_tuple_counterexample_is_minimal() {
+    let msg = panic_message(mapped_tuple_elements_shrink);
+    // The mapped element converges to its boundary (preimage 5 → 6) and
+    // the unconstrained element bisects all the way to 0.
+    assert!(msg.contains("minimal counterexample"), "{msg}");
+    let squeezed = msg.replace([' ', '\n'], "");
+    assert!(
+        squeezed.contains("(6,0,)") || squeezed.contains("(6,0)"),
+        "expected the pair (6, 0) in: {msg}"
+    );
 }
 
 proptest! {
