@@ -1,0 +1,295 @@
+//! Substrate bench: simulator checkpoint/restore on a million-job state.
+//!
+//! Steps a seeded disrupted 1M-job [`StressConfig`] run (cancels,
+//! walltime overruns, a node-drain episode, a tick chain) to the middle
+//! of its event stream, then measures three things on that state:
+//!
+//! * `snapshot` — serializing the live simulator with
+//!   [`Simulator::snapshot`] (reported as MB/s),
+//! * `restore` — reviving it with [`Simulator::restore`] (MB/s),
+//! * `replay_prefix` — the alternative a crashed study pays without
+//!   checkpoints: re-simulating from scratch up to the same event
+//!   boundary.
+//!
+//! The gated, host-speed-independent metric is the restore cell's
+//! **in-run `speedup_vs_replay`** (replay ns / restore ns): restoring a
+//! checkpoint must stay dramatically cheaper than re-running the prefix,
+//! or checkpointing has lost its point.
+//!
+//! Before measuring, the bench re-asserts the crash drill in-run, at two
+//! scales: the 100k-job kill-restore (both event-queue implementations,
+//! killed mid-drain, restored, run to completion, reports compared `==`
+//! to an uninterrupted reference) and bit-identical continuation of the
+//! measured 1M-job state itself. A divergence fails the bench before any
+//! number is reported.
+//!
+//! Env knobs: `MRSCH_BENCH_QUICK=1` shrinks the measurement budget for
+//! CI; `MRSCH_BENCH_JSON=path` redirects the report (default
+//! `results/BENCH_snapshot.json`, schema `mrsch-bench/v2`).
+
+use criterion::Criterion;
+use mrsch_bench::report::{BenchRecord, BenchReport, SCHEMA};
+use mrsch_workload::disruption::{DisruptionConfig, DrainSpec};
+use mrsch_workload::StressConfig;
+use mrsim::policy::HeadOfQueue;
+use mrsim::{
+    BinaryHeapEventQueue, EventKind, EventQueue, IndexedEventQueue, InjectedEvent, Job, SimParams,
+    SimReport, SimTime, Simulator, SystemConfig,
+};
+use std::time::Duration;
+
+const NODES: u64 = 256;
+const BB: u64 = 32;
+const SEED: u64 = 20_220_517;
+/// The acceptance-scale state: one million jobs.
+const NUM_JOBS: usize = 1_000_000;
+/// The in-run crash drill's trace size.
+const DRILL_JOBS: usize = 100_000;
+
+fn system() -> SystemConfig {
+    SystemConfig::two_resource(NODES, BB)
+}
+
+fn params() -> SimParams {
+    SimParams { enforce_walltime: true, tick: Some(900), ..SimParams::new(10, true) }
+}
+
+/// A seeded disrupted trace: jobs plus injected cancel/overrun/drain
+/// events, same recipe as the event-engine bench.
+fn disrupted(n: usize) -> (Vec<Job>, Vec<InjectedEvent>) {
+    let clean = StressConfig::engine(n, vec![NODES, BB]).generate(SEED);
+    let span = clean.last().expect("nonempty trace").submit;
+    let disruptions = DisruptionConfig {
+        cancel_fraction: 0.05,
+        overrun_fraction: 0.05,
+        overrun_factor: 1.5,
+        drains: vec![DrainSpec { resource: 0, fraction: 0.25, at: span / 4, duration: span / 4 }],
+    };
+    let trace = disruptions.synthesize(&clean, &system(), SEED ^ 0xD15);
+    (trace.jobs, trace.events)
+}
+
+fn fresh<Q: EventQueue>(jobs: &[Job], events: &[InjectedEvent]) -> Simulator<Q> {
+    let mut sim = Simulator::<Q>::with_queue(system(), jobs.to_vec(), params())
+        .expect("stress trace is valid");
+    sim.inject_all(events).expect("injected events are valid");
+    sim
+}
+
+/// Step a fresh simulator through exactly `k` event batches.
+fn replay_prefix<Q: EventQueue>(jobs: &[Job], events: &[InjectedEvent], k: u64) -> Simulator<Q> {
+    let mut sim = fresh::<Q>(jobs, events);
+    let mut policy = HeadOfQueue;
+    for _ in 0..k {
+        if !sim.step(&mut policy) {
+            break;
+        }
+    }
+    sim
+}
+
+fn finish<Q: EventQueue>(mut sim: Simulator<Q>) -> SimReport {
+    let mut policy = HeadOfQueue;
+    while sim.step(&mut policy) {}
+    sim.final_report()
+}
+
+/// The drain window `[start, end)` of an injected event stream.
+fn drain_window(events: &[InjectedEvent]) -> (SimTime, SimTime) {
+    let (mut start, mut end) = (SimTime::MAX, 0);
+    for ev in events {
+        if let EventKind::CapacityChange { delta, .. } = ev.kind {
+            if delta < 0 {
+                start = start.min(ev.time);
+            } else {
+                end = end.max(ev.time);
+            }
+        }
+    }
+    assert!(start < end, "trace carries a drain episode");
+    (start, end)
+}
+
+/// The 100k-job kill-restore drill, re-asserted in-run: crash the run
+/// mid-drain under queue impl `Q`, restore the in-memory snapshot, and
+/// the finished report must equal the uninterrupted reference `==`.
+fn crash_drill<Q: EventQueue>(jobs: &[Job], events: &[InjectedEvent], reference: &SimReport) {
+    let (drain_start, drain_end) = drain_window(events);
+    let mut sim = fresh::<Q>(jobs, events);
+    let mut policy = HeadOfQueue;
+    while sim.step(&mut policy) {
+        if sim.now() > drain_start && sim.now() < drain_end {
+            break;
+        }
+    }
+    assert!(
+        sim.now() > drain_start && sim.now() < drain_end,
+        "drill killed the run mid-drain (t={})",
+        sim.now()
+    );
+    let bytes = sim.snapshot();
+    drop(sim); // the crash: only the snapshot bytes survive
+    let restored: Simulator<Q> = Simulator::restore(&bytes).expect("snapshot restores");
+    assert_eq!(
+        &finish(restored),
+        reference,
+        "restored run diverged from the uninterrupted reference"
+    );
+}
+
+fn main() {
+    let quick = std::env::var_os("MRSCH_BENCH_QUICK").is_some();
+    let mut criterion = Criterion::default().configure_from_args();
+    criterion = if quick {
+        criterion.sample_size(2).measurement_time(Duration::from_millis(200))
+    } else {
+        criterion.sample_size(5).measurement_time(Duration::from_secs(10))
+    };
+
+    // In-run crash drill first: no numbers from a codec that diverges.
+    println!("crash drill: {DRILL_JOBS}-job disrupted kill-restore (both queues)...");
+    let (drill_jobs, drill_events) = disrupted(DRILL_JOBS);
+    let drill_reference = finish(fresh::<IndexedEventQueue>(&drill_jobs, &drill_events));
+    assert!(drill_reference.jobs_cancelled > 0, "drill cancels landed");
+    assert!(drill_reference.jobs_killed > 0, "drill walltime kills landed");
+    crash_drill::<IndexedEventQueue>(&drill_jobs, &drill_events, &drill_reference);
+    crash_drill::<BinaryHeapEventQueue>(&drill_jobs, &drill_events, &drill_reference);
+    println!("crash drill: restored reports bit-identical under indexed + binheap queues");
+
+    println!("generating the {NUM_JOBS}-job disrupted stress trace (seed {SEED})...");
+    let (jobs, events) = disrupted(NUM_JOBS);
+
+    // The measured boundary: half the run's event batches.
+    let mut probe = fresh::<IndexedEventQueue>(&jobs, &events);
+    let mut steps = 0u64;
+    let mut policy = HeadOfQueue;
+    while probe.step(&mut policy) {
+        steps += 1;
+    }
+    let k = steps / 2;
+    let mid = replay_prefix::<IndexedEventQueue>(&jobs, &events, k);
+    let bytes = mid.snapshot();
+    let mb = bytes.len() as f64 / 1e6;
+    println!(
+        "mid-run state: {k}/{steps} event batches, t={}, snapshot {:.1} MB",
+        mid.now(),
+        mb
+    );
+
+    // Bit-identical continuation of the measured state itself.
+    let continued = finish(replay_prefix::<IndexedEventQueue>(&jobs, &events, k));
+    let restored: Simulator<IndexedEventQueue> =
+        Simulator::restore(&bytes).expect("1M-job snapshot restores");
+    assert_eq!(
+        finish(restored),
+        continued,
+        "1M-job restore diverged from uninterrupted continuation"
+    );
+    println!("1M-job restore continues bit-identically");
+
+    criterion.bench_function("snapshot/1m_disrupted/replay_prefix", |b| {
+        b.iter(|| replay_prefix::<IndexedEventQueue>(&jobs, &events, k).now())
+    });
+    criterion.bench_function("snapshot/1m_disrupted/snapshot", |b| {
+        b.iter(|| mid.snapshot().len())
+    });
+    criterion.bench_function("snapshot/1m_disrupted/restore", |b| {
+        b.iter(|| {
+            let sim: Simulator<IndexedEventQueue> =
+                Simulator::restore(&bytes).expect("snapshot restores");
+            sim.now()
+        })
+    });
+
+    let mean_of = |id: &str| {
+        criterion
+            .results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .expect("cell measured")
+    };
+    let replay_ns = mean_of("snapshot/1m_disrupted/replay_prefix");
+    let snapshot_ns = mean_of("snapshot/1m_disrupted/snapshot");
+    let restore_ns = mean_of("snapshot/1m_disrupted/restore");
+    let mb_per_sec = |ns: f64| mb / (ns * 1e-9);
+
+    let base_extras = |ns: f64| {
+        vec![
+            ("bytes".to_string(), bytes.len() as f64),
+            ("ns_per_iter".to_string(), ns),
+            ("jobs".to_string(), NUM_JOBS as f64),
+            ("steps_at_snapshot".to_string(), k as f64),
+        ]
+    };
+    let results = vec![
+        BenchRecord {
+            bench: "snapshot/1m_disrupted/replay_prefix".to_string(),
+            group: "snapshot".to_string(),
+            unit: "ns_per_iter".to_string(),
+            value: replay_ns,
+            ratio: None,
+            ratio_kind: String::new(),
+            extras: base_extras(replay_ns),
+            tags: vec![("queue".to_string(), "indexed".to_string())],
+        },
+        BenchRecord {
+            bench: "snapshot/1m_disrupted/snapshot".to_string(),
+            group: "snapshot".to_string(),
+            unit: "mb_per_sec".to_string(),
+            value: mb_per_sec(snapshot_ns),
+            ratio: None,
+            ratio_kind: String::new(),
+            extras: base_extras(snapshot_ns),
+            tags: vec![("queue".to_string(), "indexed".to_string())],
+        },
+        BenchRecord {
+            // The gated cell: restoring must beat re-simulating the
+            // prefix by a wide, host-independent margin.
+            bench: "snapshot/1m_disrupted/restore".to_string(),
+            group: "snapshot".to_string(),
+            unit: "mb_per_sec".to_string(),
+            value: mb_per_sec(restore_ns),
+            ratio: Some(replay_ns / restore_ns),
+            ratio_kind: "speedup_vs_replay".to_string(),
+            extras: {
+                let mut e = base_extras(restore_ns);
+                e.push(("replay_ns_per_iter".to_string(), replay_ns));
+                e
+            },
+            tags: vec![("queue".to_string(), "indexed".to_string())],
+        },
+    ];
+
+    for r in &results {
+        match r.unit.as_str() {
+            "mb_per_sec" => println!(
+                "{}: {:.0} MB/s ({:.1} MB in {:.2} ms{})",
+                r.bench,
+                r.value,
+                mb,
+                r.extra("ns_per_iter").unwrap_or(0.0) / 1e6,
+                r.ratio.map(|x| format!(", {x:.0}x vs replay")).unwrap_or_default()
+            ),
+            _ => println!("{}: {:.2} ms per replayed prefix", r.bench, r.value / 1e6),
+        }
+    }
+
+    let report = BenchReport {
+        quick,
+        host: format!("{} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get())),
+        results,
+    };
+    let path = std::env::var("MRSCH_BENCH_JSON").unwrap_or_else(|_| {
+        format!("{}/../../results/BENCH_snapshot.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => {
+            println!("snapshot report ({SCHEMA}): {path} ({} records)", report.results.len())
+        }
+        Err(e) => eprintln!("snapshot report: failed to write {path}: {e}"),
+    }
+}

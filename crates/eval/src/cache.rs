@@ -37,11 +37,14 @@
 //!
 //! # Entry format
 //!
-//! `<dir>/<32-hex-digit-key>.bin`, a small header (magic + the full key,
-//! so a hash-named file renamed by hand is still detected) followed by
-//! the policy's `mrsch_nn::checkpoint` blob — which carries its own
-//! magic and parameter-shape fingerprint. Any validation failure is
-//! treated as a miss: the cell retrains and overwrites the entry.
+//! `<dir>/<32-hex-digit-key>.bin`, an `mrsch_snapshot` frame (magic
+//! `MRPC`, version, length framing, trailing FNV checksum) whose payload
+//! is the full 128-bit key (so a hash-named file renamed by hand is
+//! still detected) followed by the policy's `mrsch_nn::checkpoint` blob
+//! — which carries its own magic and parameter-shape fingerprint.
+//! Entries written before the shared codec (the unframed `MRPC1\n`
+//! header format) are still read. Any validation failure is treated as
+//! a miss: the cell retrains and overwrites the entry.
 
 use mrsch::prelude::*;
 use std::fmt::Debug;
@@ -51,8 +54,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::registry::PolicySpec;
 
-/// Magic prefix of a cache entry file.
-const ENTRY_MAGIC: &[u8; 6] = b"MRPC1\n";
+/// Magic prefix of a legacy (pre-codec, unframed) cache entry file.
+const LEGACY_ENTRY_MAGIC: &[u8; 6] = b"MRPC1\n";
+
+/// Frame magic of the current cache entry format.
+const ENTRY_MAGIC: [u8; 4] = *b"MRPC";
+
+/// Entry format version. v1 was the unframed `MRPC1\n` header; v2 is
+/// the first codec-framed version, so the frame versioning starts at 2.
+const ENTRY_VERSION: u16 = 2;
 
 /// Schema tag folded into every key: bump to invalidate all entries
 /// when the key derivation or entry format changes.
@@ -206,25 +216,38 @@ impl PolicyCache {
     /// [`PolicyCache::note_miss`] once it knows it.
     pub fn read(&self, key: CacheKey) -> Option<Vec<u8>> {
         let data = std::fs::read(self.path_for(key)).ok()?;
-        let header_len = ENTRY_MAGIC.len() + 16;
-        if data.len() < header_len || &data[..ENTRY_MAGIC.len()] != ENTRY_MAGIC {
+        // Entries written before the shared codec: unframed
+        // `MRPC1\n` + 16-byte LE key + payload, no checksum.
+        if data.starts_with(LEGACY_ENTRY_MAGIC) {
+            let header_len = LEGACY_ENTRY_MAGIC.len() + 16;
+            if data.len() < header_len {
+                return None;
+            }
+            let mut stored = [0u8; 16];
+            stored.copy_from_slice(&data[LEGACY_ENTRY_MAGIC.len()..header_len]);
+            if u128::from_le_bytes(stored) != key.0 {
+                return None;
+            }
+            return Some(data[header_len..].to_vec());
+        }
+        let (_version, payload) = mrsch_snapshot::unframe(ENTRY_MAGIC, &data).ok()?;
+        let mut r = mrsch_snapshot::Reader::new(payload);
+        let lo = r.get_u64().ok()?;
+        let hi = r.get_u64().ok()?;
+        if ((hi as u128) << 64 | lo as u128) != key.0 {
             return None;
         }
-        let mut stored = [0u8; 16];
-        stored.copy_from_slice(&data[ENTRY_MAGIC.len()..header_len]);
-        if u128::from_le_bytes(stored) != key.0 {
-            return None;
-        }
-        Some(data[header_len..].to_vec())
+        Some(r.take(r.remaining()).ok()?.to_vec())
     }
 
     /// Write the entry for `key`. Best-effort: an unwritable cache
     /// degrades to always-miss instead of failing the run.
     pub fn store(&self, key: CacheKey, payload: &[u8]) {
-        let mut data = Vec::with_capacity(ENTRY_MAGIC.len() + 16 + payload.len());
-        data.extend_from_slice(ENTRY_MAGIC);
-        data.extend_from_slice(&key.0.to_le_bytes());
-        data.extend_from_slice(payload);
+        let mut w = mrsch_snapshot::Writer::with_capacity(16 + payload.len());
+        w.put_u64(key.0 as u64);
+        w.put_u64((key.0 >> 64) as u64);
+        w.put_raw(payload);
+        let data = mrsch_snapshot::frame(ENTRY_MAGIC, ENTRY_VERSION, &w.into_bytes());
         if std::fs::create_dir_all(&self.dir).is_ok()
             && std::fs::write(self.path_for(key), data).is_ok()
         {
@@ -386,9 +409,41 @@ mod tests {
         let other = CacheKey(key.0 ^ 1);
         std::fs::copy(cache.path_for(key), cache.path_for(other)).unwrap();
         assert!(cache.read(other).is_none(), "renamed entry must be a miss");
-        // A truncated entry is rejected.
+        // A truncated legacy entry is rejected.
         std::fs::write(cache.path_for(key), b"MRPC1\nshort").unwrap();
         assert!(cache.read(key).is_none(), "corrupt entry must be a miss");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// An entry in the pre-codec on-disk layout (the exact `MRPC1\n`
+    /// byte format, built by hand as a migration fixture) still reads.
+    #[test]
+    fn legacy_unframed_entry_still_reads() {
+        let cache = temp_cache("legacy");
+        let key = CacheKey(0xfeed_beef_0bad_cafe_1122_3344_5566_7788);
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(b"MRPC1\n");
+        legacy.extend_from_slice(&key.0.to_le_bytes());
+        legacy.extend_from_slice(b"legacy-checkpoint-payload");
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.path_for(key), legacy).unwrap();
+        assert_eq!(cache.read(key).as_deref(), Some(&b"legacy-checkpoint-payload"[..]));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    /// The framed format detects payload corruption the legacy header
+    /// format could not: any flipped byte is a miss, not a bad load.
+    #[test]
+    fn corrupted_framed_entry_is_a_miss() {
+        let cache = temp_cache("corrupt");
+        let key = CacheKey(42);
+        cache.store(key, b"precious-weights");
+        let path = cache.path_for(key);
+        let mut data = std::fs::read(&path).unwrap();
+        let last = data.len() - 12; // inside the payload, before the checksum
+        data[last] ^= 0x80;
+        std::fs::write(&path, data).unwrap();
+        assert!(cache.read(key).is_none(), "checksum catches the flip");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -295,7 +295,7 @@ impl EvalPlan {
             };
             let mut policy = spec.build_cached(&ctx, self.policy_cache.as_deref());
             run_episode(sims, si, &system, &episode, policy.as_mut())
-        } else {
+        } else if spec.reuses_instances() {
             // Reusable policies are built with a grid-seed-independent
             // seed so a cached instance (reset between cells) and a
             // fresh one are interchangeable.
@@ -306,6 +306,14 @@ impl EvalPlan {
             );
             let policy = cache.entry((pi, si)).or_insert_with(|| spec.build(&ctx));
             policy.reset();
+            run_episode(sims, si, &system, &episode, policy.as_mut())
+        } else {
+            // Non-reusable specs (`ga:reseed`) are rebuilt every cell
+            // with the grid seed itself, so their internal randomness
+            // varies across the seed axis instead of being frozen at
+            // build time.
+            let ctx = BuildContext::new(&system, scenario.params, seed);
+            let mut policy = spec.build(&ctx);
             run_episode(sims, si, &system, &episode, policy.as_mut())
         };
         EvalCell { policy: spec.name(), scenario: scenario.name.clone(), seed, report }
@@ -691,6 +699,42 @@ mod tests {
         for (a, b) in once.cells.iter().zip(&twice.cells) {
             assert_eq!(a.report, b.report);
         }
+    }
+
+    #[test]
+    fn ga_reseed_derives_its_rng_from_the_grid_seed() {
+        // `ga:reseed` must behave exactly like a GA instance built
+        // fresh per cell with the grid seed — recompute one cell by
+        // hand through the harness's own episode derivation.
+        let plan = tiny_plan(
+            vec![PolicySpec::Ga, PolicySpec::parse("ga:reseed").unwrap()],
+            vec![21, 22],
+        );
+        let grid = plan.clone().workers(1).run();
+        let reran = plan.workers(2).run();
+        for (a, b) in grid.cells.iter().zip(&reran.cells) {
+            assert_eq!(a.report, b.report, "{} seed {} drifted", a.policy, a.seed);
+        }
+        let scenario = tiny_scenario("clean", 18, 5);
+        let base = SystemConfig::two_resource(16, 8);
+        let system = scenario.spec.system_for(&base);
+        for seed in [21u64, 22] {
+            let episode = scenario.materialize(&system, mix_seed(seed, EVAL_EPISODE_SALT));
+            let ctx = BuildContext::new(&system, scenario.params, seed);
+            let mut policy = PolicySpec::GaReseed.build(&ctx);
+            let mut sims = HashMap::new();
+            let expected = run_episode(&mut sims, 0, &system, &episode, policy.as_mut());
+            let cell = grid.cell("ga:reseed", "clean", seed).expect("cell exists");
+            assert_eq!(cell.report, expected, "seed {seed} not derived from grid seed");
+        }
+        // Plain `ga` freezes its RNG at build time; the reseeded
+        // variant draws it per cell, so the two must not collapse onto
+        // each other for every seed.
+        let differs = [21u64, 22].iter().any(|&s| {
+            grid.cell("ga", "clean", s).unwrap().report
+                != grid.cell("ga:reseed", "clean", s).unwrap().report
+        });
+        assert!(differs, "ga:reseed reproduced ga on every seed");
     }
 
     #[test]

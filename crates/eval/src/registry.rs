@@ -49,6 +49,11 @@ pub enum PolicySpec {
     List(ListOrder),
     /// The NSGA-II window optimizer (the paper's "Optimization").
     Ga,
+    /// The NSGA-II optimizer re-seeded per grid cell: its RNG derives
+    /// from the *grid seed* and it forgoes the harness's instance
+    /// reuse, exposing GA's per-seed stochasticity that plain `ga`
+    /// deliberately freezes (ROADMAP carry-over).
+    GaReseed,
     /// The fixed-weight scalar-reward policy-gradient baseline.
     ScalarRl,
     /// The MRSch DFP agent, trained through the engine.
@@ -79,6 +84,7 @@ impl PolicySpec {
             PolicySpec::List(ListOrder::LargestFirst),
             PolicySpec::List(ListOrder::MostDemandingFirst),
             PolicySpec::Ga,
+            PolicySpec::GaReseed,
             PolicySpec::ScalarRl,
             PolicySpec::mrsch(),
             PolicySpec::Mrsch(MrschSpec { state_module: StateModuleKind::Cnn, tag: None }),
@@ -98,6 +104,7 @@ impl PolicySpec {
                 ListOrder::MostDemandingFirst => "list:demanding".into(),
             },
             PolicySpec::Ga => "ga".into(),
+            PolicySpec::GaReseed => "ga:reseed".into(),
             PolicySpec::ScalarRl => "scalar-rl".into(),
             PolicySpec::Mrsch(m) => match (&m.tag, m.state_module) {
                 (Some(tag), _) => tag.clone(),
@@ -122,6 +129,7 @@ impl PolicySpec {
             "list:largest" | "largest" => PolicySpec::List(ListOrder::LargestFirst),
             "list:demanding" | "demanding" => PolicySpec::List(ListOrder::MostDemandingFirst),
             "ga" | "optimization" => PolicySpec::Ga,
+            "ga:reseed" => PolicySpec::GaReseed,
             "scalar-rl" | "scalar_rl" => PolicySpec::ScalarRl,
             "mrsch" => PolicySpec::mrsch(),
             "mrsch:cnn" => {
@@ -130,7 +138,8 @@ impl PolicySpec {
             other => {
                 return Err(format!(
                     "unknown policy '{other}' (expected one of: fcfs, list:sjf, list:lpt, \
-                     list:smallest, list:largest, list:demanding, ga, scalar-rl, mrsch, mrsch:cnn)"
+                     list:smallest, list:largest, list:demanding, ga, ga:reseed, scalar-rl, \
+                     mrsch, mrsch:cnn)"
                 ))
             }
         };
@@ -151,6 +160,15 @@ impl PolicySpec {
         matches!(self, PolicySpec::ScalarRl | PolicySpec::Mrsch(_))
     }
 
+    /// May the harness reuse one built instance across grid cells
+    /// (reset between cells, built with a grid-seed-independent seed)?
+    /// `ga:reseed` opts out: it exists precisely to derive fresh GA
+    /// randomness from each cell's grid seed. Only consulted for
+    /// non-learnable specs (learnable policies train per cell anyway).
+    pub fn reuses_instances(&self) -> bool {
+        !matches!(self, PolicySpec::GaReseed)
+    }
+
     /// Build (and for learnable policies, train) a ready-to-evaluate
     /// boxed policy.
     ///
@@ -161,7 +179,7 @@ impl PolicySpec {
         match self {
             PolicySpec::Fcfs => Box::new(FcfsPolicy::default()),
             PolicySpec::List(order) => Box::new(ListPolicy::new(*order)),
-            PolicySpec::Ga => Box::new(GaPolicy::with_seed(ctx.seed)),
+            PolicySpec::Ga | PolicySpec::GaReseed => Box::new(GaPolicy::with_seed(ctx.seed)),
             PolicySpec::ScalarRl => Box::new(trained_scalar_rl(ctx)),
             PolicySpec::Mrsch(m) => Box::new(trained_mrsch(ctx, m.state_module).into_eval_policy()),
         }
@@ -410,6 +428,20 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn ga_reseed_is_registered_and_forgoes_instance_reuse() {
+        assert!(PolicySpec::registered().contains(&PolicySpec::GaReseed));
+        assert_eq!(PolicySpec::parse("ga:reseed").unwrap(), PolicySpec::GaReseed);
+        assert!(!PolicySpec::GaReseed.is_learnable());
+        assert!(!PolicySpec::GaReseed.reuses_instances());
+        // Every other registered spec keeps the reuse contract.
+        for spec in PolicySpec::registered() {
+            if spec != PolicySpec::GaReseed {
+                assert!(spec.reuses_instances(), "{}", spec.name());
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! mrsch_cli simulate --swf trace.swf --workload S4 --nodes 256 --bb 75 --policy mrsch
+//! mrsch_cli resume --from snaps/shard-0000.snap --policy fcfs
 //! mrsch_cli evaluate --policy fcfs,mrsch --scenario drain --seeds 0..4
 //! mrsch_cli serve --mode tcp --addr 127.0.0.1:7077 --batch 8 --delay-us 2000
 //! ```
@@ -13,7 +14,10 @@ fn usage() -> ! {
         "usage: mrsch_cli [simulate] --swf FILE [--workload S1..S10] [--nodes N] [--bb B] \
          [--policy fcfs|sjf|ljf|ga|mrsch] [--window W] [--seed S] \
          [--train-episodes K] [--model OUT.ckpt] [--load IN.ckpt] \
-         [--workers N] [--pipeline [--max-staleness K]]\n\
+         [--workers N] [--pipeline [--max-staleness K]] \
+         [--snapshot-every N --snapshot-dir DIR]\n\
+         \n\
+         mrsch_cli resume --from DIR/shard-0000.snap [--policy fcfs|sjf|ljf|ga] [--seed S]\n\
          \n\
          mrsch_cli evaluate --policy P1,P2|all --scenario clean,cancel-heavy,overrun-heavy,\
          drain,mixed|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
@@ -36,6 +40,7 @@ fn main() {
     }
     let result = match args[0].as_str() {
         "evaluate" => cli::evaluate_main(&args[1..]),
+        "resume" => cli::resume_main(&args[1..]),
         "serve" => mrsch_serve::cli::serve_main(&args[1..]).map(|s| format!("{s}\n")),
         "simulate" => cli::main_with_args(&args[1..]),
         _ => cli::main_with_args(&args),

@@ -8,7 +8,10 @@
 //!           [--curriculum clean|harden] [--workers N] \
 //!           [--pipeline [--max-staleness K]] \
 //!           [--cancel-frac F] [--overrun-frac F] [--drain-frac F] \
-//!           [--replay-swf-cancels | --replay-swf-cancels-faithful]
+//!           [--replay-swf-cancels | --replay-swf-cancels-faithful] \
+//!           [--snapshot-every N --snapshot-dir DIR]
+//!
+//! mrsch_cli resume --from DIR/shard-0000.snap [--policy fcfs|sjf|ljf|ga]
 //!
 //! mrsch_cli evaluate --policy fcfs,mrsch[,all,...] \
 //!           --scenario clean|cancel-heavy|overrun-heavy|drain|mixed[,...] \
@@ -119,6 +122,10 @@ pub struct CliArgs {
     /// Staleness bound for pipelined training; `> 0` explicitly opts
     /// into nondeterministic (but bounded-lag) learning.
     pub max_staleness: usize,
+    /// Write a checkpoint every N event batches (baseline policies).
+    pub snapshot_every: Option<u64>,
+    /// Directory receiving the periodic `shard-0000.snap` checkpoint.
+    pub snapshot_dir: Option<String>,
 }
 
 impl CliArgs {
@@ -159,6 +166,8 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         workers: 1,
         pipeline: false,
         max_staleness: 0,
+        snapshot_every: None,
+        snapshot_dir: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -242,11 +251,32 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|_| "--max-staleness: not a number")?
             }
+            "--snapshot-every" => {
+                out.snapshot_every = Some(
+                    value("--snapshot-every")?
+                        .parse()
+                        .map_err(|_| "--snapshot-every: not a number")?,
+                )
+            }
+            "--snapshot-dir" => out.snapshot_dir = Some(value("--snapshot-dir")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if out.max_staleness > 0 && !out.pipeline {
         return Err("--max-staleness requires --pipeline".into());
+    }
+    if out.snapshot_every.is_some() != out.snapshot_dir.is_some() {
+        return Err("--snapshot-every and --snapshot-dir must be given together".into());
+    }
+    if out.snapshot_every == Some(0) {
+        return Err("--snapshot-every must be positive".into());
+    }
+    if out.snapshot_every.is_some() && out.policy == CliPolicy::Mrsch {
+        return Err(
+            "--snapshot-every checkpoints the simulator, not a learning agent; \
+             use it with fcfs|sjf|ljf|ga"
+                .into(),
+        );
     }
     if out.swf.is_empty() {
         return Err("--swf <file> is required".into());
@@ -387,7 +417,24 @@ pub fn run_on_trace(args: &CliArgs, trace: &[TraceJob]) -> Result<SimReport, Str
         for &(id, delay) in &relative_cancels {
             sim.schedule_cancel_after_start(id, delay).map_err(|e| e.to_string())?;
         }
-        Ok(sim.run(policy))
+        let (Some(every), Some(dir)) = (args.snapshot_every, &args.snapshot_dir) else {
+            return Ok(sim.run(policy));
+        };
+        // Checkpointed run: step batch-by-batch, rewriting the single-
+        // shard snapshot every `every` batches (resume with
+        // `mrsch_cli resume --from DIR/shard-0000.snap`).
+        let dir = std::path::Path::new(dir);
+        let mut batches = 0u64;
+        while sim.step(policy) {
+            batches += 1;
+            if batches % every == 0 {
+                mrsim::write_shard_snapshot(dir, 0, &sim)
+                    .map_err(|e| format!("--snapshot-dir {}: {e}", dir.display()))?;
+            }
+        }
+        let report = sim.final_report();
+        policy.episode_end(&report);
+        Ok(report)
     };
     let report = match args.policy {
         CliPolicy::Fcfs => run_baseline(&mut FcfsPolicy::default())?,
@@ -492,6 +539,100 @@ pub fn render_report(args: &CliArgs, report: &SimReport) -> String {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// The `resume` subcommand: continue a run from a checkpoint file.
+// ---------------------------------------------------------------------------
+
+/// Parsed `resume` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResumeArgs {
+    /// Checkpoint file (an `MRSS` frame, e.g. `DIR/shard-0000.snap`).
+    pub from: String,
+    /// Scheduler driving the continued run. The snapshot stores
+    /// simulator state only, so stateless policies (fcfs/sjf/ljf)
+    /// continue **bit-identically**; `ga` restarts its optimizer from
+    /// `--seed` over the restored queue.
+    pub policy: CliPolicy,
+    /// RNG seed for `--policy ga`.
+    pub seed: u64,
+}
+
+/// Parse `resume`-style arguments (everything after the subcommand).
+pub fn parse_resume_args(args: &[String]) -> Result<ResumeArgs, String> {
+    let mut out = ResumeArgs { from: String::new(), policy: CliPolicy::Fcfs, seed: 1 };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--from" => out.from = value("--from")?,
+            "--policy" => {
+                out.policy = match value("--policy")?.as_str() {
+                    "fcfs" => CliPolicy::Fcfs,
+                    "sjf" => CliPolicy::Sjf,
+                    "ljf" => CliPolicy::Ljf,
+                    "ga" => CliPolicy::Ga,
+                    "mrsch" => {
+                        return Err(
+                            "resume does not support mrsch (agent weights are not part of \
+                             a simulator snapshot); use fcfs|sjf|ljf|ga"
+                                .into(),
+                        )
+                    }
+                    other => return Err(format!("unknown policy '{other}'")),
+                }
+            }
+            "--seed" => {
+                out.seed = value("--seed")?.parse().map_err(|_| "--seed: not a number")?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if out.from.is_empty() {
+        return Err("--from <snapshot file> is required".into());
+    }
+    Ok(out)
+}
+
+/// Restore the checkpoint and run it to completion.
+pub fn resume_run(args: &ResumeArgs) -> Result<SimReport, String> {
+    let bytes =
+        std::fs::read(&args.from).map_err(|e| format!("reading {}: {e}", args.from))?;
+    let mut sim: Simulator =
+        Simulator::restore(&bytes).map_err(|e| format!("{}: {e}", args.from))?;
+    let mut policy: Box<dyn Policy> = match args.policy {
+        CliPolicy::Fcfs => Box::new(FcfsPolicy::default()),
+        CliPolicy::Sjf => Box::new(ListPolicy::new(ListOrder::ShortestFirst)),
+        CliPolicy::Ljf => Box::new(ListPolicy::new(ListOrder::LongestFirst)),
+        CliPolicy::Ga => Box::new(GaPolicy::with_seed(args.seed)),
+        CliPolicy::Mrsch => unreachable!("rejected during parsing"),
+    };
+    Ok(sim.run(policy.as_mut()))
+}
+
+/// Full `resume` entry point: restore, finish the run, render.
+pub fn resume_main(args: &[String]) -> Result<String, String> {
+    let parsed = parse_resume_args(args)?;
+    let report = resume_run(&parsed)?;
+    let mut out = format!(
+        "resumed {} policy={:?} jobs={} makespan={}s\n",
+        parsed.from, parsed.policy, report.jobs_completed, report.makespan
+    );
+    for (name, util) in report.resource_names.iter().zip(&report.resource_utilization) {
+        out.push_str(&format!("  {name:<18} utilization {}\n", csv::f(*util)));
+    }
+    out.push_str(&format!(
+        "  avg wait {} h | avg slowdown {} | cancelled {} | killed {} | unfinished {}\n",
+        csv::f(report.avg_wait_hours()),
+        csv::f(report.avg_slowdown),
+        report.jobs_cancelled,
+        report.jobs_killed,
+        report.jobs_unfinished
+    ));
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -899,6 +1040,79 @@ mod tests {
         let barrier = run(&[]);
         let pipelined = run(&["--pipeline"]);
         assert_eq!(barrier.records, pipelined.records, "lockstep pipeline is a pure wall-clock knob");
+    }
+
+    #[test]
+    fn parses_snapshot_flags() {
+        let a = parse_args(&args(&[
+            "--swf", "t.swf", "--snapshot-every", "100", "--snapshot-dir", "snaps",
+        ]))
+        .unwrap();
+        assert_eq!(a.snapshot_every, Some(100));
+        assert_eq!(a.snapshot_dir.as_deref(), Some("snaps"));
+        assert!(
+            parse_args(&args(&["--swf", "t", "--snapshot-every", "10"])).is_err(),
+            "--snapshot-dir required"
+        );
+        assert!(
+            parse_args(&args(&["--swf", "t", "--snapshot-dir", "d"])).is_err(),
+            "--snapshot-every required"
+        );
+        assert!(parse_args(&args(&[
+            "--swf", "t", "--snapshot-every", "0", "--snapshot-dir", "d",
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&args(&[
+                "--swf", "t", "--policy", "mrsch", "--snapshot-every", "5",
+                "--snapshot-dir", "d",
+            ]))
+            .is_err(),
+            "simulator snapshots do not capture agent weights"
+        );
+    }
+
+    #[test]
+    fn parses_resume_args() {
+        let a = parse_resume_args(&args(&["--from", "d/shard-0000.snap", "--policy", "sjf"]))
+            .unwrap();
+        assert_eq!(a.from, "d/shard-0000.snap");
+        assert_eq!(a.policy, CliPolicy::Sjf);
+        assert!(parse_resume_args(&args(&[])).is_err(), "--from required");
+        let err =
+            parse_resume_args(&args(&["--from", "x", "--policy", "mrsch"])).unwrap_err();
+        assert!(err.contains("mrsch"), "{err}");
+    }
+
+    #[test]
+    fn resume_continues_a_checkpointed_cli_run_bit_identically() {
+        let dir = std::env::temp_dir()
+            .join(format!("mrsch_cli_snapshots_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(60) }.generate(11);
+        let base = vec![
+            "--swf", "unused.swf", "--workload", "S1", "--nodes", "16", "--bb", "8",
+            "--policy", "fcfs", "--window", "4", "--cancel-frac", "0.1",
+            "--overrun-frac", "0.1", "--drain-frac", "0.25", "--drain-start", "2000",
+            "--drain-duration", "4000",
+        ];
+        let reference = run_on_trace(&parse_args(&args(&base)).unwrap(), &trace).unwrap();
+        let mut snapped_args = base.clone();
+        let dir_str = dir.to_str().unwrap();
+        snapped_args.extend_from_slice(&["--snapshot-every", "7", "--snapshot-dir", dir_str]);
+        let snapped =
+            run_on_trace(&parse_args(&args(&snapped_args)).unwrap(), &trace).unwrap();
+        assert_eq!(snapped, reference, "checkpointing must not perturb the run");
+        let snap = dir.join(mrsim::shard_snapshot_name(0));
+        assert!(snap.exists(), "periodic snapshot written");
+        let resumed = resume_run(&ResumeArgs {
+            from: snap.to_str().unwrap().into(),
+            policy: CliPolicy::Fcfs,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(resumed, reference, "resume finishes the interrupted run bit-identically");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

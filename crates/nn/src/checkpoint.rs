@@ -1,25 +1,36 @@
 //! Checkpointing: serialize network weights to a compact self-describing
 //! byte format.
 //!
-//! The format is intentionally simple (no serde_json dependency): a small
-//! header followed by a flat little-endian `f32` parameter dump, framed
-//! with [`bytes`]. Architectures are *not* stored — a checkpoint can only
-//! be loaded into a network with the identical layer structure, which is
-//! verified via a parameter-shape fingerprint.
+//! Current checkpoints are `mrsch_snapshot` frames (magic `MRS2`,
+//! version, length framing, trailing FNV checksum) carrying a
+//! parameter-shape fingerprint and a flat little-endian `f32` dump.
+//! Architectures are *not* stored — a checkpoint can only be loaded into
+//! a network with the identical layer structure, which the fingerprint
+//! verifies. Loading sniffs the magic and still accepts the original
+//! unframed `MRS1` blobs (same fingerprint + dump, no checksum), so
+//! checkpoints written before the shared codec existed keep working.
 
 use crate::net::Sequential;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
+use mrsch_snapshot::{frame, sniff_magic, unframe, CodecError, Reader, Writer};
 
-/// Magic bytes identifying an MRSch checkpoint.
-pub const MAGIC: &[u8; 4] = b"MRS1";
+/// Magic bytes of the legacy (pre-codec, unframed) checkpoint format.
+pub const LEGACY_MAGIC: &[u8; 4] = b"MRS1";
+/// Frame magic of the current checkpoint format.
+pub const MAGIC: [u8; 4] = *b"MRS2";
+/// Newest checkpoint format version this build reads and writes.
+pub const VERSION: u16 = 1;
 
 /// Errors produced when loading a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
-    /// Data did not start with [`MAGIC`].
+    /// Data starts with neither [`MAGIC`] nor [`LEGACY_MAGIC`].
     BadMagic,
     /// Buffer ended before the declared payload.
     Truncated,
+    /// The frame failed codec validation (checksum mismatch, trailing
+    /// bytes, unsupported version, ...).
+    Corrupt(CodecError),
     /// The checkpoint's shape fingerprint does not match the target
     /// network's architecture.
     ShapeMismatch {
@@ -35,6 +46,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::BadMagic => write!(f, "not an MRSch checkpoint (bad magic)"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
             CheckpointError::ShapeMismatch { expected, actual } => write!(
                 f,
                 "checkpoint fingerprint {expected:#x} does not match network {actual:#x}"
@@ -44,6 +56,18 @@ impl std::fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+impl From<CodecError> for CheckpointError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::BadMagic { .. } => CheckpointError::BadMagic,
+            CodecError::Truncated { .. } => CheckpointError::Truncated,
+            other => CheckpointError::Corrupt(other),
+        }
+    }
+}
+
+use mrsch_linalg::Matrix;
 
 /// FNV-1a fingerprint over a sequence of parameter shapes.
 fn shape_fingerprint(
@@ -63,8 +87,6 @@ fn shape_fingerprint(
     h
 }
 
-use mrsch_linalg::Matrix;
-
 /// Serialize parameters reachable through a visitor (model-agnostic).
 pub fn save_visitor(
     mut visit: impl FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
@@ -72,36 +94,47 @@ pub fn save_visitor(
     let fp = shape_fingerprint(&mut visit);
     let mut count = 0usize;
     visit(&mut |p, _| count += p.len());
-    let mut buf = BytesMut::with_capacity(4 + 8 + 8 + count * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(fp);
-    buf.put_u64_le(count as u64);
+    let mut w = Writer::with_capacity(8 + 8 + count * 4);
+    w.put_u64(fp);
+    w.put_u64(count as u64);
     visit(&mut |p, _| {
         for &v in p.as_slice() {
-            buf.put_f32_le(v);
+            w.put_f32(v);
         }
     });
-    buf.freeze()
+    Bytes::from(frame(MAGIC, VERSION, &w.into_bytes()))
 }
 
 /// Load parameters through a visitor; the target model must have the
-/// identical parameter-shape sequence.
+/// identical parameter-shape sequence. Accepts current (`MRS2`-framed)
+/// and legacy (`MRS1` unframed) checkpoints.
 pub fn load_visitor(
     mut visit: impl FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
     data: &[u8],
 ) -> Result<(), CheckpointError> {
-    let mut buf = data;
-    if buf.len() < 4 + 8 + 8 || &buf[..4] != MAGIC {
-        return Err(CheckpointError::BadMagic);
+    if sniff_magic(data) == Some(*LEGACY_MAGIC) {
+        return load_params(&mut visit, &data[LEGACY_MAGIC.len()..], false);
     }
-    buf.advance(4);
-    let expected = buf.get_u64_le();
-    let actual = shape_fingerprint(&mut visit);
+    let (_version, payload) = unframe(MAGIC, data)?;
+    // Framed payloads are length-checked: the dump must end exactly at
+    // the declared count.
+    load_params(&mut visit, payload, true)
+}
+
+/// Decode fingerprint + count + `f32` dump (shared by both formats).
+fn load_params(
+    visit: &mut impl FnMut(&mut dyn FnMut(&mut Matrix, &mut Matrix)),
+    payload: &[u8],
+    exact: bool,
+) -> Result<(), CheckpointError> {
+    let mut r = Reader::new(payload);
+    let expected = r.get_u64().map_err(|_| CheckpointError::Truncated)?;
+    let actual = shape_fingerprint(visit);
     if expected != actual {
         return Err(CheckpointError::ShapeMismatch { expected, actual });
     }
-    let count = buf.get_u64_le() as usize;
-    if buf.remaining() < count * 4 {
+    let count = r.get_u64().map_err(|_| CheckpointError::Truncated)? as usize;
+    if r.remaining() < count.saturating_mul(4) {
         return Err(CheckpointError::Truncated);
     }
     let mut err = None;
@@ -110,15 +143,20 @@ pub fn load_visitor(
             return;
         }
         for v in p.as_mut_slice() {
-            if buf.remaining() < 4 {
-                err = Some(CheckpointError::Truncated);
-                return;
+            match r.get_f32() {
+                Ok(x) => *v = x,
+                Err(_) => {
+                    err = Some(CheckpointError::Truncated);
+                    return;
+                }
             }
-            *v = buf.get_f32_le();
         }
     });
     if let Some(e) = err {
         return Err(e);
+    }
+    if exact {
+        r.expect_end().map_err(CheckpointError::from)?;
     }
     Ok(())
 }
@@ -158,6 +196,48 @@ mod tests {
         let ckpt = save(&mut a);
         load(&mut b, &ckpt).unwrap();
         assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    /// A legacy `MRS1` blob (the exact pre-codec byte layout, built by
+    /// hand as a migration fixture) still loads.
+    #[test]
+    fn legacy_mrs1_blob_still_loads() {
+        let mut a = sample_net(1);
+        let mut b = sample_net(2);
+        let mut visit = |f: &mut dyn FnMut(&mut Matrix, &mut Matrix)| {
+            a.visit_params(&mut |p, g| f(p, g))
+        };
+        let fp = shape_fingerprint(&mut visit);
+        let mut count = 0usize;
+        visit(&mut |p, _| count += p.len());
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(LEGACY_MAGIC);
+        legacy.extend_from_slice(&fp.to_le_bytes());
+        legacy.extend_from_slice(&(count as u64).to_le_bytes());
+        visit(&mut |p, _| {
+            for &v in p.as_slice() {
+                legacy.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        });
+        load(&mut b, &legacy).unwrap();
+        let x = Matrix::filled(3, 4, 0.7);
+        assert_eq!(a.forward(&x), b.forward(&x), "legacy blob reproduces the weights");
+    }
+
+    #[test]
+    fn current_format_is_a_checksummed_frame() {
+        let mut a = sample_net(1);
+        let ckpt = save(&mut a);
+        assert_eq!(&ckpt[..4], &MAGIC, "MRS2-framed");
+        // A flipped weight bit is caught by the frame checksum, which the
+        // legacy format could not detect.
+        let mut corrupt = ckpt.to_vec();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(
+            matches!(load(&mut a, &corrupt), Err(CheckpointError::Corrupt(_))),
+            "bit flip detected"
+        );
     }
 
     #[test]

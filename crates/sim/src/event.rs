@@ -197,6 +197,22 @@ impl EventHandle {
     }
 }
 
+/// A pending event in implementation-independent form: what
+/// [`EventQueue::save_events`] emits and [`EventQueue::restore_events`]
+/// consumes. `seq` is the *original* insertion sequence — it carries
+/// the tie-break order a rebuild must reproduce, and checkpoints use it
+/// as the stable identity of a pending event across a restore (raw
+/// [`EventHandle`]s are implementation-specific and never serialized).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavedEvent {
+    /// When the event fires.
+    pub time: SimTime,
+    /// What fires.
+    pub kind: EventKind,
+    /// Insertion sequence in the queue the snapshot was taken from.
+    pub seq: u64,
+}
+
 /// A deterministic future-event set: the contract `Simulator` runs on.
 ///
 /// Pops follow the strict total order `(time, kind rank, insertion
@@ -235,6 +251,37 @@ pub trait EventQueue: Default + std::fmt::Debug + Send {
     /// Visit every pending event in unspecified order (diagnostics and
     /// tests; the hot paths never iterate).
     fn for_each_pending(&self, f: &mut dyn FnMut(SimTime, EventKind));
+
+    /// Snapshot every pending (live) event in implementation-independent
+    /// form, in unspecified order — the original insertion `seq` on each
+    /// entry carries the tie-break order. Checkpoints persist this.
+    fn save_events(&self) -> Vec<SavedEvent>;
+
+    /// Insertion sequence of the live event `handle` refers to, or
+    /// `None` if it already fired or was cancelled. Checkpoints persist
+    /// handles as these sequences (a raw handle is impl-specific) and
+    /// remap them through [`EventQueue::restore_events`]'s aligned output.
+    fn handle_seq(&self, handle: EventHandle) -> Option<u64>;
+
+    /// Refill an *empty* queue with saved events, returning the new
+    /// handle for each input event, aligned by index.
+    ///
+    /// Events are re-pushed in ascending original-`seq` order, so their
+    /// relative tie-breaks are reproduced under fresh sequence numbers
+    /// `0..n`, and anything pushed after the rebuild sequences after all
+    /// restored events — exactly the new-sorts-after-old order the
+    /// original run would have produced. Pop order is therefore
+    /// identical whichever implementation the snapshot came from.
+    fn restore_events(&mut self, events: &[SavedEvent]) -> Vec<EventHandle> {
+        debug_assert!(self.is_empty(), "restore target must be empty");
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&i| events[i].seq);
+        let mut handles = vec![EventHandle(0); events.len()];
+        for &i in &order {
+            handles[i] = self.push(events[i].time, events[i].kind);
+        }
+        handles
+    }
 }
 
 /// The seed's binary-heap queue, kept as the reference implementation.
@@ -329,6 +376,18 @@ impl EventQueue for BinaryHeapEventQueue {
                 f(ev.time, ev.kind);
             }
         }
+    }
+
+    fn save_events(&self) -> Vec<SavedEvent> {
+        self.heap
+            .iter()
+            .filter(|ev| !self.cancelled.contains(&ev.seq))
+            .map(|ev| SavedEvent { time: ev.time, kind: ev.kind, seq: ev.seq })
+            .collect()
+    }
+
+    fn handle_seq(&self, handle: EventHandle) -> Option<u64> {
+        self.pending.contains_key(&handle.seq()).then(|| handle.seq())
     }
 }
 
@@ -701,6 +760,20 @@ impl EventQueue for IndexedEventQueue {
             }
         }
     }
+
+    fn save_events(&self) -> Vec<SavedEvent> {
+        self.slots
+            .iter()
+            .filter(|slot| slot.state == SlotState::Live)
+            .map(|slot| SavedEvent { time: slot.time, kind: slot.kind, seq: slot.seq })
+            .collect()
+    }
+
+    fn handle_seq(&self, handle: EventHandle) -> Option<u64> {
+        let (idx, gen) = handle.unpack();
+        let slot = self.slots.get(idx as usize)?;
+        (slot.gen == gen && slot.state == SlotState::Live).then_some(slot.seq)
+    }
 }
 
 #[cfg(test)]
@@ -949,6 +1022,122 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    /// Concrete-type save/rebuild tests (nested like `cross` so the
+    /// `DynQueue` facade does not shadow the trait methods).
+    mod save_rebuild {
+        use crate::event::*;
+
+        /// Mixed pending state: pushes, cancels, and a few pops so seqs
+        /// are non-contiguous and tombstones/dead slots exist.
+        fn populate<Q: EventQueue>(q: &mut Q) {
+            let mut cancel_me = Vec::new();
+            for i in 0..40u64 {
+                let t = (i * 7) % 23;
+                let kind = match i % 5 {
+                    0 => EventKind::Finish(i as usize),
+                    1 => EventKind::Submit(i as usize),
+                    2 => EventKind::Cancel(i as usize),
+                    3 => EventKind::Tick,
+                    _ => EventKind::CapacityChange { resource: 0, delta: -1 },
+                };
+                let h = q.push(t, kind);
+                if i % 4 == 1 {
+                    cancel_me.push(h);
+                }
+            }
+            for h in cancel_me {
+                assert!(q.cancel(h));
+            }
+            for _ in 0..5 {
+                q.pop();
+            }
+        }
+
+        fn drain<Q: EventQueue>(q: &mut Q) -> Vec<Event> {
+            std::iter::from_fn(|| q.pop()).collect()
+        }
+
+        #[test]
+        fn rebuild_reproduces_pop_order_same_and_cross_implementation() {
+            let mut src = IndexedEventQueue::new();
+            populate(&mut src);
+            let saved = src.save_events();
+            assert_eq!(saved.len(), src.len());
+
+            // Restore into both implementations from the same snapshot.
+            let mut into_idx = IndexedEventQueue::new();
+            into_idx.restore_events(&saved);
+            let mut into_heap = BinaryHeapEventQueue::new();
+            into_heap.restore_events(&saved);
+            assert_eq!(into_idx.len(), src.len());
+            assert_eq!(into_idx.non_tick_len(), src.non_tick_len());
+            assert_eq!(into_heap.len(), src.len());
+            assert_eq!(into_heap.non_tick_len(), src.non_tick_len());
+
+            let reference: Vec<(SimTime, EventKind)> =
+                drain(&mut src).into_iter().map(|e| (e.time, e.kind)).collect();
+            let via_idx: Vec<(SimTime, EventKind)> =
+                drain(&mut into_idx).into_iter().map(|e| (e.time, e.kind)).collect();
+            let via_heap: Vec<(SimTime, EventKind)> =
+                drain(&mut into_heap).into_iter().map(|e| (e.time, e.kind)).collect();
+            assert_eq!(via_idx, reference);
+            assert_eq!(via_heap, reference);
+        }
+
+        #[test]
+        fn heap_snapshot_restores_into_indexed_queue() {
+            let mut src = BinaryHeapEventQueue::new();
+            populate(&mut src);
+            let saved = src.save_events();
+            let mut dst = IndexedEventQueue::new();
+            dst.restore_events(&saved);
+            let reference: Vec<(SimTime, EventKind)> =
+                drain(&mut src).into_iter().map(|e| (e.time, e.kind)).collect();
+            let restored: Vec<(SimTime, EventKind)> =
+                drain(&mut dst).into_iter().map(|e| (e.time, e.kind)).collect();
+            assert_eq!(restored, reference);
+        }
+
+        #[test]
+        fn rebuild_handles_align_with_input_and_cancel_the_right_event() {
+            let mut src = IndexedEventQueue::new();
+            src.push(10, EventKind::Submit(0));
+            src.push(10, EventKind::Finish(1));
+            src.push(20, EventKind::Tick);
+            let saved = src.save_events();
+            let victim = saved
+                .iter()
+                .position(|s| s.kind == EventKind::Finish(1))
+                .expect("finish event saved");
+
+            let mut dst = BinaryHeapEventQueue::new();
+            let handles = dst.restore_events(&saved);
+            assert_eq!(handles.len(), saved.len());
+            assert!(dst.cancel(handles[victim]), "aligned handle cancels its event");
+            let left: Vec<EventKind> = drain(&mut dst).into_iter().map(|e| e.kind).collect();
+            assert_eq!(left, vec![EventKind::Submit(0), EventKind::Tick]);
+        }
+
+        #[test]
+        fn pushes_after_rebuild_sort_after_restored_ties() {
+            // A post-restore push at the same (time, rank) must lose the
+            // tie to every restored event — as it would have in the
+            // original run, where it was inserted later.
+            let mut src = IndexedEventQueue::new();
+            src.push(10, EventKind::Submit(0));
+            src.push(10, EventKind::Submit(1));
+            let saved = src.save_events();
+            let mut dst = IndexedEventQueue::new();
+            dst.restore_events(&saved);
+            dst.push(10, EventKind::Submit(99));
+            let order: Vec<EventKind> = drain(&mut dst).into_iter().map(|e| e.kind).collect();
+            assert_eq!(
+                order,
+                vec![EventKind::Submit(0), EventKind::Submit(1), EventKind::Submit(99)]
+            );
         }
     }
 

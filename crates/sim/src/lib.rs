@@ -57,17 +57,22 @@ pub mod queue;
 pub mod resources;
 pub mod shard;
 pub mod simulator;
+pub mod snapshot;
 pub mod timeline;
 
 pub use event::{
     BinaryHeapEventQueue, Event, EventHandle, EventKind, EventQueue, IndexedEventQueue,
-    InjectedEvent,
+    InjectedEvent, SavedEvent,
 };
+pub use snapshot::SnapshotError;
 pub use job::{Job, JobId, JobOutcome, JobRecord, JobSlab};
 pub use metrics::{EventCounts, SimReport};
 pub use policy::{Policy, SchedulerView};
 pub use resources::{ResourceSpec, SystemConfig};
-pub use shard::{partition_round_robin, ShardSpec, ShardTotals, ShardedSim};
+pub use shard::{
+    partition_round_robin, shard_snapshot_name, write_shard_snapshot, ShardSpec, ShardTotals,
+    ShardedSim, SnapshotConfig,
+};
 pub use simulator::{SimParams, Simulator};
 pub use timeline::Timeline;
 

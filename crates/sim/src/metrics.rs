@@ -16,14 +16,17 @@ use serde::{Deserialize, Serialize};
 /// Streaming accumulator of per-resource used·time integrals.
 #[derive(Clone, Debug)]
 pub struct MetricsCollector {
-    start: Option<SimTime>,
-    last: SimTime,
-    used_unit_secs: Vec<f64>,
+    /// Fields are `pub(crate)` for `crate::snapshot`, which persists the
+    /// partial integrals with exact f64 bits so a restored run's final
+    /// report is bit-identical.
+    pub(crate) start: Option<SimTime>,
+    pub(crate) last: SimTime,
+    pub(crate) used_unit_secs: Vec<f64>,
     /// Integral of the *online* capacity (current, post-disruption).
-    cap_unit_secs: Vec<f64>,
+    pub(crate) cap_unit_secs: Vec<f64>,
     /// Integral of `base_capacity - online_capacity` (clamped at 0):
     /// node-seconds lost to drains, kW-seconds lost to power caps, ...
-    lost_unit_secs: Vec<f64>,
+    pub(crate) lost_unit_secs: Vec<f64>,
 }
 
 impl MetricsCollector {
@@ -109,7 +112,7 @@ impl MetricsCollector {
 /// here.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EventCounts {
-    counts: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
 }
 
 impl EventCounts {

@@ -137,13 +137,15 @@ pub struct Allocation {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PoolState {
     /// Configured (static) capacity — the denominator of encoder layouts.
-    base_capacities: Vec<u64>,
+    /// Fields are `pub(crate)` for `crate::snapshot`, which persists and
+    /// reconstructs this state verbatim (incl. drain debt).
+    pub(crate) base_capacities: Vec<u64>,
     /// Current online capacity.
-    capacities: Vec<u64>,
-    free: Vec<u64>,
+    pub(crate) capacities: Vec<u64>,
+    pub(crate) free: Vec<u64>,
     /// Units scheduled for removal that are still held by running jobs.
-    draining: Vec<u64>,
-    running: Vec<Allocation>,
+    pub(crate) draining: Vec<u64>,
+    pub(crate) running: Vec<Allocation>,
 }
 
 impl PoolState {

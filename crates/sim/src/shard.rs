@@ -19,6 +19,7 @@ use crate::policy::Policy;
 use crate::resources::SystemConfig;
 use crate::simulator::{SimError, SimParams, Simulator};
 use crate::SimTime;
+use std::path::{Path, PathBuf};
 
 /// Everything one shard needs to simulate independently.
 #[derive(Clone, Debug)]
@@ -42,23 +43,45 @@ impl ShardSpec {
     }
 }
 
+/// Periodic checkpointing for a fleet run: every `every` processed
+/// event batches each shard overwrites `dir/shard-NNNN.snap` with its
+/// current [`Simulator::snapshot`] (written crash-safely via a temp
+/// file + rename, so a kill mid-write never leaves a torn snapshot).
+#[derive(Clone, Debug)]
+pub struct SnapshotConfig {
+    /// Event batches between snapshots (at least 1).
+    pub every: u64,
+    /// Directory receiving one `shard-NNNN.snap` per shard.
+    pub dir: PathBuf,
+}
+
 /// A fleet of independent shards plus a worker count.
 #[derive(Clone, Debug)]
 pub struct ShardedSim {
     shards: Vec<ShardSpec>,
     workers: usize,
+    snapshots: Option<SnapshotConfig>,
 }
 
 impl ShardedSim {
     /// A fleet over the given shards, serial by default.
     pub fn new(shards: Vec<ShardSpec>) -> Self {
-        Self { shards, workers: 1 }
+        Self { shards, workers: 1, snapshots: None }
     }
 
     /// Set the worker-thread count (clamped to at least 1; more workers
     /// than shards is harmless). Returns `self` for chaining.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Enable periodic checkpoints: every `every` event batches each
+    /// shard rewrites its `shard-NNNN.snap` in `dir` (the CLI's
+    /// `--snapshot-every N --snapshot-dir DIR`). Returns `self` for
+    /// chaining.
+    pub fn snapshots(mut self, every: u64, dir: impl Into<PathBuf>) -> Self {
+        self.snapshots = Some(SnapshotConfig { every: every.max(1), dir: dir.into() });
         self
     }
 
@@ -91,8 +114,11 @@ impl ShardedSim {
             return Ok(Vec::new());
         }
         let workers = self.workers.min(n);
+        let snap = self.snapshots.as_ref();
         if workers == 1 {
-            return (0..n).map(|i| run_shard::<Q>(&self.shards[i], make_policy(i))).collect();
+            return (0..n)
+                .map(|i| run_shard::<Q>(&self.shards[i], i, snap, make_policy(i)))
+                .collect();
         }
         let mut slots: Vec<Option<Result<SimReport, SimError>>> = (0..n).map(|_| None).collect();
         let shards = &self.shards;
@@ -103,7 +129,7 @@ impl ShardedSim {
                         let mut out = Vec::new();
                         let mut idx = w;
                         while idx < n {
-                            out.push((idx, run_shard::<Q>(&shards[idx], make_policy(idx))));
+                            out.push((idx, run_shard::<Q>(&shards[idx], idx, snap, make_policy(idx))));
                             idx += workers;
                         }
                         out
@@ -120,9 +146,11 @@ impl ShardedSim {
     }
 }
 
-/// Simulate one shard start to finish.
+/// Simulate one shard start to finish, optionally checkpointing.
 fn run_shard<Q: EventQueue>(
     spec: &ShardSpec,
+    index: usize,
+    snap: Option<&SnapshotConfig>,
     mut policy: Box<dyn Policy + Send>,
 ) -> Result<SimReport, SimError> {
     let mut sim: Simulator<Q> =
@@ -131,7 +159,44 @@ fn run_shard<Q: EventQueue>(
     for &(id, delay) in &spec.relative_cancels {
         sim.schedule_cancel_after_start(id, delay)?;
     }
-    Ok(sim.run(policy.as_mut()))
+    let Some(cfg) = snap else {
+        return Ok(sim.run(policy.as_mut()));
+    };
+    // Stepped run: snapshots land only at event-batch boundaries, where
+    // restore-and-continue is bit-identical to never stopping.
+    let mut batches = 0u64;
+    while sim.step(policy.as_mut()) {
+        batches += 1;
+        if batches % cfg.every == 0 {
+            write_shard_snapshot(&cfg.dir, index, &sim)
+                .map_err(|e| SimError::Snapshot(format!("shard {index}: {e}")))?;
+        }
+    }
+    let report = sim.final_report();
+    policy.episode_end(&report);
+    Ok(report)
+}
+
+/// File name of shard `index`'s checkpoint inside a snapshot dir.
+pub fn shard_snapshot_name(index: usize) -> String {
+    format!("shard-{index:04}.snap")
+}
+
+/// Write one shard's checkpoint crash-safely (temp file in the same
+/// directory, then an atomic rename over the previous snapshot) and
+/// return its final path.
+pub fn write_shard_snapshot<Q: EventQueue>(
+    dir: &Path,
+    index: usize,
+    sim: &Simulator<Q>,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let name = shard_snapshot_name(index);
+    let path = dir.join(&name);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, sim.snapshot())?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
 }
 
 /// Deal a job stream round-robin into `shards` dense-id traces: job `i`
@@ -270,6 +335,43 @@ mod tests {
         );
         assert!(totals.events > 0);
         assert!(totals.end_time > totals.start_time);
+    }
+
+    #[test]
+    fn periodic_snapshots_restore_to_the_uninterrupted_reports() {
+        let dir = std::env::temp_dir()
+            .join(format!("mrsim-shard-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reference = fleet(3).workers(1).run_with(&|_| fcfs()).unwrap();
+        let with_snaps =
+            fleet(3).workers(2).snapshots(3, &dir).run_with(&|_| fcfs()).unwrap();
+        assert_eq!(with_snaps, reference, "checkpointing must not perturb the run");
+        for (i, expected) in reference.iter().enumerate() {
+            let path = dir.join(shard_snapshot_name(i));
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("snapshot for shard {i} at {path:?}: {e}"));
+            let mut sim = Simulator::<IndexedEventQueue>::restore(&bytes).unwrap();
+            let mut policy = fcfs();
+            while sim.step(policy.as_mut()) {}
+            assert_eq!(
+                &sim.final_report(),
+                expected,
+                "shard {i} restored from its last periodic snapshot diverged"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_snapshot_dir_surfaces_a_snapshot_error() {
+        let dir = std::env::temp_dir()
+            .join(format!("mrsim-shard-snap-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A *file* where the directory should be makes create_dir_all fail.
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let err = fleet(2).snapshots(1, &dir).run_with(&|_| fcfs()).unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

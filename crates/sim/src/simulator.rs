@@ -59,6 +59,8 @@ pub enum SimError {
     NonDenseIds(JobId),
     /// An injected event references a job or resource that does not exist.
     InvalidEvent(String),
+    /// A periodic checkpoint could not be written or restored.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -69,6 +71,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "job ids must be dense; found out-of-place id {id}")
             }
             SimError::InvalidEvent(msg) => write!(f, "invalid injected event: {msg}"),
+            SimError::Snapshot(msg) => write!(f, "snapshot: {msg}"),
         }
     }
 }
@@ -342,6 +345,24 @@ impl<Q: EventQueue> Simulator<Q> {
     /// [`handlers::dispatch`]; all events sharing a timestamp are applied
     /// as one batch, then a single scheduling instance runs.
     pub fn run(&mut self, policy: &mut dyn Policy) -> SimReport {
+        while self.step(policy) {}
+        let report = self.report();
+        policy.episode_end(&report);
+        report
+    }
+
+    /// Process the next live timestamp batch: advance the clock to the
+    /// next live event, apply every live event sharing its timestamp,
+    /// then run one scheduling instance. Returns `false` once the event
+    /// set is drained ([`Simulator::run`] is `while self.step(..) {}`
+    /// plus the report).
+    ///
+    /// Between `step` calls the simulator sits at an *event boundary* —
+    /// the states [`Simulator::snapshot`] may checkpoint and
+    /// [`Simulator::restore`] continues from bit-identically. Periodic
+    /// snapshotting (`ShardedSim`) and the crash drills drive this
+    /// directly instead of `run`.
+    pub fn step(&mut self, policy: &mut dyn Policy) -> bool {
         while let Some(event) = self.events.pop() {
             // Tombstoned events (see `handlers::is_live`) are dropped
             // without advancing the clock or triggering scheduling.
@@ -361,10 +382,16 @@ impl<Q: EventQueue> Simulator<Q> {
             }
             debug_assert!(self.pools.check_conservation());
             self.schedule(policy);
+            return true;
         }
-        let report = self.report();
-        policy.episode_end(&report);
-        report
+        false
+    }
+
+    /// Assemble the end-of-run report for the state so far — what `run`
+    /// returns after the last step. Public so a restored-and-finished
+    /// stepped run can produce the same report `run` would have.
+    pub fn final_report(&self) -> SimReport {
+        self.report()
     }
 
     /// Terminal-state bookkeeping shared by the finish/cancel/kill

@@ -2,11 +2,19 @@
 //!
 //! The seed code only ever writes `#[derive(Serialize, Deserialize)]`
 //! (plus `#[serde(skip)]` field attributes) — it never serializes through
-//! serde (checkpointing uses its own plain-text format). With no network
-//! access to crates.io, this facade supplies the two trait names as
-//! universally-satisfied markers and re-exports no-op derives, so the
-//! annotations compile unchanged and real serde can be swapped back in
-//! the moment the environment allows it.
+//! serde. With no network access to crates.io, this facade supplies the
+//! two trait names as universally-satisfied markers and re-exports no-op
+//! derives, so the annotations compile unchanged and real serde can be
+//! swapped back in the moment the environment allows it.
+//!
+//! **Actual serialization does not go through these derives.** The
+//! workspace's binary persistence — simulator snapshots, network
+//! checkpoints, policy-cache entries — lives in `mrsch-snapshot`
+//! (`crates/snapshot`): a hand-rolled, dependency-free little-endian
+//! codec with explicit `Encode`/`Decode` impls, length-framed fields,
+//! and FNV-checksummed frames. That crate supersedes the original plan
+//! of making these derives produce a real format; the no-op markers
+//! remain only so `#[derive(...)]` annotations keep compiling.
 
 pub use serde_derive::{Deserialize, Serialize};
 
