@@ -1,0 +1,170 @@
+//! Scenario-substrate bench: event-engine throughput on **bursty**
+//! open-arrival traces — the 100k-arrival diurnal and spike streams the
+//! scenario registry's `bursty:*` families are built from.
+//!
+//! Bursty traces stress the engine differently from the homogeneous
+//! Poisson stress trace of `substrate_sim`: arrivals bunch into waves
+//! or storms, so the wait queue oscillates between near-empty and deep,
+//! the calendar-queue buckets fill unevenly, and the scheduler is
+//! invoked in bursts. Each measured iteration is the full pipeline
+//! (simulator construction, run loop to drain) under [`HeadOfQueue`]
+//! for both event-queue implementations.
+//!
+//! The report (`results/BENCH_scenario.json`, schema `mrsch-bench/v2`)
+//! records `events_per_sec` for every cell. The gated,
+//! host-speed-independent metric is the **in-run speedup of the indexed
+//! calendar queue over the binary-heap queue on the same bursty
+//! trace** — bucket-indexed insertion must keep its edge even when
+//! arrival bursts pile events into a narrow time window.
+//!
+//! Env knobs: `MRSCH_BENCH_QUICK=1` shrinks the measurement budget for
+//! CI; `MRSCH_BENCH_JSON=path` redirects the report (default
+//! `results/BENCH_scenario.json`).
+
+use criterion::Criterion;
+use mrsch_bench::report::{BenchRecord, BenchReport, SCHEMA};
+use mrsch_workload::{ArrivalProcess, StressConfig};
+use mrsim::policy::HeadOfQueue;
+use mrsim::{
+    BinaryHeapEventQueue, EventQueue, IndexedEventQueue, Job, SimParams, Simulator, SystemConfig,
+};
+use std::time::Duration;
+
+const NODES: u64 = 256;
+const BB: u64 = 32;
+const SEED: u64 = 20_220_517;
+/// The acceptance-scale stream: one hundred thousand arrivals.
+const NUM_JOBS: usize = 100_000;
+
+fn system() -> SystemConfig {
+    SystemConfig::two_resource(NODES, BB)
+}
+
+/// One full simulation; returns the total number of events processed.
+fn simulate<Q: EventQueue>(jobs: &[Job]) -> u64 {
+    let mut sim = Simulator::<Q>::with_queue(system(), jobs.to_vec(), SimParams::new(10, true))
+        .expect("bursty trace is valid");
+    sim.run(&mut HeadOfQueue).event_counts.total()
+}
+
+fn main() {
+    let quick = std::env::var_os("MRSCH_BENCH_QUICK").is_some();
+    let mut criterion = Criterion::default().configure_from_args();
+    criterion = if quick {
+        criterion.sample_size(2).measurement_time(Duration::from_millis(200))
+    } else {
+        criterion.sample_size(5).measurement_time(Duration::from_secs(10))
+    };
+
+    println!("generating {NUM_JOBS}-arrival bursty traces (seed {SEED})...");
+    let base = StressConfig::engine(NUM_JOBS, vec![NODES, BB]);
+    // Period ≈ 100 mean interarrivals, so the run sees ~1 000 full
+    // waves/storm cycles — the steady-state bursty regime, not one
+    // transient.
+    let diurnal = base
+        .clone()
+        .with_arrivals(ArrivalProcess::Diurnal { period_secs: 2_000.0, amplitude: 0.8 })
+        .generate(SEED);
+    let spike = base
+        .with_arrivals(ArrivalProcess::Spike {
+            period_secs: 2_000.0,
+            burst_fraction: 0.1,
+            boost: 6.0,
+        })
+        .generate(SEED);
+
+    let event_totals = [
+        ("scenario/100k_diurnal/indexed", simulate::<IndexedEventQueue>(&diurnal)),
+        ("scenario/100k_diurnal/binheap", simulate::<BinaryHeapEventQueue>(&diurnal)),
+        ("scenario/100k_spike/indexed", simulate::<IndexedEventQueue>(&spike)),
+        ("scenario/100k_spike/binheap", simulate::<BinaryHeapEventQueue>(&spike)),
+    ];
+    let events_of = |id: &str| {
+        event_totals.iter().find(|(b, _)| *b == id).map(|&(_, e)| e).expect("cell counted")
+    };
+
+    criterion.bench_function("scenario/100k_diurnal/indexed", |b| {
+        b.iter(|| simulate::<IndexedEventQueue>(&diurnal))
+    });
+    criterion.bench_function("scenario/100k_diurnal/binheap", |b| {
+        b.iter(|| simulate::<BinaryHeapEventQueue>(&diurnal))
+    });
+    criterion.bench_function("scenario/100k_spike/indexed", |b| {
+        b.iter(|| simulate::<IndexedEventQueue>(&spike))
+    });
+    criterion.bench_function("scenario/100k_spike/binheap", |b| {
+        b.iter(|| simulate::<BinaryHeapEventQueue>(&spike))
+    });
+
+    let mean_of = |id: &str| criterion.results().iter().find(|r| r.id == id).map(|r| r.mean_ns);
+    let cells = [
+        ("scenario/100k_diurnal/indexed", "indexed", "diurnal"),
+        ("scenario/100k_diurnal/binheap", "binheap", "diurnal"),
+        ("scenario/100k_spike/indexed", "indexed", "spike"),
+        ("scenario/100k_spike/binheap", "binheap", "spike"),
+    ];
+
+    let results: Vec<BenchRecord> = cells
+        .into_iter()
+        .filter_map(|(bench, queue, trace)| {
+            let ns_per_iter = mean_of(bench)?;
+            let events = events_of(bench);
+            // The gated metric: on each bursty trace, the indexed cell
+            // carries its in-run speedup over the heap cell.
+            let ratio = (queue == "indexed")
+                .then(|| {
+                    mean_of(&bench.replace("indexed", "binheap")).map(|heap| heap / ns_per_iter)
+                })
+                .flatten();
+            Some(BenchRecord {
+                bench: bench.to_string(),
+                group: "scenario".to_string(),
+                unit: "events_per_sec".to_string(),
+                value: events as f64 / (ns_per_iter * 1e-9),
+                ratio,
+                ratio_kind: if ratio.is_some() {
+                    "speedup_vs_binheap".to_string()
+                } else {
+                    String::new()
+                },
+                extras: vec![
+                    ("events".to_string(), events as f64),
+                    ("jobs".to_string(), NUM_JOBS as f64),
+                    ("ns_per_iter".to_string(), ns_per_iter),
+                ],
+                tags: vec![
+                    ("queue".to_string(), queue.to_string()),
+                    ("trace".to_string(), trace.to_string()),
+                ],
+            })
+        })
+        .collect();
+
+    for r in &results {
+        println!(
+            "{}: {:.0} events/sec ({} events{})",
+            r.bench,
+            r.value,
+            r.extra("events").unwrap_or(0.0) as u64,
+            r.ratio.map(|x| format!(", {x:.2}x vs binheap")).unwrap_or_default()
+        );
+    }
+
+    let report = BenchReport {
+        quick,
+        host: format!("{} core(s)", std::thread::available_parallelism().map_or(1, |n| n.get())),
+        results,
+    };
+    let path = std::env::var("MRSCH_BENCH_JSON").unwrap_or_else(|_| {
+        format!("{}/../../results/BENCH_scenario.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => {
+            println!("scenario report ({SCHEMA}): {path} ({} records)", report.results.len())
+        }
+        Err(e) => eprintln!("scenario report: failed to write {path}: {e}"),
+    }
+}

@@ -218,8 +218,11 @@ impl TrainingEngine {
         let master = mix_seed(mrsch.master_seed(), 0x5ce7a710);
         let mut outcome = EngineOutcome::default();
         for phase in curriculum.phases() {
-            let goal_mode = match &phase.goal_override {
-                Some(g) => GoalMode::Fixed(g.clone()),
+            // The phase-level mode covers fixed schedules exactly; an
+            // annealed schedule additionally stamps a per-episode goal
+            // onto each rollout task below.
+            let goal_mode = match &phase.goal {
+                Some(s) => GoalMode::Fixed(s.goal_at(0, phase.episodes)),
                 None => mrsch.goal_mode_ref().clone(),
             };
             let phase_out = match self.cfg.pipeline {
@@ -271,6 +274,7 @@ impl TrainingEngine {
                     spec: phase.scenario.materialize(system, (done + k) as u64),
                     epsilon: dfp_cfg.epsilon_at(base_eps + k as u64),
                     seed: mix_seed(master, base_eps + k as u64),
+                    goal: episode_goal(phase, done + k),
                 })
                 .collect();
             let results =
@@ -390,6 +394,7 @@ impl TrainingEngine {
                             spec: phase.scenario.materialize(system, k as u64),
                             epsilon: dfp_cfg.epsilon_at(eps0 + k as u64),
                             seed: mix_seed(master, eps0 + k as u64),
+                            goal: episode_goal(phase, k),
                         };
                         let result =
                             rollout_episode(&snap, encoder, goal_mode, system, &mut sim, &task);
@@ -473,6 +478,23 @@ pub(crate) struct RolloutTask {
     pub(crate) spec: EpisodeSpec,
     pub(crate) epsilon: f32,
     pub(crate) seed: u64,
+    /// Per-episode goal override (annealed schedules); `None` uses the
+    /// phase-level mode.
+    pub(crate) goal: Option<GoalMode>,
+}
+
+/// The per-episode goal for an annealed schedule; `None` when the
+/// phase-level mode already covers it (no schedule, or a fixed one).
+fn episode_goal(
+    phase: &mrsch_workload::scenario::CurriculumPhase,
+    episode_in_phase: usize,
+) -> Option<GoalMode> {
+    match &phase.goal {
+        Some(s) if !s.is_fixed() => {
+            Some(GoalMode::Fixed(s.goal_at(episode_in_phase, phase.episodes)))
+        }
+        _ => None,
+    }
 }
 
 /// Roll out a round of episodes across `workers` threads and return the
@@ -544,23 +566,21 @@ pub(crate) fn rollout_episode(
     task: &RolloutTask,
 ) -> (Vec<Experience>, SimReport) {
     match sim {
-        Some(s) => s
-            .load(task.spec.jobs.clone(), task.spec.params)
-            .expect("scenario jobs must fit the system"),
+        Some(s) => task.spec.install(s).expect("scenario jobs must fit the system"),
         None => {
             *sim = Some(
-                Simulator::new(system.clone(), task.spec.jobs.clone(), task.spec.params)
+                task.spec
+                    .simulator(system.clone())
                     .expect("scenario jobs must fit the system"),
             )
         }
     }
     let s = sim.as_mut().expect("just ensured");
-    s.inject_all(&task.spec.events).expect("scenario events reference this job set");
     let mut policy = RolloutPolicy {
         snap,
         epsilon: task.epsilon,
         encoder,
-        goal_mode,
+        goal_mode: task.goal.as_ref().unwrap_or(goal_mode),
         recorder: EpisodeRecorder::new(),
         rng: StdRng::seed_from_u64(task.seed),
         awaiting: false,

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use mrsch_dfp::{DfpAgent, DfpConfig, StateModuleKind};
     pub use mrsch_workload::disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
     pub use mrsch_workload::scenario::{
-        Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, PlateauRule,
-        Scenario,
+        Curriculum, CurriculumPhase, CurriculumProgress, DagConfig, EpisodeSpec, GoalSchedule,
+        JobSource, PlateauRule, Scenario,
     };
     pub use mrsch_workload::suite::WorkloadSpec;
     pub use mrsch_workload::theta::ThetaConfig;

@@ -203,9 +203,11 @@ impl Mrsch {
                 jobs: jobs.to_vec(),
                 events: Vec::new(),
                 params: self.params,
+                deps: Vec::new(),
             },
             epsilon: self.agent.epsilon(),
             seed: mix_seed(mix_seed(self.seed, 0x5ce7a710), episode),
+            goal: None,
         };
         let snap = self.agent.snapshot();
         let (exps, _report) = crate::engine::rollout_episode(

@@ -266,6 +266,7 @@ impl EvalPlan {
         let spec = &self.policies[pi];
         let system = scenario.spec.system_for(&self.base_system);
         let episode = scenario.materialize(&system, mix_seed(seed, EVAL_EPISODE_SALT));
+        let cp_bound = episode.makespan_lower_bound(&system);
         let report = if spec.is_learnable() {
             let fallback;
             let curriculum = match self.policy_train[pi]
@@ -316,15 +317,15 @@ impl EvalPlan {
             let mut policy = spec.build(&ctx);
             run_episode(sims, si, &system, &episode, policy.as_mut())
         };
-        EvalCell { policy: spec.name(), scenario: scenario.name.clone(), seed, report }
+        EvalCell { policy: spec.name(), scenario: scenario.name.clone(), seed, cp_bound, report }
     }
 }
 
 /// Run one materialized episode under a policy, reusing the worker's
-/// per-scenario simulator when one exists ([`Simulator::load`] swaps
-/// the trace and parameters and behaves bit-identically to a fresh
-/// construction — the ROADMAP "grid cells rebuild the simulator per
-/// cell" item).
+/// per-scenario simulator when one exists ([`EpisodeSpec::install`]
+/// swaps the trace, parameters, dependency graph and injected events
+/// via [`Simulator::load`], bit-identically to a fresh construction —
+/// the ROADMAP "grid cells rebuild the simulator per cell" item).
 fn run_episode(
     sims: &mut HashMap<usize, Simulator>,
     si: usize,
@@ -336,16 +337,13 @@ fn run_episode(
     let sim = match sims.entry(si) {
         Entry::Occupied(slot) => {
             let sim = slot.into_mut();
-            sim.load(episode.jobs.clone(), episode.params)
-                .expect("scenario jobs must fit the system");
+            episode.install(sim).expect("scenario episode must fit the system");
             sim
         }
         Entry::Vacant(slot) => slot.insert(
-            Simulator::new(system.clone(), episode.jobs.clone(), episode.params)
-                .expect("scenario jobs must fit the system"),
+            episode.simulator(system.clone()).expect("scenario episode must fit the system"),
         ),
     };
-    sim.inject_all(&episode.events).expect("scenario events reference this job set");
     sim.run(policy)
 }
 
@@ -358,8 +356,24 @@ pub struct EvalCell {
     pub scenario: String,
     /// Grid seed.
     pub seed: u64,
+    /// Policy-independent makespan lower bound of this cell's episode
+    /// ([`EpisodeSpec::makespan_lower_bound`]): critical path ∨ resource
+    /// area. The regret baseline for DAG scenarios (exact for
+    /// cancellation-free episodes).
+    pub cp_bound: u64,
     /// The full simulator report (disruption counters included).
     pub report: SimReport,
+}
+
+impl EvalCell {
+    /// Relative makespan regret against the critical-path/area lower
+    /// bound: `makespan / bound − 1` (0 when the bound is degenerate).
+    pub fn cp_regret(&self) -> f64 {
+        if self.cp_bound == 0 {
+            return 0.0;
+        }
+        self.report.makespan as f64 / self.cp_bound as f64 - 1.0
+    }
 }
 
 /// Aggregated metric: mean ± population standard deviation over seeds.
@@ -407,6 +421,12 @@ pub struct AggregateRow {
     pub cancelled: Aggregate,
     /// Jobs killed at their walltime (disruptions).
     pub killed: Aggregate,
+    /// Total energy drawn, kWh (0 when the scenario carries no power
+    /// model).
+    pub energy_kwh: Aggregate,
+    /// Relative makespan regret against the per-cell critical-path/area
+    /// lower bound ([`EvalCell::cp_regret`]).
+    pub cp_regret: Aggregate,
 }
 
 /// Every cell of an executed [`EvalPlan`], with aggregation and CSV
@@ -456,22 +476,21 @@ impl EvalGrid {
     /// Seed-aggregate one `(policy, scenario)` pair (`None` when no
     /// cell matches).
     pub fn aggregate(&self, policy: &str, scenario: &str) -> Option<AggregateRow> {
-        let reports: Vec<&SimReport> = self
+        let cells: Vec<&EvalCell> = self
             .cells
             .iter()
             .filter(|c| c.policy == policy && c.scenario == scenario)
-            .map(|c| &c.report)
             .collect();
-        if reports.is_empty() {
+        if cells.is_empty() {
             return None;
         }
         let pick = |f: &dyn Fn(&SimReport) -> f64| -> Aggregate {
-            Aggregate::of(&reports.iter().map(|r| f(r)).collect::<Vec<f64>>())
+            Aggregate::of(&cells.iter().map(|c| f(&c.report)).collect::<Vec<f64>>())
         };
         Some(AggregateRow {
             policy: policy.to_string(),
             scenario: scenario.to_string(),
-            seeds: reports.len(),
+            seeds: cells.len(),
             node_util: pick(&|r| r.resource_utilization[0]),
             bb_util: pick(&|r| r.resource_utilization.get(1).copied().unwrap_or(0.0)),
             avg_wait_h: pick(&|r| r.avg_wait_hours()),
@@ -479,6 +498,10 @@ impl EvalGrid {
             makespan_s: pick(&|r| r.makespan as f64),
             cancelled: pick(&|r| r.jobs_cancelled as f64),
             killed: pick(&|r| r.jobs_killed as f64),
+            energy_kwh: pick(&|r| r.energy_kwh()),
+            cp_regret: Aggregate::of(
+                &cells.iter().map(|c| c.cp_regret()).collect::<Vec<f64>>(),
+            ),
         })
     }
 
@@ -511,6 +534,9 @@ impl EvalGrid {
             "cancelled",
             "killed",
             "unfinished",
+            "cp_bound_s",
+            "cp_regret",
+            "energy_kwh",
         ];
         let rows = self
             .cells
@@ -529,6 +555,9 @@ impl EvalGrid {
                     c.report.jobs_cancelled.to_string(),
                     c.report.jobs_killed.to_string(),
                     c.report.jobs_unfinished.to_string(),
+                    c.cp_bound.to_string(),
+                    table::f(c.cp_regret()),
+                    table::f(c.report.energy_kwh()),
                 ]
             })
             .collect();
@@ -552,6 +581,10 @@ impl EvalGrid {
             "avg_slowdown_std",
             "makespan_s_mean",
             "makespan_s_std",
+            "cp_regret_mean",
+            "cp_regret_std",
+            "energy_kwh_mean",
+            "energy_kwh_std",
         ];
         let rows = self
             .aggregate_rows()
@@ -571,6 +604,10 @@ impl EvalGrid {
                     table::f(r.avg_slowdown.std),
                     table::f(r.makespan_s.mean),
                     table::f(r.makespan_s.std),
+                    table::f(r.cp_regret.mean),
+                    table::f(r.cp_regret.std),
+                    table::f(r.energy_kwh.mean),
+                    table::f(r.energy_kwh.std),
                 ]
             })
             .collect();

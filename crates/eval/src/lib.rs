@@ -18,8 +18,11 @@
 //! * [`harness::EvalGrid`] — per-cell `SimReport`s, multi-seed
 //!   [`harness::Aggregate`]s, and one shared CSV/table emitter
 //!   ([`table`]);
-//! * [`scenarios`] — named disruption presets (`clean`,
-//!   `cancel-heavy`, `overrun-heavy`, `drain`, `mixed`).
+//! * [`scenario_registry::ScenarioSpec`] — a string-addressable
+//!   scenario (`"clean"`, `"dag:fanout:3"`, `"bursty:diurnal:60"`,
+//!   `"energy:drain"`, ...) spanning the disruption, workflow-DAG,
+//!   bursty-arrival and energy families, with typed parse errors and a
+//!   `Display` round trip (the scenario-side mirror of `PolicySpec`).
 //!
 //! ```
 //! use mrsch_eval::{EvalPlan, PolicySpec};
@@ -46,6 +49,7 @@
 pub mod cache;
 pub mod harness;
 pub mod registry;
+pub mod scenario_registry;
 pub mod scenarios;
 pub mod table;
 
@@ -55,4 +59,6 @@ pub use harness::{
     EvalPlan,
 };
 pub use registry::{trained_mrsch, BuildContext, MrschSpec, PolicySpec};
+pub use scenario_registry::{build_scenarios, ScenarioParseError, ScenarioSpec};
+#[allow(deprecated)]
 pub use scenarios::{named_scenario, named_scenarios, scenario_names};

@@ -367,10 +367,9 @@ fn trained_scalar_rl(ctx: &BuildContext<'_>) -> TrainedScalarRlPolicy {
         for phase in curriculum.phases() {
             for episode in 0..phase.episodes {
                 let spec = phase.scenario.materialize(ctx.system, episode as u64);
-                let mut sim = Simulator::new(ctx.system.clone(), spec.jobs, spec.params)
-                    .expect("scenario jobs must fit the system");
-                sim.inject_all(&spec.events)
-                    .expect("scenario events reference this job set");
+                let mut sim = spec
+                    .simulator(ctx.system.clone())
+                    .expect("scenario episode must fit the system");
                 let mut policy = ScalarRlPolicy::new(&mut agent, encoder.clone(), RlMode::Train);
                 sim.run(&mut policy);
             }

@@ -1,50 +1,30 @@
-//! Named scenario presets: the disruption families every driver and the
-//! CLI `evaluate` subcommand can request by name (`clean`,
-//! `cancel-heavy`, `overrun-heavy`, `drain`, `mixed`).
+//! Deprecated name-based scenario lookup, kept as a thin shim over the
+//! string-addressable registry in [`crate::scenario_registry`].
 //!
-//! A preset is just a [`Scenario`] recipe: the caller supplies *where
-//! jobs come from* and the preset layers the disruption family on top,
-//! deriving drain timing from the source's submit horizon (a drain a
-//! third of the way into the trace, paper-style).
+//! Earlier drivers requested scenarios through a closed five-name match
+//! (`clean`, `cancel-heavy`, `overrun-heavy`, `drain`, `mixed`). The
+//! registry supersedes that with parsed [`ScenarioSpec`]s covering DAG,
+//! bursty and energy families too; these functions survive only so old
+//! call sites keep compiling and the historical `all` → five-name
+//! expansion stays stable for pinned grids.
+//!
+//! [`ScenarioSpec`]: crate::scenario_registry::ScenarioSpec
 
 use mrsch::prelude::*;
-use mrsch_workload::scenario::mix_seed;
 
-/// The registered scenario names, in canonical order.
+use crate::scenario_registry::ScenarioSpec;
+
+/// The legacy registered scenario names, in canonical order.
+#[deprecated(note = "use ScenarioSpec::registered(), which covers the dag/bursty/energy families")]
 pub fn scenario_names() -> [&'static str; 5] {
     ["clean", "cancel-heavy", "overrun-heavy", "drain", "mixed"]
 }
 
-/// Max submit time of a probe trace of the source — the horizon used to
-/// place drains proportionally.
-fn submit_horizon(source: &JobSource, seed: u64) -> u64 {
-    source
-        .trace(mix_seed(seed, 1))
-        .iter()
-        .map(|t| t.submit)
-        .max()
-        .unwrap_or(0)
-}
-
-/// A 25 % node drain a third of the way into the horizon, lasting a
-/// third of the horizon (at least one simulated hour).
-fn drain_spec(horizon: u64) -> DrainSpec {
-    DrainSpec {
-        resource: 0,
-        fraction: 0.25,
-        at: horizon / 3,
-        duration: (horizon / 3).max(3600),
-    }
-}
-
 /// Build a named scenario over the given job source and workload spec.
 ///
-/// Accepted names (underscores and hyphens are interchangeable):
-/// * `clean` — no disruptions,
-/// * `cancel-heavy` — 20 % user cancellations + 10 % walltime overruns,
-/// * `overrun-heavy` — 25 % overruns at 2× the estimate + 5 % cancels,
-/// * `drain` — a 25 % node drain a third of the way into the trace,
-/// * `mixed` — cancels + overruns + the drain together.
+/// Accepts any registry spec string (underscores and hyphens are
+/// interchangeable), not just the legacy five.
+#[deprecated(note = "use ScenarioSpec::parse(name)?.build(...)")]
 pub fn named_scenario(
     name: &str,
     source: JobSource,
@@ -52,59 +32,16 @@ pub fn named_scenario(
     params: SimParams,
     seed: u64,
 ) -> Result<Scenario, String> {
-    let norm = name.trim().to_lowercase().replace('_', "-");
-    let clean = Scenario::new("clean", source, spec, params).with_seed(seed);
-    let scenario = match norm.as_str() {
-        "clean" => clean,
-        "cancel-heavy" => clean.with_disruption(
-            "cancel-heavy",
-            DisruptionConfig {
-                cancel_fraction: 0.2,
-                overrun_fraction: 0.1,
-                overrun_factor: 1.5,
-                drains: Vec::new(),
-            },
-        ),
-        "overrun-heavy" => clean.with_disruption(
-            "overrun-heavy",
-            DisruptionConfig {
-                cancel_fraction: 0.05,
-                overrun_fraction: 0.25,
-                overrun_factor: 2.0,
-                drains: Vec::new(),
-            },
-        ),
-        "drain" => {
-            let horizon = submit_horizon(&clean.source, seed);
-            clean.with_disruption(
-                "drain",
-                DisruptionConfig { drains: vec![drain_spec(horizon)], ..Default::default() },
-            )
-        }
-        "mixed" => {
-            let horizon = submit_horizon(&clean.source, seed);
-            clean.with_disruption(
-                "mixed",
-                DisruptionConfig {
-                    cancel_fraction: 0.15,
-                    overrun_fraction: 0.1,
-                    overrun_factor: 1.5,
-                    drains: vec![drain_spec(horizon)],
-                },
-            )
-        }
-        other => {
-            return Err(format!(
-                "unknown scenario '{other}' (expected one of: {})",
-                scenario_names().join(", ")
-            ))
-        }
-    };
-    Ok(scenario)
+    let parsed = ScenarioSpec::parse(name).map_err(|e| e.to_string())?;
+    Ok(parsed.build(source, spec, params, seed))
 }
 
-/// Parse a comma-separated scenario-name list over one shared source;
-/// `all` expands to every registered name.
+/// Parse a comma-separated scenario-name list over one shared source.
+///
+/// `all` expands to the **legacy five** names only (pinned by historical
+/// grids); use [`crate::scenario_registry::build_scenarios`] to get the
+/// full registry expansion.
+#[deprecated(note = "use scenario_registry::build_scenarios (note: its `all` covers the full registry)")]
 pub fn named_scenarios(
     names: &str,
     source: &JobSource,
@@ -112,6 +49,7 @@ pub fn named_scenarios(
     params: SimParams,
     seed: u64,
 ) -> Result<Vec<Scenario>, String> {
+    #[allow(deprecated)]
     let expanded: Vec<String> = if names.trim().eq_ignore_ascii_case("all") {
         scenario_names().iter().map(|s| s.to_string()).collect()
     } else {
@@ -124,6 +62,7 @@ pub fn named_scenarios(
     if expanded.is_empty() {
         return Err("no scenarios given".into());
     }
+    #[allow(deprecated)]
     expanded
         .iter()
         .map(|n| named_scenario(n, source.clone(), spec.clone(), params, seed))
@@ -131,6 +70,7 @@ pub fn named_scenarios(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mrsim::event::EventKind;
@@ -148,6 +88,20 @@ mod tests {
         }
         assert!(named_scenario("bogus", source(), WorkloadSpec::s1(), SimParams::new(4, true), 7)
             .is_err());
+    }
+
+    #[test]
+    fn shim_accepts_new_registry_specs_too() {
+        let s = named_scenario(
+            "dag:chain:3",
+            source(),
+            WorkloadSpec::s1(),
+            SimParams::new(4, true),
+            7,
+        )
+        .unwrap();
+        assert_eq!(s.name, "dag:chain:3");
+        assert!(s.dag.is_some());
     }
 
     #[test]

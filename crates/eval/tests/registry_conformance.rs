@@ -36,9 +36,7 @@ fn tiny_dfp() -> DfpConfig {
 
 fn run_once(system: &SystemConfig, scenario: &Scenario, policy: &mut dyn Policy) -> SimReport {
     let episode = scenario.materialize(system, 23);
-    let mut sim = Simulator::new(system.clone(), episode.jobs, episode.params)
-        .expect("conformance jobs fit");
-    sim.inject_all(&episode.events).expect("valid events");
+    let mut sim = episode.simulator(system.clone()).expect("conformance jobs fit");
     sim.run(policy)
 }
 

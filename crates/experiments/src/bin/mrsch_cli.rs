@@ -20,7 +20,8 @@ fn usage() -> ! {
          mrsch_cli resume --from DIR/shard-0000.snap [--policy fcfs|sjf|ljf|ga] [--seed S]\n\
          \n\
          mrsch_cli evaluate --policy P1,P2|all --scenario clean,cancel-heavy,overrun-heavy,\
-         drain,mixed|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
+         drain,mixed,dag:chain[:L],dag:fanout[:W],bursty:diurnal[:PCT],bursty:spike[:BOOST],\
+         energy:drain|all --seeds A..B [--workload S1..S10] [--nodes N] [--bb B] [--window W] \
          [--jobs N | --swf FILE] [--train-episodes K] [--workers N] \
          [--policy-cache DIR [--require-warm-cache]] [--csv GRID.csv]\n\
          \n\

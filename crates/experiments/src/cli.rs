@@ -14,7 +14,10 @@
 //! mrsch_cli resume --from DIR/shard-0000.snap [--policy fcfs|sjf|ljf|ga]
 //!
 //! mrsch_cli evaluate --policy fcfs,mrsch[,all,...] \
-//!           --scenario clean|cancel-heavy|overrun-heavy|drain|mixed[,...] \
+//!           --scenario clean|cancel-heavy|overrun-heavy|drain|mixed \
+//!                      |dag:chain[:L]|dag:fanout[:W] \
+//!                      |bursty:diurnal[:PCT]|bursty:spike[:BOOST] \
+//!                      |energy:drain[,...] \
 //!           --seeds 0..4 [--workload S1] [--nodes N] [--bb B] [--window W] \
 //!           [--jobs N | --swf FILE] [--train-episodes K] [--workers N] \
 //!           [--policy-cache DIR [--require-warm-cache]] [--csv grid.csv]
@@ -23,7 +26,13 @@
 //! `evaluate` runs the full registry-driven evaluation grid
 //! (`policies × scenarios × seeds`) through `mrsch_eval::EvalPlan` and
 //! prints the **seed-aggregated CSV** to stdout (`--csv` additionally
-//! writes the per-cell grid). `--curriculum harden` trains MRSch
+//! writes the per-cell grid). `--scenario` takes scenario-registry
+//! spec strings (`mrsch_eval::ScenarioSpec`): the disruption presets,
+//! workflow-DAG families (`dag:chain:4`, `dag:fanout:3`), bursty open
+//! arrival streams (`bursty:diurnal:60`, `bursty:spike:6`) and
+//! `energy:drain`; `all` expands to the whole registry. Grid CSVs carry
+//! the per-episode critical-path lower bound (`cp_bound_s`), the
+//! relative regret against it, and metered energy (`energy_kwh`). `--curriculum harden` trains MRSch
 //! through the clean → cancel-heavy → drain-heavy scenario curriculum
 //! (episodes per phase = `--train-episodes`) with `--workers` parallel
 //! rollout threads; worker count never changes the result, only the
@@ -644,7 +653,8 @@ pub fn resume_main(args: &[String]) -> Result<String, String> {
 pub struct EvalCliArgs {
     /// Policies to evaluate (from [`PolicySpec::parse_list`]).
     pub policies: Vec<PolicySpec>,
-    /// Scenario names (comma list or `all`), raw.
+    /// Scenario spec strings (comma list or `all`), raw — parsed by the
+    /// scenario registry (`mrsch_eval::ScenarioSpec`).
     pub scenarios: String,
     /// Grid seeds.
     pub seeds: Vec<u64>,
@@ -757,7 +767,8 @@ pub fn build_eval_plan(args: &EvalCliArgs, source: JobSource) -> Result<EvalPlan
     let spec = find_spec(&args.workload)?;
     let params = SimParams::new(args.window, true);
     let scenarios =
-        mrsch_eval::named_scenarios(&args.scenarios, &source, &spec, params, args.seed)?;
+        mrsch_eval::build_scenarios(&args.scenarios, &source, &spec, params, args.seed)
+            .map_err(|e| e.to_string())?;
     // Names are the grid's coordinates; report duplicates (easy to hit
     // through aliases like `fcfs,heuristic`) as clean CLI errors rather
     // than tripping the plan's assertion.
@@ -1149,6 +1160,25 @@ mod tests {
         let dup_seed = parse_eval_args(&args(&["--seeds", "3,3"])).unwrap();
         let err = build_eval_plan(&dup_seed, source).unwrap_err();
         assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn evaluate_accepts_registry_scenario_specs() {
+        let source =
+            JobSource::Theta(ThetaConfig { machine_nodes: 16, ..ThetaConfig::scaled(12) });
+        let a = parse_eval_args(&args(&[
+            "--policy", "fcfs", "--scenario", "dag:chain:3,bursty:spike,energy:drain",
+            "--seeds", "1", "--nodes", "16", "--bb", "8", "--jobs", "12",
+        ]))
+        .unwrap();
+        let plan = build_eval_plan(&a, source.clone()).unwrap();
+        let names: Vec<&str> = plan.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["dag:chain:3", "bursty:spike:6", "energy:drain"]);
+        // Unknown specs fail with the registry listing, so --scenario
+        // errors double as discovery.
+        let bad = parse_eval_args(&args(&["--scenario", "dag:fanout:x"])).unwrap();
+        let err = build_eval_plan(&bad, source).unwrap_err();
+        assert!(err.contains("bad parameter"), "{err}");
     }
 
     #[test]

@@ -57,6 +57,7 @@ mod tests {
             0,
             mrsim::EventCounts::new(),
             0,
+            None,
         );
         report.resource_utilization = vec![node, bb];
         Comparison { method, workload: workload.into(), report }

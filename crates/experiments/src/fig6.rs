@@ -102,6 +102,7 @@ mod tests {
             1,
             mrsim::EventCounts::new(),
             0,
+            None,
         );
         Comparison { method, workload: workload.into(), report }
     }

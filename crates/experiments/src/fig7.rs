@@ -140,6 +140,7 @@ mod tests {
             1,
             mrsim::EventCounts::new(),
             0,
+            None,
         );
         report.resource_utilization = vec![util, util * 0.8];
         Comparison { method, workload: workload.into(), report }

@@ -14,7 +14,7 @@
 //! coherent policy decision.
 
 use crate::event::{EventKind, EventQueue};
-use crate::job::{JobId, JobOutcome, JobRecord, JobState};
+use crate::job::{JobId, JobOutcome, JobState};
 use crate::simulator::Simulator;
 
 /// Is a popped event still meaningful? Cancels and kills leave stale
@@ -60,9 +60,16 @@ pub(crate) fn dispatch<Q: EventQueue>(sim: &mut Simulator<Q>, kind: &EventKind) 
 }
 
 /// A job arrives into the waiting queue. Duplicate or late submissions
-/// (possible in injected disruption traces) are ignored.
+/// (possible in injected disruption traces) are ignored. A job with
+/// outstanding DAG predecessors is marked arrived but *held* — it joins
+/// the queue only when `Simulator::release_successors` clears its last
+/// predecessor, so policies only ever see the ready frontier.
 fn on_submit<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
     if sim.states[id] != JobState::Queued || sim.queue.contains(id) {
+        return;
+    }
+    sim.arrived[id] = true;
+    if sim.pending_preds[id] > 0 {
         return;
     }
     sim.queue.enqueue(id);
@@ -88,17 +95,12 @@ fn on_cancel<Q: EventQueue>(sim: &mut Simulator<Q>, id: JobId) {
         sim.pools.release(id);
         sim.settle(id, JobState::Cancelled, JobOutcome::Cancelled);
     } else if sim.queue.try_remove(id) {
-        sim.states[id] = JobState::Cancelled;
-        sim.finished += 1;
-        let now = sim.now;
-        sim.records.push(JobRecord {
-            id,
-            submit: sim.jobs[id].submit,
-            start: now,
-            end: now,
-            backfilled: false,
-            outcome: JobOutcome::Cancelled,
-        });
+        sim.cancel_nonstarted(id);
+    } else if sim.arrived[id] {
+        // Arrived, not running, not in the queue, not terminal: the job
+        // is dependency-held. Settle it and release its successors so a
+        // cancelled workflow stage cannot deadlock its downstream tasks.
+        sim.cancel_nonstarted(id);
     }
     // Cancel before the job's own Submit event (or after Finish): no-op.
 }

@@ -10,6 +10,7 @@
 use crate::event::EventKind;
 use crate::job::{JobOutcome, JobRecord};
 use crate::resources::PoolState;
+use crate::simulator::PowerModel;
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,12 @@ pub struct MetricsCollector {
     /// Integral of `base_capacity - online_capacity` (clamped at 0):
     /// node-seconds lost to drains, kW-seconds lost to power caps, ...
     pub(crate) lost_unit_secs: Vec<f64>,
+    /// Integral of `online_capacity - used` (clamped at 0): unit-seconds
+    /// spent online but idle. Tracked per interval rather than derived
+    /// as `cap - used` at the end because drain debt lets `used` exceed
+    /// the online capacity transiently — the per-interval clamp keeps
+    /// idle-energy accounting exact under disruptions.
+    pub(crate) idle_unit_secs: Vec<f64>,
 }
 
 impl MetricsCollector {
@@ -38,6 +45,7 @@ impl MetricsCollector {
             used_unit_secs: vec![0.0; nres],
             cap_unit_secs: vec![0.0; nres],
             lost_unit_secs: vec![0.0; nres],
+            idle_unit_secs: vec![0.0; nres],
         }
     }
 
@@ -57,6 +65,8 @@ impl MetricsCollector {
                 self.cap_unit_secs[r] += pools.capacity(r) as f64 * dt;
                 self.lost_unit_secs[r] +=
                     pools.base_capacity(r).saturating_sub(pools.capacity(r)) as f64 * dt;
+                self.idle_unit_secs[r] +=
+                    pools.capacity(r).saturating_sub(pools.used(r)) as f64 * dt;
             }
             self.last = now;
         }
@@ -104,6 +114,15 @@ impl MetricsCollector {
     /// Per-resource unit-seconds of capacity lost to disruptions so far.
     pub fn capacity_lost(&self) -> Vec<f64> {
         self.lost_unit_secs.clone()
+    }
+
+    /// `(active, idle)` energy in joules under a per-node power model:
+    /// allocated node-seconds at `active_watts` plus online-but-idle
+    /// node-seconds at `idle_watts` (drained nodes draw nothing).
+    pub fn energy_joules(&self, power: PowerModel) -> (f64, f64) {
+        let used = self.used_unit_secs.first().copied().unwrap_or(0.0);
+        let idle = self.idle_unit_secs.first().copied().unwrap_or(0.0);
+        (power.active_watts as f64 * used, power.idle_watts as f64 * idle)
     }
 }
 
@@ -175,6 +194,13 @@ pub struct SimReport {
     pub resource_utilization: Vec<f64>,
     /// Per-resource unit-seconds of capacity lost to drains/power caps.
     pub capacity_lost_unit_seconds: Vec<f64>,
+    /// Joules drawn by allocated nodes (`active_watts` per node-second).
+    /// Zero unless the run carried a [`PowerModel`] in its `SimParams`.
+    pub energy_active_joules: f64,
+    /// Joules drawn by online-but-idle nodes (`idle_watts` each) — the
+    /// waste an energy-aware scheduler can recover by packing or
+    /// draining idle capacity.
+    pub energy_idle_joules: f64,
     /// Per-kind counts of every event the engine processed.
     pub event_counts: EventCounts,
     /// Average job wait time in seconds over completed jobs (§IV-B
@@ -211,7 +237,10 @@ impl SimReport {
         instances: u64,
         event_counts: EventCounts,
         jobs_unfinished: usize,
+        power: Option<PowerModel>,
     ) -> Self {
+        let (energy_active_joules, energy_idle_joules) =
+            power.map(|p| collector.energy_joules(p)).unwrap_or((0.0, 0.0));
         records.sort_by_key(|r| r.id);
         let finished: Vec<&JobRecord> =
             records.iter().filter(|r| r.outcome == JobOutcome::Finished).collect();
@@ -239,6 +268,8 @@ impl SimReport {
             makespan: end_time.saturating_sub(start_time),
             resource_utilization: collector.utilizations_dynamic(capacities, end_time),
             capacity_lost_unit_seconds: collector.capacity_lost(),
+            energy_active_joules,
+            energy_idle_joules,
             event_counts,
             avg_wait,
             max_wait,
@@ -254,6 +285,17 @@ impl SimReport {
     /// Average wait in hours (the unit of the paper's Fig. 6a).
     pub fn avg_wait_hours(&self) -> f64 {
         self.avg_wait / 3600.0
+    }
+
+    /// Total energy drawn in joules (active + idle).
+    pub fn energy_total_joules(&self) -> f64 {
+        self.energy_active_joules + self.energy_idle_joules
+    }
+
+    /// Total energy in kilowatt-hours — the unit of the grid CSV's
+    /// energy column.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_total_joules() / 3.6e6
     }
 
     /// Utilization of the named resource, if present.
@@ -321,6 +363,21 @@ mod tests {
     }
 
     #[test]
+    fn collector_energy_split_is_exact() {
+        let cfg = SystemConfig::two_resource(10, 10);
+        let mut pools = PoolState::new(&cfg);
+        let mut mc = MetricsCollector::new(2);
+        mc.advance(&pools, 0);
+        pools.allocate(&Job::new(0, 0, 100, 100, vec![4, 0]), 0);
+        mc.advance(&pools, 100); // 4 nodes active, 6 idle for 100 s
+        pools.release(0);
+        mc.advance(&pools, 150); // 10 nodes idle for 50 s
+        let (active, idle) = mc.energy_joules(PowerModel::new(60, 215));
+        assert!((active - 215.0 * 400.0).abs() < 1e-9, "{active}");
+        assert!((idle - 60.0 * (600.0 + 500.0)).abs() < 1e-9, "{idle}");
+    }
+
+    #[test]
     fn collector_zero_elapsed_is_safe() {
         let cfg = SystemConfig::two_resource(4, 4);
         let pools = PoolState::new(&cfg);
@@ -365,6 +422,7 @@ mod tests {
             3,
             EventCounts::new(),
             0,
+            None,
         );
         assert_eq!(r.jobs_completed, 2);
         assert_eq!(r.makespan, 200);
@@ -409,6 +467,7 @@ mod tests {
             3,
             EventCounts::new(),
             0,
+            None,
         );
         assert_eq!(r.jobs_completed, 1);
         assert_eq!(r.jobs_cancelled, 1);
@@ -433,6 +492,7 @@ mod tests {
             0,
             EventCounts::new(),
             0,
+            None,
         );
         assert_eq!(r.jobs_completed, 0);
         assert_eq!(r.avg_wait, 0.0);
@@ -453,6 +513,7 @@ mod tests {
             1,
             EventCounts::new(),
             0,
+            None,
         );
         assert!((r.avg_wait_hours() - 2.0).abs() < 1e-9);
     }

@@ -40,7 +40,11 @@ pub struct SchedulerView<'a> {
     pub pools: &'a PoolState,
     /// Static system description.
     pub config: &'a SystemConfig,
-    /// Ids of *all* waiting jobs (window is a prefix of this).
+    /// Ids of *all* waiting jobs (window is a prefix of this). In a
+    /// workflow (DAG) trace this is exactly the **ready frontier**:
+    /// dependency-held jobs are not enqueued until their predecessors
+    /// settle, so they are invisible here and in the window. See
+    /// [`SchedulerView::ready_frontier`].
     pub queued: &'a [JobId],
     /// Full job table, indexable by [`JobId`].
     pub jobs: &'a [Job],
@@ -56,6 +60,15 @@ impl<'a> SchedulerView<'a> {
     /// Does window entry `idx` fit in the free resources right now?
     pub fn fits(&self, idx: usize) -> bool {
         self.pools.fits(&self.window[idx].job.demands)
+    }
+
+    /// The ready frontier of the workflow DAG: every waiting job whose
+    /// predecessors have all settled. For an independent-job trace this
+    /// is simply the whole wait queue — the two views coincide because
+    /// the simulator never enqueues a dependency-held job, so policies
+    /// written against either name observe identical state.
+    pub fn ready_frontier(&self) -> &'a [JobId] {
+        self.queued
     }
 
     /// Capacity of each pool currently online (drains/power caps applied).

@@ -18,6 +18,35 @@ use crate::resources::{PoolState, SystemConfig};
 use crate::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Per-unit power draw of the primary (node) resource, in integer watts
+/// so [`SimParams`] stays `Copy + Eq` and snapshots stay bit-exact.
+///
+/// Energy accounting splits the node pool into *allocated* units (drawing
+/// `active_watts` each) and *online-but-idle* units (drawing `idle_watts`
+/// each); drained units draw nothing. The integrals live in
+/// [`crate::metrics::MetricsCollector`] and surface as the energy fields
+/// of [`crate::SimReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Watts drawn by one online node with no job on it.
+    pub idle_watts: u64,
+    /// Watts drawn by one node allocated to a running job.
+    pub active_watts: u64,
+}
+
+impl PowerModel {
+    /// A power model from idle and active per-node watts.
+    pub fn new(idle_watts: u64, active_watts: u64) -> Self {
+        Self { idle_watts, active_watts }
+    }
+
+    /// Representative HPC node numbers (idle 60 W, full-load 215 W) —
+    /// the same figures as `mrsch_workload`'s power-aware suite.
+    pub fn hpc_default() -> Self {
+        Self { idle_watts: 60, active_watts: 215 }
+    }
+}
+
 /// Tunable simulator parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimParams {
@@ -34,13 +63,16 @@ pub struct SimParams {
     /// Period of the [`EventKind::Tick`] pulse for time-driven policies.
     /// `None` (default) disables ticking.
     pub tick: Option<SimTime>,
+    /// Per-node power model for energy accounting. `None` (default)
+    /// reports zero energy — the pre-energy behavior.
+    pub power: Option<PowerModel>,
 }
 
 impl SimParams {
     /// Parameters with a given window and backfill toggle, disruptions
     /// off — the common construction throughout tests and experiments.
     pub fn new(window: usize, backfill: bool) -> Self {
-        Self { window, backfill, enforce_walltime: false, tick: None }
+        Self { window, backfill, enforce_walltime: false, tick: None, power: None }
     }
 }
 
@@ -122,6 +154,63 @@ pub struct Simulator<Q: EventQueue = IndexedEventQueue> {
     /// instead of scanning the whole pending-event set.
     pub(crate) cap_returns: Vec<SimTime>,
     pub(crate) cap_cursor: usize,
+    /// Predecessor lists of the workflow dependency DAG, set via
+    /// [`Simulator::set_dependencies`]. Empty (the default) means the
+    /// trace is independent jobs. A job with outstanding predecessors is
+    /// *held*: its submission marks it arrived but it does not enter the
+    /// wait queue (and is thus invisible to policies) until every
+    /// predecessor reaches a terminal state.
+    pub(crate) deps: Vec<Vec<JobId>>,
+    /// Successor adjacency derived from `deps` (empty iff `deps` is).
+    pub(crate) succs: Vec<Vec<JobId>>,
+    /// Outstanding (non-terminal) predecessor count per job.
+    pub(crate) pending_preds: Vec<u32>,
+    /// Whether each job's `Submit` event has fired — distinguishes a
+    /// dependency-held job from one that has not arrived yet.
+    pub(crate) arrived: Vec<bool>,
+}
+
+/// Validate a predecessor table against a trace of `n` dense-id jobs and
+/// derive the successor adjacency. Rejects out-of-range ids, self-loops
+/// and cycles (Kahn's algorithm). Shared by [`Simulator::set_dependencies`]
+/// and snapshot restore.
+pub(crate) fn validate_deps(
+    n: usize,
+    deps: &[Vec<JobId>],
+) -> Result<Vec<Vec<JobId>>, String> {
+    if deps.len() != n {
+        return Err(format!("dependency table covers {} jobs, trace has {n}", deps.len()));
+    }
+    let mut succs: Vec<Vec<JobId>> = vec![Vec::new(); n];
+    for (j, preds) in deps.iter().enumerate() {
+        for &p in preds {
+            if p >= n {
+                return Err(format!("job {j} depends on out-of-range job {p}"));
+            }
+            if p == j {
+                return Err(format!("job {j} depends on itself"));
+            }
+            succs[p].push(j);
+        }
+    }
+    // Kahn's algorithm: every job must be reachable from the zero-indegree
+    // frontier, otherwise the graph has a cycle and would deadlock.
+    let mut indeg: Vec<usize> = deps.iter().map(|p| p.len()).collect();
+    let mut ready: Vec<JobId> = (0..n).filter(|&j| indeg[j] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(j) = ready.pop() {
+        seen += 1;
+        for &s in &succs[j] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if seen != n {
+        return Err("dependency graph contains a cycle".into());
+    }
+    Ok(succs)
 }
 
 impl Simulator<IndexedEventQueue> {
@@ -169,9 +258,72 @@ impl<Q: EventQueue> Simulator<Q> {
             end_event: vec![None; n],
             cap_returns: Vec::new(),
             cap_cursor: 0,
+            deps: Vec::new(),
+            succs: Vec::new(),
+            pending_preds: vec![0; n],
+            arrived: vec![false; n],
         };
         sim.seed_events();
         Ok(sim)
+    }
+
+    /// Install a workflow dependency DAG over the loaded trace: `deps[j]`
+    /// lists the jobs that must reach a terminal state before job `j`
+    /// becomes schedulable. Call on a fresh (or freshly reset/loaded)
+    /// simulator, before the first [`Simulator::step`].
+    ///
+    /// While held, a job is invisible to policies — the wait queue (and
+    /// therefore [`crate::SchedulerView`]) carries only the **ready
+    /// frontier**. A predecessor's *any* terminal state (finished,
+    /// cancelled, or killed) releases its successors: a workflow whose
+    /// upstream task dies still gets its downstream tasks scheduled
+    /// rather than deadlocking the episode; policies observe the failure
+    /// through the report instead.
+    ///
+    /// Dependencies survive [`Simulator::reset`] (the same episode can be
+    /// re-run bit-identically) and are cleared by
+    /// [`Simulator::load_trace`]/[`Simulator::load`] (a new trace means a
+    /// new DAG).
+    pub fn set_dependencies(&mut self, deps: Vec<Vec<JobId>>) -> Result<(), SimError> {
+        let succs = validate_deps(self.jobs.len(), &deps).map_err(SimError::InvalidJob)?;
+        self.pending_preds = deps.iter().map(|p| p.len() as u32).collect();
+        self.succs = succs;
+        self.deps = deps;
+        Ok(())
+    }
+
+    /// Number of arrived jobs currently held back by unfinished
+    /// predecessors (0 in a dependency-free trace).
+    pub fn held_jobs(&self) -> usize {
+        (0..self.jobs.len())
+            .filter(|&j| {
+                self.arrived[j]
+                    && self.pending_preds[j] > 0
+                    && self.states[j] == JobState::Queued
+            })
+            .count()
+    }
+
+    /// A job `p` reached a terminal state: decrement every successor's
+    /// outstanding-predecessor count and enqueue the ones that become
+    /// ready (arrived, still queued, all predecessors settled).
+    pub(crate) fn release_successors(&mut self, p: JobId) {
+        if self.succs.is_empty() {
+            return;
+        }
+        let succs = std::mem::take(&mut self.succs[p]);
+        for &s in &succs {
+            debug_assert!(self.pending_preds[s] > 0);
+            self.pending_preds[s] -= 1;
+            if self.pending_preds[s] == 0
+                && self.arrived[s]
+                && self.states[s] == JobState::Queued
+                && !self.queue.contains(s)
+            {
+                self.queue.enqueue(s);
+            }
+        }
+        self.succs[p] = succs;
     }
 
     fn validate_trace(config: &SystemConfig, jobs: &[Job]) -> Result<(), SimError> {
@@ -223,6 +375,15 @@ impl<Q: EventQueue> Simulator<Q> {
         self.end_event.resize(n, None);
         self.cap_returns.clear();
         self.cap_cursor = 0;
+        // The DAG itself survives a reset (same trace, same episode);
+        // only its runtime progress is rewound.
+        self.pending_preds = if self.deps.is_empty() {
+            vec![0; n]
+        } else {
+            self.deps.iter().map(|p| p.len() as u32).collect()
+        };
+        self.arrived.clear();
+        self.arrived.resize(n, false);
         self.seed_events();
     }
 
@@ -234,6 +395,8 @@ impl<Q: EventQueue> Simulator<Q> {
         Self::validate_trace(&self.config, &jobs)?;
         self.slab = JobSlab::from_jobs(&jobs, self.config.num_resources());
         self.jobs = jobs;
+        self.deps = Vec::new();
+        self.succs = Vec::new();
         self.reset();
         Ok(())
     }
@@ -247,6 +410,8 @@ impl<Q: EventQueue> Simulator<Q> {
         self.params = params;
         self.slab = JobSlab::from_jobs(&jobs, self.config.num_resources());
         self.jobs = jobs;
+        self.deps = Vec::new();
+        self.succs = Vec::new();
         self.reset();
         Ok(())
     }
@@ -417,9 +582,29 @@ impl<Q: EventQueue> Simulator<Q> {
             .expect("settle: started jobs always have a provisional record");
         rec.end = now;
         rec.outcome = outcome;
+        self.release_successors(id);
+    }
+
+    /// Terminal bookkeeping for a job that never started (cancelled while
+    /// waiting in the queue or while dependency-held): record the pure
+    /// queue wait and release its successors.
+    pub(crate) fn cancel_nonstarted(&mut self, id: JobId) {
+        self.states[id] = JobState::Cancelled;
+        self.finished += 1;
+        let now = self.now;
+        self.records.push(JobRecord {
+            id,
+            submit: self.slab.submit(id),
+            start: now,
+            end: now,
+            backfilled: false,
+            outcome: JobOutcome::Cancelled,
+        });
+        self.release_successors(id);
     }
 
     fn start_job(&mut self, id: JobId, backfilled: bool) {
+        debug_assert_eq!(self.pending_preds[id], 0, "held job {id} must not start");
         let (runtime, estimate) = (self.slab.runtime(id), self.slab.estimate(id));
         self.pools.allocate_parts(id, self.slab.demands(id), self.now, estimate, runtime);
         self.states[id] = JobState::Running;
@@ -607,6 +792,7 @@ impl<Q: EventQueue> Simulator<Q> {
             self.instances,
             self.counts.clone(),
             self.jobs.len() - self.finished,
+            self.params.power,
         )
     }
 }
@@ -1280,5 +1466,190 @@ mod tests {
         assert!(report.instances >= 1);
         assert_eq!(report.event_counts.count(EventKind::Submit(0)), 1);
         assert_eq!(report.event_counts.count(EventKind::Finish(0)), 1);
+    }
+
+    #[test]
+    fn dag_chain_forces_serial_order_despite_free_resources() {
+        // All three fit simultaneously, but the chain 0 -> 1 -> 2 gates
+        // each start on its predecessor's completion.
+        let jobs = vec![
+            Job::new(0, 0, 10, 10, vec![1, 0]),
+            Job::new(1, 0, 20, 20, vec![1, 0]),
+            Job::new(2, 0, 30, 30, vec![1, 0]),
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(vec![vec![], vec![0], vec![1]]).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.records[0].start, 0);
+        assert_eq!(report.records[1].start, 10, "released by pred finish");
+        assert_eq!(report.records[2].start, 30);
+        assert_eq!(report.end_time, 60);
+        assert!(report.all_jobs_accounted(3));
+    }
+
+    #[test]
+    fn dag_fanout_runs_parallel_and_join_waits_for_all() {
+        // 0 -> {1, 2} -> 3: the fan-out pair runs concurrently once the
+        // root finishes, and the join waits for the *last* predecessor.
+        let jobs = vec![
+            Job::new(0, 0, 10, 10, vec![4, 0]),
+            Job::new(1, 0, 20, 20, vec![2, 0]),
+            Job::new(2, 0, 20, 20, vec![2, 0]),
+            Job::new(3, 0, 5, 5, vec![4, 0]),
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(vec![vec![], vec![0], vec![0], vec![1, 2]]).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.records[1].start, 10);
+        assert_eq!(report.records[2].start, 10, "siblings start together");
+        assert_eq!(report.records[3].start, 30, "join gated on slowest pred");
+        assert_eq!(report.end_time, 35);
+    }
+
+    #[test]
+    fn dag_no_task_starts_before_predecessors_terminal() {
+        // Conservation check over a wider graph: every record's start is
+        // >= every predecessor's end.
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| Job::new(i, 0, 7 + (i as u64) * 3, 40, vec![1 + (i as u64) % 2, 0]))
+            .collect();
+        let deps = vec![
+            vec![],
+            vec![0],
+            vec![0],
+            vec![1],
+            vec![1, 2],
+            vec![2],
+            vec![3, 4],
+            vec![4, 5],
+        ];
+        let mut sim = Simulator::new(sys(4, 4), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(deps.clone()).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert!(report.all_jobs_accounted(8));
+        let end_of = |id: usize| report.records.iter().find(|r| r.id == id).unwrap().end;
+        for rec in &report.records {
+            for &p in &deps[rec.id] {
+                assert!(
+                    rec.start >= end_of(p),
+                    "job {} started at {} before pred {} ended at {}",
+                    rec.id,
+                    rec.start,
+                    p,
+                    end_of(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_cancelled_predecessor_releases_successor() {
+        // Any terminal predecessor state releases: a cancelled stage must
+        // not deadlock its downstream tasks.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 0, 10, 10, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(vec![vec![], vec![0]]).unwrap();
+        sim.inject(InjectedEvent::new(30, EventKind::Cancel(0))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.jobs_cancelled, 1);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.start, 30, "released the instant the pred cancels");
+        assert_eq!(rec1.outcome, JobOutcome::Finished);
+    }
+
+    #[test]
+    fn dag_cancel_of_held_job_settles_it() {
+        // Job 1 is dependency-held (arrived, never queued) when its
+        // cancel lands: it must settle as cancelled, not linger forever.
+        let jobs = vec![
+            Job::new(0, 0, 100, 100, vec![2, 0]),
+            Job::new(1, 0, 10, 10, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(vec![vec![], vec![0]]).unwrap();
+        sim.inject(InjectedEvent::new(50, EventKind::Cancel(1))).unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        let rec1 = report.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(rec1.outcome, JobOutcome::Cancelled);
+        assert_eq!(rec1.start, 50);
+        assert_eq!(rec1.end, 50, "held job settles with zero runtime");
+        assert!(report.all_jobs_accounted(2));
+    }
+
+    #[test]
+    fn dag_rejects_malformed_graphs() {
+        let mk = || {
+            Simulator::new(
+                sys(2, 2),
+                vec![
+                    Job::new(0, 0, 10, 10, vec![1, 0]),
+                    Job::new(1, 0, 10, 10, vec![1, 0]),
+                ],
+                SimParams::default(),
+            )
+            .unwrap()
+        };
+        // Wrong length.
+        assert!(matches!(mk().set_dependencies(vec![vec![]]), Err(SimError::InvalidJob(_))));
+        // Out-of-range predecessor.
+        assert!(matches!(
+            mk().set_dependencies(vec![vec![], vec![7]]),
+            Err(SimError::InvalidJob(_))
+        ));
+        // Self-loop.
+        assert!(matches!(
+            mk().set_dependencies(vec![vec![0], vec![]]),
+            Err(SimError::InvalidJob(_))
+        ));
+        // Two-cycle.
+        assert!(matches!(
+            mk().set_dependencies(vec![vec![1], vec![0]]),
+            Err(SimError::InvalidJob(_))
+        ));
+    }
+
+    #[test]
+    fn dag_survives_reset_bit_identically() {
+        let jobs = vec![
+            Job::new(0, 0, 10, 10, vec![2, 0]),
+            Job::new(1, 0, 20, 20, vec![2, 0]),
+            Job::new(2, 0, 5, 5, vec![2, 0]),
+        ];
+        let mut sim = Simulator::new(sys(2, 2), jobs, SimParams::default()).unwrap();
+        sim.set_dependencies(vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        let first = sim.run(&mut HeadOfQueue);
+        sim.reset();
+        let second = sim.run(&mut HeadOfQueue);
+        assert_eq!(first, second, "reset must re-arm dependency holds");
+        assert_eq!(first.records[2].start, 30);
+    }
+
+    #[test]
+    fn energy_split_matches_hand_computation() {
+        // 2 of 4 nodes busy for 100 s: active = 215 W x 200 unit-s,
+        // idle = 60 W x 200 unit-s. Only resource 0 carries energy.
+        let params = SimParams { power: Some(PowerModel::new(60, 215)), ..SimParams::default() };
+        let mut sim = Simulator::new(
+            sys(4, 4),
+            vec![Job::new(0, 0, 100, 100, vec![2, 1])],
+            params,
+        )
+        .unwrap();
+        let report = sim.run(&mut HeadOfQueue);
+        assert_eq!(report.energy_active_joules, 215.0 * 200.0);
+        assert_eq!(report.energy_idle_joules, 60.0 * 200.0);
+        assert_eq!(report.energy_total_joules(), 215.0 * 200.0 + 60.0 * 200.0);
+        assert!((report.energy_kwh() - report.energy_total_joules() / 3.6e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_power_model_reports_zero_energy() {
+        let report = run_fcfs(sys(4, 4), vec![Job::new(0, 0, 100, 100, vec![2, 1])]);
+        assert_eq!(report.energy_active_joules, 0.0);
+        assert_eq!(report.energy_idle_joules, 0.0);
+        assert_eq!(report.energy_total_joules(), 0.0);
     }
 }

@@ -30,7 +30,7 @@ use crate::job::{Job, JobOutcome, JobRecord, JobSlab, JobState};
 use crate::metrics::{EventCounts, MetricsCollector};
 use crate::queue::WaitQueue;
 use crate::resources::{Allocation, PoolState, ResourceSpec, SystemConfig};
-use crate::simulator::{SimParams, Simulator};
+use crate::simulator::{validate_deps, PowerModel, SimParams, Simulator};
 use crate::SimTime;
 use mrsch_snapshot::{
     decode_framed, frame, CodecError, Decode, Encode, Reader, Writer,
@@ -40,7 +40,9 @@ use std::collections::HashMap;
 /// Frame magic of a simulator checkpoint.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MRSS";
 /// Newest checkpoint format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// v2 added the workflow-DAG state (`deps`/`arrived`), the per-node
+/// [`PowerModel`] in `SimParams`, and the idle-capacity integral.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Why a checkpoint could not be restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,12 +91,26 @@ impl Decode for ResourceSpec {
     }
 }
 
+impl Encode for PowerModel {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.idle_watts);
+        w.put_u64(self.active_watts);
+    }
+}
+
+impl Decode for PowerModel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { idle_watts: r.get_u64()?, active_watts: r.get_u64()? })
+    }
+}
+
 impl Encode for SimParams {
     fn encode(&self, w: &mut Writer) {
         self.window.encode(w);
         self.backfill.encode(w);
         self.enforce_walltime.encode(w);
         self.tick.encode(w);
+        self.power.encode(w);
     }
 }
 
@@ -105,6 +121,7 @@ impl Decode for SimParams {
             backfill: bool::decode(r)?,
             enforce_walltime: bool::decode(r)?,
             tick: Option::<SimTime>::decode(r)?,
+            power: Option::<PowerModel>::decode(r)?,
         })
     }
 }
@@ -255,6 +272,7 @@ impl Encode for MetricsCollector {
         self.used_unit_secs.encode(w);
         self.cap_unit_secs.encode(w);
         self.lost_unit_secs.encode(w);
+        self.idle_unit_secs.encode(w);
     }
 }
 
@@ -266,6 +284,7 @@ impl Decode for MetricsCollector {
             used_unit_secs: Vec::decode(r)?,
             cap_unit_secs: Vec::decode(r)?,
             lost_unit_secs: Vec::decode(r)?,
+            idle_unit_secs: Vec::decode(r)?,
         })
     }
 }
@@ -354,6 +373,12 @@ struct SimState {
     events: Vec<SavedEvent>,
     /// Per job: original insertion seq of its pending natural-end event.
     end_event: Vec<Option<u64>>,
+    /// Workflow-DAG predecessor lists (empty = independent jobs). The
+    /// successor adjacency and outstanding-predecessor counts are
+    /// re-derived on restore from `deps` + the terminal states.
+    deps: Vec<Vec<usize>>,
+    /// Whether each job's Submit event has fired.
+    arrived: Vec<bool>,
 }
 
 impl Decode for SimState {
@@ -377,6 +402,8 @@ impl Decode for SimState {
             cap_cursor: usize::decode(r)?,
             events: Vec::decode(r)?,
             end_event: Vec::decode(r)?,
+            deps: Vec::decode(r)?,
+            arrived: Vec::decode(r)?,
         })
     }
 }
@@ -410,6 +437,8 @@ impl<Q: EventQueue> Simulator<Q> {
         for handle in &self.end_event {
             handle.and_then(|h| self.events.handle_seq(h)).encode(&mut w);
         }
+        self.deps.encode(&mut w);
+        self.arrived.encode(&mut w);
         frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, &w.into_bytes())
     }
 
@@ -440,11 +469,27 @@ impl<Q: EventQueue> Simulator<Q> {
             ("states", s.states.len()),
             ("replay_cancels", s.replay_cancels.len()),
             ("end_event", s.end_event.len()),
+            ("arrived", s.arrived.len()),
         ] {
             if len != n {
                 return Err(invalid(format!("{name} length {len} != {n} jobs")));
             }
         }
+        let (succs, pending_preds) = if s.deps.is_empty() {
+            (Vec::new(), vec![0u32; n])
+        } else {
+            let succs = validate_deps(n, &s.deps).map_err(invalid)?;
+            // Outstanding counts are re-derived, not stored: a predecessor
+            // already terminal at snapshot time has already released.
+            let pending = s
+                .deps
+                .iter()
+                .map(|preds| {
+                    preds.iter().filter(|&&p| !s.states[p].is_terminal()).count() as u32
+                })
+                .collect();
+            (succs, pending)
+        };
         for (name, len) in [
             ("base_capacities", s.pools.base_capacities.len()),
             ("capacities", s.pools.capacities.len()),
@@ -453,6 +498,7 @@ impl<Q: EventQueue> Simulator<Q> {
             ("used_unit_secs", s.collector.used_unit_secs.len()),
             ("cap_unit_secs", s.collector.cap_unit_secs.len()),
             ("lost_unit_secs", s.collector.lost_unit_secs.len()),
+            ("idle_unit_secs", s.collector.idle_unit_secs.len()),
         ] {
             if len != nres {
                 return Err(invalid(format!("{name} length {len} != {nres} resources")));
@@ -539,6 +585,10 @@ impl<Q: EventQueue> Simulator<Q> {
             end_event,
             cap_returns: s.cap_returns,
             cap_cursor: s.cap_cursor,
+            deps: s.deps,
+            succs,
+            pending_preds,
+            arrived: s.arrived,
         })
     }
 }
@@ -573,8 +623,17 @@ mod tests {
             backfill: true,
             enforce_walltime: true,
             tick: Some(17),
+            power: Some(PowerModel::new(60, 215)),
         };
         let mut sim = Simulator::<Q>::with_queue(config, jobs, params).unwrap();
+        // A small workflow inside the disruption soup: a chain through the
+        // kill-prone early jobs plus a fan-in, so boundary sweeps exercise
+        // held jobs, releases-by-kill, and snapshotting mid-hold.
+        let mut deps = vec![Vec::new(); 30];
+        deps[6] = vec![2, 4];
+        deps[9] = vec![6];
+        deps[15] = vec![9, 11];
+        sim.set_dependencies(deps).unwrap();
         sim.inject_all(&[
             InjectedEvent::new(40, EventKind::Cancel(7)),
             InjectedEvent::new(60, EventKind::CapacityChange { resource: 0, delta: -5 }),
@@ -722,6 +781,8 @@ mod tests {
         state.cap_cursor.encode(&mut w);
         state.events.encode(&mut w);
         state.end_event.encode(&mut w);
+        state.deps.encode(&mut w);
+        state.arrived.encode(&mut w);
         let reframed = frame(SNAPSHOT_MAGIC, version, &w.into_bytes());
         assert!(matches!(
             Simulator::<IndexedEventQueue>::restore(&reframed),

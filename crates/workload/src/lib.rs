@@ -47,8 +47,9 @@ pub mod theta;
 
 pub use disruption::{DisruptionConfig, DisruptionTrace, DrainSpec};
 pub use scenario::{
-    Curriculum, CurriculumPhase, CurriculumProgress, EpisodeSpec, JobSource, PlateauRule, Scenario,
+    Curriculum, CurriculumPhase, CurriculumProgress, DagConfig, EpisodeSpec, GoalSchedule,
+    JobSource, PlateauRule, Scenario,
 };
-pub use stress::StressConfig;
+pub use stress::{ArrivalProcess, StressConfig};
 pub use suite::{WorkloadSpec, PowerSpec};
 pub use theta::{SwfStatus, ThetaConfig, TraceJob};

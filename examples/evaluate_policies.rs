@@ -11,7 +11,7 @@
 //! threads, and prints the seed-aggregated table plus the per-cell CSV.
 
 use mrsch::prelude::*;
-use mrsch_eval::{named_scenario, EvalPlan, PolicySpec};
+use mrsch_eval::{EvalPlan, PolicySpec, ScenarioSpec};
 
 fn main() {
     let system = SystemConfig::two_resource(32, 12);
@@ -21,7 +21,9 @@ fn main() {
 
     let scenarios = ["clean", "drain"]
         .into_iter()
-        .map(|name| named_scenario(name, source.clone(), spec.clone(), params, 7).unwrap())
+        .map(|name| {
+            ScenarioSpec::parse(name).unwrap().build(source.clone(), spec.clone(), params, 7)
+        })
         .collect();
     let policies = vec![
         PolicySpec::Fcfs,

@@ -1,0 +1,79 @@
+//! Tour the scenario registry's new families: workflow DAGs, bursty
+//! open arrival streams, and energy-aware drains — all addressed by
+//! spec string, exactly as `mrsch_cli evaluate --scenario` takes them.
+//!
+//! ```text
+//! cargo run --release --example scenario_universe
+//! ```
+//!
+//! Runs FCFS, SJF list scheduling and the GA optimizer over
+//! `dag:chain:4`, `dag:fanout:3`, `bursty:diurnal:60`, `bursty:spike:6`
+//! and `energy:drain` (two seeds each) and prints the aggregate table
+//! plus the DAG cells' regret against the critical-path lower bound —
+//! the policy-independent baseline every scheduler is measured from.
+
+use mrsch::prelude::*;
+use mrsch_eval::{EvalPlan, PolicySpec, ScenarioSpec};
+
+fn main() {
+    let system = SystemConfig::two_resource(32, 12);
+    let params = SimParams::new(5, true);
+    let source = JobSource::Theta(ThetaConfig { machine_nodes: 32, ..ThetaConfig::scaled(48) });
+    let spec = WorkloadSpec::s1();
+
+    let specs = ["dag:chain:4", "dag:fanout:3", "bursty:diurnal:60", "bursty:spike:6",
+        "energy:drain"];
+    let scenarios: Vec<Scenario> = specs
+        .iter()
+        .map(|s| ScenarioSpec::parse(s).unwrap().build(source.clone(), spec.clone(), params, 7))
+        .collect();
+    let policies = vec![
+        PolicySpec::Fcfs,
+        PolicySpec::parse("list:sjf").unwrap(),
+        PolicySpec::Ga,
+    ];
+
+    let plan = EvalPlan::new(system, policies, scenarios, vec![1, 2]);
+    let cells = plan.cell_count();
+    let grid = plan.run();
+    assert_eq!(grid.cells.len(), cells, "every grid cell must run");
+
+    println!("evaluated {cells} cells (3 policies x 5 scenarios x 2 seeds)\n");
+    print!("{}", grid.render_aggregate_table());
+
+    // DAG scenarios carry a critical-path/area lower bound per cell;
+    // regret against it is the policy-independent quality measure.
+    println!("\nDAG regret vs the critical-path lower bound:");
+    for c in grid.cells.iter().filter(|c| c.scenario.starts_with("dag:")) {
+        assert!(c.report.makespan >= c.cp_bound, "no policy may beat the bound");
+        println!(
+            "  {:<10} {:<14} seed {}: makespan {:>7} s, bound {:>7} s, regret {:.1}%",
+            c.policy,
+            c.scenario,
+            c.seed,
+            c.report.makespan,
+            c.cp_bound,
+            100.0 * c.cp_regret()
+        );
+    }
+
+    // Bursty scenarios are open streams: episode lengths differ by seed.
+    let lens: Vec<usize> = grid
+        .cells
+        .iter()
+        .filter(|c| c.scenario.starts_with("bursty:"))
+        .map(|c| c.report.records.len())
+        .collect();
+    println!("\nbursty episode lengths (jobs): {lens:?}");
+
+    // Energy-aware cells meter power; everything else reports zero.
+    for c in &grid.cells {
+        if c.scenario == "energy:drain" {
+            assert!(c.report.energy_kwh() > 0.0, "energy scenario must meter power");
+        } else {
+            assert_eq!(c.report.energy_kwh(), 0.0);
+        }
+    }
+    let energy = grid.aggregate("fcfs", "energy:drain").unwrap();
+    println!("\nfcfs on energy:drain: {:.1} kWh (mean over seeds)", energy.energy_kwh.mean);
+}
